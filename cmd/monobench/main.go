@@ -1,0 +1,144 @@
+// Command monobench regenerates the paper's evaluation tables and figures
+// on the virtual cluster. Run one experiment by name, or all of them:
+//
+//	monobench fig5          # big data benchmark comparison
+//	monobench fig12         # monotasks-model disk-removal predictions
+//	monobench sort          # §5.2 600 GB sort
+//	monobench all
+//
+// Every experiment is deterministic: repeated runs print identical numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/figures"
+)
+
+// printer is anything a figure returns that can render itself.
+type printer interface{ Fprint(io.Writer) }
+
+// experiments maps names to runners. Each runner executes the experiment
+// and returns one or more printable sections.
+var experiments = map[string]func() ([]printer, error){
+	"fig2":      wrap1(figFig2),
+	"sort":      wrap1(figSort),
+	"fig5":      figFig5,
+	"fig6":      figFig6,
+	"fig7":      wrap1(figFig7),
+	"fig8":      wrap1(figFig8),
+	"fig9":      wrap1(figFig9),
+	"fig11":     wrap1(figFig11),
+	"fig12":     figFig12,
+	"sec63":     wrap1(figSec63),
+	"fig13":     wrap1(figFig13),
+	"fig14":     wrap1(figFig14),
+	"fig15":     figFig15,
+	"fig16":     wrap1(figFig16),
+	"fig17":     figFig17,
+	"fig18":     wrap1(figFig18),
+	"ablations": figAblations,
+	"failure":   figFailure,
+}
+
+// order lists experiments in paper order for `monobench all`.
+var order = []string{
+	"fig2", "sort", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"fig11", "fig12", "sec63", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+	"ablations", "failure",
+}
+
+// csvDir, when set, receives each experiment's data as CSV files.
+var csvDir = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "monobench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	names := args
+	if len(args) == 1 && args[0] == "all" {
+		names = order
+	}
+	for _, name := range names {
+		runner, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "monobench: unknown experiment %q\n\n", name)
+			usage()
+			os.Exit(2)
+		}
+		start := time.Now()
+		sections, err := runner()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "monobench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for i, s := range sections {
+			s.Fprint(os.Stdout)
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(name, i, s); err != nil {
+					fmt.Fprintf(os.Stderr, "monobench: csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: monobench <experiment>... | all\n\nexperiments:\n")
+	names := make([]string, 0, len(experiments))
+	for n := range experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %s\n", n)
+	}
+}
+
+// writeCSV stores a section's table, when it has one, under csvDir.
+func writeCSV(name string, idx int, section printer) error {
+	t, ok := section.(interface{ CSV() *figures.CSVTable })
+	if !ok {
+		return nil
+	}
+	fname := fmt.Sprintf("%s.csv", name)
+	if idx > 0 {
+		fname = fmt.Sprintf("%s-%d.csv", name, idx)
+	}
+	f, err := os.Create(filepath.Join(*csvDir, fname))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV().Write(f)
+}
+
+// wrap1 lifts a single-result runner into the []printer shape.
+func wrap1[T printer](f func() (T, error)) func() ([]printer, error) {
+	return func() ([]printer, error) {
+		r, err := f()
+		if err != nil {
+			return nil, err
+		}
+		return []printer{r}, nil
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"io"
+
+	"repro/internal/figures"
+)
+
+// The figure-5 run also carries the figure-6 utilization data, and the
+// figure-12 run carries figures 15 and 17; these adapters select the view.
+
+func figFig2() (*figures.Fig02Result, error)    { return figures.Fig02() }
+func figSort() (*figures.SortResult, error)     { return figures.Sort600GB() }
+func figFig7() (*figures.Fig07Result, error)    { return figures.Fig07() }
+func figFig8() (*figures.Fig08Result, error)    { return figures.Fig08() }
+func figFig9() (*figures.Fig09Result, error)    { return figures.Fig09() }
+func figFig11() (*figures.PredictResult, error) { return figures.Fig11() }
+func figSec63() (*figures.PredictResult, error) { return figures.Sec63() }
+func figFig13() (*figures.PredictResult, error) { return figures.Fig13() }
+func figFig14() (*figures.Fig14Result, error)   { return figures.Fig14() }
+func figFig16() (*figures.Fig16Result, error)   { return figures.Fig16() }
+func figFig18() (*figures.Fig18Result, error)   { return figures.Fig18() }
+
+func figFig5() ([]printer, error) {
+	r, err := figures.Fig05()
+	if err != nil {
+		return nil, err
+	}
+	return []printer{r}, nil
+}
+
+func figFig6() ([]printer, error) {
+	r, err := figures.Fig05()
+	if err != nil {
+		return nil, err
+	}
+	return []printer{printFunc(r.FprintFig6)}, nil
+}
+
+func figFig12() ([]printer, error) {
+	r, err := figures.Fig12()
+	if err != nil {
+		return nil, err
+	}
+	return []printer{r}, nil
+}
+
+func figFig15() ([]printer, error) {
+	r, err := figures.Fig12()
+	if err != nil {
+		return nil, err
+	}
+	return []printer{printFunc(r.FprintFig15)}, nil
+}
+
+func figFig17() ([]printer, error) {
+	r, err := figures.Fig12()
+	if err != nil {
+		return nil, err
+	}
+	return []printer{printFunc(r.FprintFig17)}, nil
+}
+
+// printFunc adapts a method value to the printer interface.
+type printFunc func(io.Writer)
+
+func (f printFunc) Fprint(w io.Writer) { f(w) }
+
+func figAblations() ([]printer, error) {
+	var out []printer
+	for _, f := range []func() (*figures.AblationResult, error){
+		figures.AblationPhaseRR,
+		figures.AblationSpareMultitask,
+		figures.AblationNetLimit,
+		figures.AblationSSDConcurrency,
+		figures.AblationLoadAwareWrites,
+		figures.AblationNetworkPolicy,
+	} {
+		r, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func figFailure() ([]printer, error) {
+	r, err := figures.Failure()
+	if err != nil {
+		return nil, err
+	}
+	return []printer{r}, nil
+}

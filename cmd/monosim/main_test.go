@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workloads"
+)
+
+func testEnv(t *testing.T) *workloads.Env {
+	t.Helper()
+	return workloads.MustEnv(cluster.MustNew(4, cluster.M2_4XLarge()))
+}
+
+func TestBuildWorkloadVariants(t *testing.T) {
+	cases := []config{
+		{workload: "sort", gb: 10, values: 10},
+		{workload: "bdb:1a"},
+		{workload: "ml"},
+		{workload: "wordcount", gb: 2},
+		{workload: "readcompute", gb: 10},
+		{workload: "readcompute", gb: 10, tasks: 64},
+	}
+	for _, c := range cases {
+		env := testEnv(t)
+		job, err := buildWorkload(c, env)
+		if err != nil {
+			t.Fatalf("%s: %v", c.workload, err)
+		}
+		if err := job.Validate(); err != nil {
+			t.Fatalf("%s: invalid job: %v", c.workload, err)
+		}
+	}
+}
+
+func TestBuildWorkloadErrors(t *testing.T) {
+	env := testEnv(t)
+	if _, err := buildWorkload(config{workload: "nope"}, env); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := buildWorkload(config{workload: "bdb:zz"}, env); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}
+
+func TestRunSimEndToEnd(t *testing.T) {
+	// Exercise the full CLI path for each mode (stdout goes to the test log).
+	for _, mode := range []string{"monotasks", "spark", "spark-flush"} {
+		err := runSim(config{
+			workload: "sort", gb: 5, values: 10,
+			machines: 2, cores: 4, hdds: 1, netGbps: 1,
+			mode: mode, whatif: mode == "monotasks",
+		})
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+	if err := runSim(config{workload: "sort", gb: 1, machines: 1, cores: 2, hdds: 1, netGbps: 1, mode: "bogus"}); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if err := runSim(config{workload: "sort", gb: 1, machines: 2, cores: 2, hdds: 1, netGbps: 1, mode: "spark", traceOut: "/tmp/x.trace"}); err == nil {
+		t.Fatal("trace in spark mode accepted")
+	}
+}

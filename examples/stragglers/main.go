@@ -1,0 +1,79 @@
+// Stragglers: one machine in the cluster runs at 20% speed. The per-stage
+// breakdown makes the degradation visible (the §1 question "is hardware
+// degradation leading to poor performance?"), and speculative execution
+// recovers most of the lost time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/monospark"
+)
+
+// runJob executes a fixed compute-heavy job and returns its simulated time.
+func runJob(speeds []float64, speculate bool) (time.Duration, *monospark.JobRun, error) {
+	ctx, err := monospark.New(monospark.Config{
+		Machines:      4,
+		MachineSpeeds: speeds,
+		Speculation:   speculate,
+		// A heavy per-record UDF makes the job compute-bound, so a slow
+		// machine's tasks dominate the stage tail.
+		CPUCostPerRecord: 50e-6,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	records := make([]any, 64000)
+	for i := range records {
+		records[i] = fmt.Sprintf("record-%06d", i)
+	}
+	ds, err := ctx.Parallelize(records, 128)
+	if err != nil {
+		return 0, nil, err
+	}
+	_, run, err := ds.
+		MapToPair(func(v any) monospark.Pair {
+			s := v.(string)
+			return monospark.Pair{Key: s[len(s)-2:], Value: 1}
+		}).
+		ReduceByKey(func(a, b any) any { return a.(int) + b.(int) }).
+		Count()
+	if err != nil {
+		return 0, nil, err
+	}
+	return run.Duration(), run, nil
+}
+
+func main() {
+	healthy, _, err := runJob(nil, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	degraded, run, err := runJob([]float64{1, 1, 1, 0.2}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rescued, _, err := runJob([]float64{1, 1, 1, 0.2}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("healthy cluster:               %v\n", healthy)
+	fmt.Printf("one machine at 20%% speed:      %v (%.1fx slower)\n",
+		degraded, float64(degraded)/float64(healthy))
+	fmt.Printf("  + speculative execution:     %v (%.1fx slower)\n",
+		rescued, float64(rescued)/float64(healthy))
+
+	// The monotask metrics show where the degraded run's time went.
+	breakdown, err := run.Explain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndegraded run, per-stage view (actual far above every ideal = stragglers):")
+	for _, st := range breakdown {
+		fmt.Printf("  %-24s actual=%-12v cpu=%-12v disk=%-12v net=%v\n",
+			st.Stage, st.Actual, st.IdealCPU, st.IdealDisk, st.IdealNet)
+	}
+}

@@ -1,0 +1,68 @@
+// Terasort: the paper's sort workload in miniature — sort keyed records,
+// then ask the performance model the §6 what-if questions: would more
+// disks help? a bigger cluster? caching the input in memory?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/monospark"
+	"repro/perf"
+)
+
+func main() {
+	ctx, err := monospark.New(monospark.Config{
+		Machines: 4,
+		Hardware: monospark.Hardware{Cores: 8, HDDs: 2, NetGbps: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 200k records with 10-long values (the paper's value-size knob, §6.2).
+	var lines []string
+	for i := 0; i < 200000; i++ {
+		key := fmt.Sprintf("%08x", (i*2654435761)%(1<<31))
+		lines = append(lines, fmt.Sprintf("%s\t%080d", key, i))
+	}
+	input, err := ctx.TextFile("records", lines, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sorted := input.
+		MapToPair(func(v any) monospark.Pair {
+			s := v.(string)
+			return monospark.Pair{Key: s[:8], Value: s[9:]}
+		}).
+		SortByKey()
+
+	out, run, err := sorted.SaveAsTextFile("sorted")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sorted %d records in %v (simulated)\n", len(out), run.Duration())
+	fmt.Printf("first key %q, last key %q\n", out[0][:8], out[len(out)-1][:8])
+
+	bottleneck, _ := run.Bottleneck()
+	fmt.Printf("job bottleneck: %s\n\n", bottleneck)
+
+	fmt.Println("what-if analysis (monotasks model, §6.2-§6.4):")
+	for _, q := range []struct {
+		label string
+		w     []perf.WhatIf
+	}{
+		{"2x disks per machine", []perf.WhatIf{perf.ScaleDisks(2)}},
+		{"10 Gb/s network", []perf.WhatIf{perf.ScaleNetwork(10)}},
+		{"4x machines", []perf.WhatIf{perf.ClusterSize(4)}},
+		{"input cached in memory", []perf.WhatIf{perf.InMemoryInput()}},
+		{"4x machines + in-memory input", []perf.WhatIf{perf.ClusterSize(4), perf.InMemoryInput()}},
+	} {
+		p, err := run.Predict(q.w...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-32s %v -> %v (%.2fx)\n", q.label, p.Current, p.Predicted, p.Speedup())
+	}
+}

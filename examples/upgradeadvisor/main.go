@@ -1,0 +1,91 @@
+// Upgrade advisor: run a workload once, then rank candidate hardware and
+// software changes by predicted benefit — the §1 questions ("what hardware
+// should I run on? is it worth caching the input?") answered from one
+// profiled run instead of trial-and-error cluster rentals.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/monospark"
+	"repro/perf"
+)
+
+func main() {
+	ctx, err := monospark.New(monospark.Config{
+		Machines: 4,
+		Hardware: monospark.Hardware{Cores: 8, HDDs: 2, NetGbps: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A sessionization-style workload: group events by user, score sessions.
+	var events []string
+	for i := 0; i < 100000; i++ {
+		events = append(events, fmt.Sprintf("user%05d|event%d|%032d", (i*131)%5000, i%17, i))
+	}
+	input, err := ctx.TextFile("events", events, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sessions := input.
+		MapToPair(func(v any) monospark.Pair {
+			rec := v.(string)
+			return monospark.Pair{Key: rec[:strings.Index(rec, "|")], Value: 1}
+		}).
+		ReduceByKey(func(a, b any) any { return a.(int) + b.(int) })
+
+	n, run, err := sessions.Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled run: %d user sessions in %v (simulated)\n", n, run.Duration())
+	if b, err := run.Bottleneck(); err == nil {
+		fmt.Printf("bottleneck: %s\n\n", b)
+	}
+
+	type option struct {
+		label   string
+		whatifs []perf.WhatIf
+	}
+	options := []option{
+		{"add 2 more disks/machine", []perf.WhatIf{perf.ScaleDisks(2)}},
+		{"upgrade to 10 Gb/s network", []perf.WhatIf{perf.ScaleNetwork(10)}},
+		{"double the cluster", []perf.WhatIf{perf.ClusterSize(2)}},
+		{"quadruple the cluster", []perf.WhatIf{perf.ClusterSize(4)}},
+		{"cache input in memory", []perf.WhatIf{perf.InMemoryInput()}},
+		{"cache input + double cluster", []perf.WhatIf{perf.InMemoryInput(), perf.ClusterSize(2)}},
+	}
+	type ranked struct {
+		label   string
+		speedup float64
+	}
+	var table []ranked
+	for _, o := range options {
+		p, err := run.Predict(o.whatifs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table = append(table, ranked{o.label, p.Speedup()})
+	}
+	sort.Slice(table, func(i, j int) bool { return table[i].speedup > table[j].speedup })
+
+	fmt.Println("upgrade options ranked by predicted speedup:")
+	for _, r := range table {
+		fmt.Printf("  %-30s %.2fx\n", r.label, r.speedup)
+	}
+
+	// Bound the best case per resource (§6.5).
+	fmt.Println("\nupper bounds (resource made infinitely fast):")
+	for _, res := range []perf.Resource{perf.CPU, perf.Disk, perf.Network} {
+		p, err := run.Predict(perf.InfinitelyFast(res))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  no %-8s %.2fx\n", res, p.Speedup())
+	}
+}

@@ -1,0 +1,226 @@
+// Package cluster assembles device models into virtual machines and
+// clusters. A Cluster owns one simulation engine; every device on every
+// machine schedules against that engine, so cross-machine timing (shuffles,
+// stragglers) is globally consistent.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// MachineSpec describes one worker machine. SpeedFactor (default 1) scales
+// the machine's CPU rate, disk bandwidths, and link bandwidth together —
+// the straggler/heterogeneity knob: a machine with SpeedFactor 0.5 is a
+// uniformly degraded node.
+type MachineSpec struct {
+	Cores       int
+	Disks       []resource.DiskSpec
+	NetBW       float64 // bytes/second, full duplex
+	MemBytes    int64
+	SpeedFactor float64
+}
+
+// Degraded returns a copy of the spec slowed to the given factor.
+func (s MachineSpec) Degraded(factor float64) MachineSpec {
+	s.SpeedFactor = factor
+	return s
+}
+
+// speed returns the effective factor (zero value means 1).
+func (s MachineSpec) speed() float64 {
+	if s.SpeedFactor <= 0 {
+		return 1
+	}
+	return s.SpeedFactor
+}
+
+// Validate reports a descriptive error for an unusable spec.
+func (s MachineSpec) Validate() error {
+	if s.Cores <= 0 {
+		return fmt.Errorf("cluster: spec needs cores, got %d", s.Cores)
+	}
+	if s.NetBW <= 0 {
+		return fmt.Errorf("cluster: spec needs network bandwidth, got %v", s.NetBW)
+	}
+	if s.MemBytes <= 0 {
+		return fmt.Errorf("cluster: spec needs memory, got %d", s.MemBytes)
+	}
+	for i, d := range s.Disks {
+		if d.SeqBW <= 0 {
+			return fmt.Errorf("cluster: disk %d has no bandwidth", i)
+		}
+	}
+	return nil
+}
+
+// M2_4XLarge mirrors the paper's HDD instances: 8 vCPUs, ~60 GB memory, two
+// hard disk drives, 1 Gb/s network (§5.1).
+func M2_4XLarge() MachineSpec {
+	return MachineSpec{
+		Cores:    8,
+		Disks:    []resource.DiskSpec{resource.DefaultHDD(), resource.DefaultHDD()},
+		NetBW:    units.Gbps(1),
+		MemBytes: 60 * units.GB,
+	}
+}
+
+// I2_2XLarge mirrors the paper's SSD instances: 8 vCPUs, ~60 GB memory, one
+// or two solid-state drives, 1 Gb/s network (§5.1).
+func I2_2XLarge(ssds int) MachineSpec {
+	disks := make([]resource.DiskSpec, ssds)
+	for i := range disks {
+		disks[i] = resource.DefaultSSD()
+	}
+	return MachineSpec{
+		Cores:    8,
+		Disks:    disks,
+		NetBW:    units.Gbps(1),
+		MemBytes: 60 * units.GB,
+	}
+}
+
+// Machine is one assembled worker.
+type Machine struct {
+	ID    int
+	Spec  MachineSpec
+	CPU   *resource.CPU
+	Disks []*resource.Disk
+	NIC   *netsim.NIC
+
+	memInUse int64
+	memPeak  int64
+}
+
+// MemAlloc charges bytes of memory. It never fails — the paper's MonoSpark
+// does not regulate memory either (§3.5) — but the high-water mark is
+// recorded so experiments can report pressure.
+func (m *Machine) MemAlloc(bytes int64) {
+	m.memInUse += bytes
+	if m.memInUse > m.memPeak {
+		m.memPeak = m.memInUse
+	}
+}
+
+// MemFree releases bytes of memory.
+func (m *Machine) MemFree(bytes int64) {
+	m.memInUse -= bytes
+	if m.memInUse < 0 {
+		panic("cluster: memory freed twice")
+	}
+}
+
+// MemInUse and MemPeak report current and high-water memory use.
+func (m *Machine) MemInUse() int64 { return m.memInUse }
+func (m *Machine) MemPeak() int64  { return m.memPeak }
+
+// AggDiskBW returns the machine's total sequential disk bandwidth.
+func (m *Machine) AggDiskBW() float64 {
+	var bw float64
+	for _, d := range m.Disks {
+		bw += d.Spec().SeqBW
+	}
+	return bw
+}
+
+// Cluster is a set of identical machines over a full-bisection fabric and a
+// single simulation engine.
+type Cluster struct {
+	Engine   *sim.Engine
+	Machines []*Machine
+	Fabric   *netsim.Fabric
+	spec     MachineSpec
+}
+
+// New builds a cluster of n machines with the given spec.
+func New(n int, spec MachineSpec) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one machine, got %d", n)
+	}
+	specs := make([]MachineSpec, n)
+	for i := range specs {
+		specs[i] = spec
+	}
+	return NewHetero(specs)
+}
+
+// NewHetero builds a cluster from per-machine specs — degraded nodes,
+// mixed disk types, or uneven links. Cluster-wide aggregates (TotalCores,
+// TotalDiskBW, TotalNetBW) use each machine's own shape.
+func NewHetero(specs []MachineSpec) (*Cluster, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one machine")
+	}
+	linkBWs := make([]float64, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("machine %d: %w", i, err)
+		}
+		linkBWs[i] = s.NetBW * s.speed()
+	}
+	eng := sim.NewEngine()
+	c := &Cluster{Engine: eng, Fabric: netsim.NewFabricBW(eng, linkBWs), spec: specs[0]}
+	for i, s := range specs {
+		m := &Machine{
+			ID:   i,
+			Spec: s,
+			CPU:  resource.NewCPUWithSpeed(eng, s.Cores, s.speed()),
+			NIC:  c.Fabric.NIC(i),
+		}
+		for _, ds := range s.Disks {
+			ds.SeqBW *= s.speed()
+			m.Disks = append(m.Disks, resource.NewDisk(eng, ds))
+		}
+		c.Machines = append(c.Machines, m)
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations that cannot fail.
+func MustNew(n int, spec MachineSpec) *Cluster {
+	c, err := New(n, spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Spec returns the per-machine specification.
+func (c *Cluster) Spec() MachineSpec { return c.spec }
+
+// Size reports the number of machines.
+func (c *Cluster) Size() int { return len(c.Machines) }
+
+// TotalCores reports the cluster-wide core count — the denominator of the
+// performance model's ideal CPU time (§6.1).
+func (c *Cluster) TotalCores() int {
+	n := 0
+	for _, m := range c.Machines {
+		n += m.Spec.Cores
+	}
+	return n
+}
+
+// TotalDiskBW reports the cluster-wide sequential disk bandwidth — the
+// denominator of the ideal disk time (§6.1).
+func (c *Cluster) TotalDiskBW() float64 {
+	var bw float64
+	for _, m := range c.Machines {
+		bw += m.AggDiskBW()
+	}
+	return bw
+}
+
+// TotalNetBW reports the cluster-wide unidirectional network bandwidth —
+// the denominator of the ideal network time (§6.1).
+func (c *Cluster) TotalNetBW() float64 {
+	var bw float64
+	for _, m := range c.Machines {
+		bw += m.NIC.IngressBW()
+	}
+	return bw
+}

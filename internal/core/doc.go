@@ -1,0 +1,27 @@
+// Package core implements the paper's primary contribution: the monotasks
+// execution model (§3).
+//
+// Each multitask that arrives on a worker is decomposed into a DAG of
+// monotasks that each use exactly one resource (Fig. 4):
+//
+//	map multitask:    disk read → compute → disk write (shuffle data)
+//	reduce multitask: network fetches (served by a remote disk read and a
+//	                  network transfer) + local shuffle disk read → compute
+//	                  → disk write (job output)
+//
+// A Local DAG Scheduler tracks dependencies and hands ready monotasks to
+// dedicated per-resource schedulers (§3.3):
+//
+//   - the compute scheduler runs one monotask per core;
+//   - each disk scheduler runs one monotask per HDD (or a configurable
+//     number, default 4, per SSD) and round-robins its queue across DAG
+//     phases so reads are not starved behind a backlog of writes;
+//   - the network scheduler is receiver-driven and admits the outstanding
+//     requests of at most four multitasks at a time, finishing one
+//     multitask's data before starting the next so compute can pipeline
+//     with the following multitask's fetches.
+//
+// Contention is visible as per-resource queue lengths (Queues), and every
+// monotask reports exactly when it queued, started, and finished — the raw
+// material of the §6 performance model.
+package core

@@ -1,0 +1,89 @@
+package core
+
+import "repro/internal/sim"
+
+// NetworkPolicy selects the fetch-scheduling discipline.
+type NetworkPolicy int
+
+const (
+	// ReceiverLimited is the paper's scheduler (§3.3): each receiver admits
+	// the outstanding requests of at most NetMultitaskLimit multitasks, and
+	// admitted flows share links max-min fairly.
+	ReceiverLimited NetworkPolicy = iota
+	// SenderReceiverMatching emulates the pHost/iSlip-style schedulers the
+	// paper names as future work (§3.3): transfers are granted only when
+	// both the sender and the receiver are otherwise idle, so each granted
+	// transfer owns its whole path. Requests wait in a global FIFO.
+	SenderReceiverMatching
+)
+
+// matchRequest is one fetch waiting for a sender/receiver grant.
+type matchRequest struct {
+	sender, receiver int
+	// start performs the fetch (serve read + transfer) and must call the
+	// release it is handed exactly once, when the transfer completes.
+	start func(release func())
+}
+
+// matcher grants fetches under one-to-one sender/receiver matching. All
+// workers of a Group share one matcher, making the grant decision global —
+// the "distributed matching between senders and receivers" of §3.3, with
+// the simulator standing in for the coordination protocol.
+type matcher struct {
+	eng          *sim.Engine
+	senderBusy   []bool
+	receiverBusy []bool
+	queue        []*matchRequest
+}
+
+func newMatcher(eng *sim.Engine, machines int) *matcher {
+	return &matcher{
+		eng:          eng,
+		senderBusy:   make([]bool, machines),
+		receiverBusy: make([]bool, machines),
+	}
+}
+
+// request enqueues a fetch and grants whatever the new state allows.
+func (ma *matcher) request(sender, receiver int, start func(release func())) {
+	ma.queue = append(ma.queue, &matchRequest{sender: sender, receiver: receiver, start: start})
+	ma.grant()
+}
+
+// grant scans the FIFO and starts every request whose endpoints are free.
+// Skipping over blocked heads keeps throughput up (a strict FIFO would
+// convoy behind one busy sender) while the scan order keeps it fair and
+// deterministic.
+func (ma *matcher) grant() {
+	kept := ma.queue[:0]
+	var granted []*matchRequest
+	for _, r := range ma.queue {
+		if ma.senderBusy[r.sender] || ma.receiverBusy[r.receiver] {
+			kept = append(kept, r)
+			continue
+		}
+		ma.senderBusy[r.sender] = true
+		ma.receiverBusy[r.receiver] = true
+		granted = append(granted, r)
+	}
+	for i := len(kept); i < len(ma.queue); i++ {
+		ma.queue[i] = nil
+	}
+	ma.queue = kept
+	for _, r := range granted {
+		r := r
+		released := false
+		r.start(func() {
+			if released {
+				panic("core: matcher release called twice")
+			}
+			released = true
+			ma.senderBusy[r.sender] = false
+			ma.receiverBusy[r.receiver] = false
+			ma.grant()
+		})
+	}
+}
+
+// Pending reports requests waiting for a grant.
+func (ma *matcher) Pending() int { return len(ma.queue) }

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func TestMatcherGrantsExclusivePairs(t *testing.T) {
+	eng := sim.NewEngine()
+	ma := newMatcher(eng, 3)
+	var order []string
+	mk := func(name string, dur sim.Duration) func(func()) {
+		return func(release func()) {
+			order = append(order, name+"+")
+			eng.After(dur, func() {
+				order = append(order, name+"-")
+				release()
+			})
+		}
+	}
+	// A: 0→1, B: 0→2 (conflicts with A on sender 0), C: 2→1 (conflicts
+	// with A on receiver 1).
+	ma.request(0, 1, mk("A", 5))
+	ma.request(0, 2, mk("B", 5))
+	ma.request(2, 1, mk("C", 5))
+	if len(order) != 1 || order[0] != "A+" {
+		t.Fatalf("initial grants = %v, want only A", order)
+	}
+	if ma.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", ma.Pending())
+	}
+	eng.Run()
+	// After A completes at t=5, both B and C become grantable (disjoint).
+	want := []string{"A+", "A-", "B+", "C+", "B-", "C-"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMatcherSkipsBlockedHead(t *testing.T) {
+	eng := sim.NewEngine()
+	ma := newMatcher(eng, 4)
+	started := map[string]sim.Time{}
+	mk := func(name string, dur sim.Duration) func(func()) {
+		return func(release func()) {
+			started[name] = eng.Now()
+			eng.After(dur, release)
+		}
+	}
+	ma.request(0, 1, mk("A", 10))
+	ma.request(0, 2, mk("B", 1)) // blocked on sender 0 behind A
+	ma.request(2, 3, mk("C", 1)) // disjoint: must not convoy behind B
+	if _, ok := started["C"]; !ok {
+		t.Fatal("disjoint request convoyed behind a blocked head")
+	}
+	eng.Run()
+	if started["B"] != 10 {
+		t.Fatalf("B started at %v, want 10 (after A released sender 0)", started["B"])
+	}
+}
+
+func TestMatcherDoubleReleasePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	ma := newMatcher(eng, 2)
+	var rel func()
+	ma.request(0, 1, func(release func()) { rel = release })
+	rel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	rel()
+}
+
+func TestMatchingPolicyEndToEnd(t *testing.T) {
+	// A reduce over the matching policy must produce identical byte
+	// movement; only timing differs.
+	for _, policy := range []NetworkPolicy{ReceiverLimited, SenderReceiverMatching} {
+		c, _ := cluster.New(3, testSpec(2, 1))
+		g := NewGroup(c, Options{NetworkPolicy: policy})
+		stage := &task.StageSpec{ID: 1, Name: "red", NumTasks: 4, ParentIDs: []int{0}, OpCPU: 0.5}
+		results := make([]*task.TaskMetrics, 4)
+		for i := 0; i < 4; i++ {
+			i := i
+			tk := &task.Task{
+				Stage: stage, Index: i, Machine: i % 3,
+				Fetches: []task.Fetch{
+					{From: (i + 1) % 3, Bytes: 50e6},
+					{From: (i + 2) % 3, Bytes: 50e6},
+				},
+			}
+			g.Workers[tk.Machine].Launch(tk, func(m *task.TaskMetrics) { results[i] = m })
+		}
+		c.Engine.Run()
+		var netBytes int64
+		for i, m := range results {
+			if m == nil {
+				t.Fatalf("policy %v: task %d never completed", policy, i)
+			}
+			for _, mm := range m.Monotasks {
+				if mm.Resource == task.NetworkResource {
+					netBytes += mm.Bytes
+				}
+			}
+		}
+		if netBytes != 4*100e6 {
+			t.Fatalf("policy %v: moved %d network bytes, want 4e8", policy, netBytes)
+		}
+	}
+}

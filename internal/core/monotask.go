@@ -1,0 +1,212 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// Phases order a multitask's monotasks for the per-resource round-robin
+// queues (§3.3, "Queueing monotasks"): without phase round-robin, a backlog
+// of phase-2 disk writes would starve phase-0 disk reads and the CPU would
+// drain completely between bursts.
+const (
+	phaseInput   = 0
+	phaseCompute = 1
+	phaseOutput  = 2
+	// phaseServe is for shuffle-serve reads issued on behalf of a remote
+	// machine; keeping them in their own round-robin class prevents a
+	// machine's own task I/O from starving the shuffle data its peers need.
+	phaseServe = 3
+)
+
+// monotask is one single-resource unit of work.
+type monotask struct {
+	owner    *multitask
+	resource task.Resource
+	kind     task.Kind
+	phase    int
+
+	// Resource-specific demand.
+	bytes   int64      // disk and network monotasks
+	diskIdx int        // disk monotasks: which local disk
+	fetch   task.Fetch // network monotasks
+	deser   float64    // compute monotasks: core-seconds per part
+	op      float64
+	ser     float64
+
+	// DAG wiring.
+	waiting    int // unfinished dependencies
+	dependents []*monotask
+
+	// onDone, when set, runs after the monotask's resource work completes
+	// and before finish(); shuffle-serve reads use it to start the network
+	// transfer they gate.
+	onDone func()
+
+	// Timing, filled in as the monotask advances.
+	queued sim.Time
+	start  sim.Time
+}
+
+// cpuSeconds is a compute monotask's total demand.
+func (m *monotask) cpuSeconds() float64 { return m.deser + m.op + m.ser }
+
+// dependsOn wires m to run after dep.
+func (m *monotask) dependsOn(dep *monotask) {
+	dep.dependents = append(dep.dependents, m)
+	m.waiting++
+}
+
+// multitask tracks one in-flight task and its monotask DAG.
+type multitask struct {
+	t         *task.Task
+	worker    *Worker
+	remaining int // monotasks not yet finished
+	metrics   *task.TaskMetrics
+	done      func(*task.TaskMetrics)
+	// bufBytes is the memory held while the multitask is in flight: unlike
+	// fine-grained pipelining, monotasks materialize a task's whole input
+	// and output between resources (§3.5), so the worker charges it up
+	// front and releases it at completion.
+	bufBytes int64
+}
+
+// bufferBytes is the §3.5 memory footprint: all input is read into memory
+// before compute, and all output is produced before it is written out.
+func bufferBytes(t *task.Task) int64 {
+	b := t.InputBytes()
+	if !t.Stage.ShuffleInMemory {
+		b += t.Stage.ShuffleOutBytes
+	}
+	if !t.Stage.OutputToMem {
+		b += t.Stage.OutputBytes
+	}
+	return b
+}
+
+// decompose builds the monotask DAG for t (§3.2, Fig. 4) and returns the
+// monotasks with no dependencies, ready for immediate submission.
+func (w *Worker) decompose(mt *multitask) []*monotask {
+	t := mt.t
+	var all []*monotask
+	add := func(m *monotask) *monotask {
+		m.owner = mt
+		all = append(all, m)
+		return m
+	}
+
+	compute := add(&monotask{
+		resource: task.CPUResource,
+		kind:     task.KindCompute,
+		phase:    phaseCompute,
+		deser:    t.Stage.DeserCPU,
+		op:       t.Stage.OpCPU,
+		ser:      t.Stage.SerCPU,
+	})
+
+	// Input monotasks.
+	if t.DiskReadBytes > 0 {
+		rd := add(&monotask{
+			resource: task.DiskResource,
+			kind:     task.KindInputRead,
+			phase:    phaseInput,
+			bytes:    t.DiskReadBytes,
+			diskIdx:  t.DiskReadDisk,
+		})
+		compute.dependsOn(rd)
+	}
+	if t.RemoteRead != nil {
+		// A non-local HDFS block: fetched over the network like shuffle
+		// data, with the remote machine reading the block from its disk.
+		nf := add(&monotask{
+			resource: task.NetworkResource,
+			kind:     task.KindNetFetch,
+			phase:    phaseInput,
+			bytes:    t.RemoteRead.Bytes,
+			fetch:    *t.RemoteRead,
+		})
+		compute.dependsOn(nf)
+	}
+	for _, f := range t.Fetches {
+		switch {
+		case f.From == t.Machine && f.FromMem:
+			// Local in-memory shuffle data: already where the compute
+			// monotask needs it; no monotask at all.
+		case f.From == t.Machine:
+			// Local shuffle data is a plain disk read (Fig. 4, "read
+			// shuffle data from local disk").
+			rd := add(&monotask{
+				resource: task.DiskResource,
+				kind:     task.KindShuffleServeRead,
+				phase:    phaseInput,
+				bytes:    f.Bytes,
+				diskIdx:  w.nextServeDisk(),
+			})
+			compute.dependsOn(rd)
+		default:
+			nf := add(&monotask{
+				resource: task.NetworkResource,
+				kind:     task.KindNetFetch,
+				phase:    phaseInput,
+				bytes:    f.Bytes,
+				fetch:    f,
+			})
+			compute.dependsOn(nf)
+		}
+	}
+
+	// Output monotasks. Monotask disk writes are write-through (§3.1,
+	// principle 4): the OS buffer cache never owns deferred work.
+	if t.Stage.ShuffleOutBytes > 0 && !t.Stage.ShuffleInMemory {
+		wr := add(&monotask{
+			resource: task.DiskResource,
+			kind:     task.KindShuffleWrite,
+			phase:    phaseOutput,
+			bytes:    t.Stage.ShuffleOutBytes,
+			diskIdx:  w.nextWriteDisk(),
+		})
+		wr.dependsOn(compute)
+	}
+	if t.Stage.OutputBytes > 0 && !t.Stage.OutputToMem {
+		wr := add(&monotask{
+			resource: task.DiskResource,
+			kind:     task.KindOutputWrite,
+			phase:    phaseOutput,
+			bytes:    t.Stage.OutputBytes,
+			diskIdx:  w.nextWriteDisk(),
+		})
+		wr.dependsOn(compute)
+	}
+
+	mt.remaining = len(all)
+	ready := make([]*monotask, 0, len(all))
+	for _, m := range all {
+		if m.waiting == 0 {
+			ready = append(ready, m)
+		}
+	}
+	return ready
+}
+
+// finish records m's metric and releases its dependents; when the last
+// monotask of the multitask finishes, the multitask completes.
+func (w *Worker) finish(m *monotask, metric task.MonotaskMetric) {
+	mt := m.owner
+	mt.metrics.Monotasks = append(mt.metrics.Monotasks, metric)
+	for _, d := range m.dependents {
+		d.waiting--
+		if d.waiting == 0 {
+			w.submit(d)
+		}
+	}
+	mt.remaining--
+	if mt.remaining == 0 {
+		mt.metrics.End = w.eng.Now()
+		mt.worker.machine.MemFree(mt.bufBytes)
+		done := mt.done
+		metrics := mt.metrics
+		// Defer the completion callback to the engine so the driver's
+		// follow-on launches see consistent scheduler state.
+		w.eng.After(0, func() { done(metrics) })
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import "repro/internal/task"
+
+// rrQueue is a FIFO queue per phase with round-robin service across phases
+// (§3.3): when disk writes pile up, the next service turn still goes to a
+// waiting read, keeping the downstream CPU fed.
+type rrQueue struct {
+	byPhase map[int][]*monotask
+	ring    []int // phases in first-seen order
+	cursor  int
+	size    int
+	// fifo disables the phase rotation (ablation: the §3.3 starvation
+	// pathology), serving strictly in arrival order.
+	fifo  bool
+	order []*monotask
+}
+
+func newRRQueue() *rrQueue {
+	return &rrQueue{byPhase: make(map[int][]*monotask)}
+}
+
+func newFIFOQueue() *rrQueue {
+	return &rrQueue{byPhase: make(map[int][]*monotask), fifo: true}
+}
+
+// push appends m to its phase's FIFO.
+func (q *rrQueue) push(m *monotask) {
+	if q.fifo {
+		q.order = append(q.order, m)
+		q.size++
+		return
+	}
+	if _, ok := q.byPhase[m.phase]; !ok {
+		q.ring = append(q.ring, m.phase)
+	}
+	q.byPhase[m.phase] = append(q.byPhase[m.phase], m)
+	q.size++
+}
+
+// pop removes and returns the next monotask in round-robin phase order, or
+// nil if the queue is empty. Empty phases are skipped but stay in the ring:
+// a phase that refills (the steady-state read/write alternation) resumes
+// its turn.
+func (q *rrQueue) pop() *monotask {
+	if q.size == 0 {
+		return nil
+	}
+	if q.fifo {
+		m := q.order[0]
+		q.order[0] = nil
+		q.order = q.order[1:]
+		q.size--
+		return m
+	}
+	for i := 0; i < len(q.ring); i++ {
+		phase := q.ring[q.cursor]
+		q.cursor = (q.cursor + 1) % len(q.ring)
+		fifo := q.byPhase[phase]
+		if len(fifo) == 0 {
+			continue
+		}
+		m := fifo[0]
+		fifo[0] = nil
+		q.byPhase[phase] = fifo[1:]
+		q.size--
+		return m
+	}
+	panic("core: rrQueue size > 0 but no monotask found")
+}
+
+// len reports the number of queued monotasks.
+func (q *rrQueue) len() int { return q.size }
+
+// peekSame removes and returns the first queued monotask of the given kind
+// smaller than maxBytes, searching all phases, or nil when none qualifies.
+// Used by the small-request batching extension.
+func (q *rrQueue) peekSame(kind task.Kind, maxBytes int64) *monotask {
+	take := func(fifo []*monotask) (*monotask, []*monotask, bool) {
+		for i, m := range fifo {
+			if m.kind == kind && m.bytes < maxBytes {
+				out := append(append([]*monotask{}, fifo[:i]...), fifo[i+1:]...)
+				return m, out, true
+			}
+		}
+		return nil, fifo, false
+	}
+	if q.fifo {
+		m, rest, ok := take(q.order)
+		if !ok {
+			return nil
+		}
+		q.order = rest
+		q.size--
+		return m
+	}
+	for _, phase := range q.ring {
+		m, rest, ok := take(q.byPhase[phase])
+		if !ok {
+			continue
+		}
+		q.byPhase[phase] = rest
+		q.size--
+		return m
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// computeScheduler runs one compute monotask per core (§3.3): because it
+// never admits more monotasks than cores, every admitted monotask runs at
+// the full rate of one core.
+type computeScheduler struct {
+	w       *Worker
+	queue   *rrQueue
+	running int
+	limit   int
+	// QueueLen tracks queued monotasks over time — §3.1's "contention is
+	// visible as the queue length for each resource", as a timeline.
+	QueueLen resource.Tracker
+}
+
+func newComputeScheduler(w *Worker) *computeScheduler {
+	return &computeScheduler{w: w, queue: newQueue(w), limit: w.machine.CPU.Cores()}
+}
+
+// newQueue picks the queue discipline the worker's options select.
+func newQueue(w *Worker) *rrQueue {
+	if w.opts.DisablePhaseRoundRobin {
+		return newFIFOQueue()
+	}
+	return newRRQueue()
+}
+
+func (cs *computeScheduler) submit(m *monotask) {
+	m.queued = cs.w.eng.Now()
+	cs.queue.push(m)
+	cs.pump()
+	cs.QueueLen.Set(cs.w.eng.Now(), float64(cs.queue.len()))
+}
+
+func (cs *computeScheduler) pump() {
+	for cs.running < cs.limit && cs.queue.len() > 0 {
+		m := cs.queue.pop()
+		cs.QueueLen.Set(cs.w.eng.Now(), float64(cs.queue.len()))
+		m.start = cs.w.eng.Now()
+		cs.running++
+		cs.w.machine.CPU.Run(m.cpuSeconds(), func() {
+			cs.running--
+			metric := task.MonotaskMetric{
+				Resource: task.CPUResource,
+				Kind:     task.KindCompute,
+				Machine:  cs.w.machine.ID,
+				Queued:   m.queued,
+				Start:    m.start,
+				End:      cs.w.eng.Now(),
+				DeserSec: m.deser,
+				OpSec:    m.op,
+				SerSec:   m.ser,
+			}
+			cs.pump()
+			cs.w.finish(m, metric)
+		})
+	}
+}
+
+// diskScheduler runs a bounded number of monotasks on one drive: one for an
+// HDD (concurrency wrecks spinning-disk throughput) and a configurable
+// number, default four, for an SSD (§3.3). Its queue round-robins across
+// DAG phases so reads are not starved behind writes.
+type diskScheduler struct {
+	w       *Worker
+	disk    *resource.Disk
+	queue   *rrQueue
+	running int
+	limit   int
+	// QueueLen tracks queued monotasks over time (§3.1).
+	QueueLen resource.Tracker
+}
+
+func newDiskScheduler(w *Worker, d *resource.Disk, ssdConcurrency int) *diskScheduler {
+	limit := 1
+	if d.Spec().Kind == resource.SSD {
+		limit = ssdConcurrency
+	}
+	return &diskScheduler{w: w, disk: d, queue: newQueue(w), limit: limit}
+}
+
+func (ds *diskScheduler) submit(m *monotask) {
+	m.queued = ds.w.eng.Now()
+	ds.queue.push(m)
+	ds.pump()
+	ds.QueueLen.Set(ds.w.eng.Now(), float64(ds.queue.len()))
+}
+
+// smallRequestBytes is the footnote-1 threshold below which queued reads
+// are batched (when the option is on): small enough that per-request seeks
+// dominate, so servicing several per seek pays off.
+const smallRequestBytes = 4 << 20
+
+// batchLimit bounds how many small requests share one disk pass.
+const batchLimit = 8
+
+func (ds *diskScheduler) pump() {
+	for ds.running < ds.limit && ds.queue.len() > 0 {
+		m := ds.queue.pop()
+		batch := ds.gatherBatch(m)
+		ds.QueueLen.Set(ds.w.eng.Now(), float64(ds.queue.len()))
+		now := ds.w.eng.Now()
+		var total int64
+		for _, bm := range batch {
+			bm.start = now
+			total += bm.bytes
+		}
+		ds.running++
+		done := func() {
+			ds.running--
+			end := ds.w.eng.Now()
+			ds.pump()
+			for _, bm := range batch {
+				metric := task.MonotaskMetric{
+					Resource: task.DiskResource,
+					Kind:     bm.kind,
+					Machine:  ds.w.machine.ID,
+					Queued:   bm.queued,
+					Start:    bm.start,
+					End:      end,
+					Bytes:    bm.bytes,
+				}
+				if bm.onDone != nil {
+					bm.onDone()
+				}
+				ds.w.finish(bm, metric)
+			}
+		}
+		switch m.kind {
+		case task.KindShuffleWrite, task.KindOutputWrite:
+			ds.disk.Write(total, done)
+		default:
+			ds.disk.Read(total, done)
+		}
+	}
+}
+
+// gatherBatch returns m plus, when small-request batching is enabled and m
+// is a small read, up to batchLimit−1 further small queued reads of the same
+// kind — serviced as one request that pays one seek (footnote 1: "the disk
+// scheduler can optimize seek time by re-ordering monotasks").
+func (ds *diskScheduler) gatherBatch(m *monotask) []*monotask {
+	batch := []*monotask{m}
+	if !ds.w.opts.BatchSmallDiskRequests || m.bytes >= smallRequestBytes {
+		return batch
+	}
+	switch m.kind {
+	case task.KindShuffleWrite, task.KindOutputWrite:
+		return batch // reads only: writes already land where the head is
+	}
+	for len(batch) < batchLimit && ds.queue.len() > 0 {
+		next := ds.queue.peekSame(m.kind, smallRequestBytes)
+		if next == nil {
+			break
+		}
+		batch = append(batch, next)
+	}
+	return batch
+}
+
+// netEntry tracks one multitask's network monotasks inside the network
+// scheduler.
+type netEntry struct {
+	mt       *multitask
+	pending  []*monotask
+	inflight int
+	active   bool
+	queuedAt sim.Time
+}
+
+// networkScheduler is receiver-driven (§3.3): it admits the outstanding
+// requests of at most `limit` multitasks at once. Fewer wastes the ingress
+// link when one sender is slow; more interleaves multitasks' data so no
+// compute monotask can start. Admitting whole multitasks front-loads one
+// multitask's data so its compute pipelines with the next multitask's
+// fetches.
+type networkScheduler struct {
+	w       *Worker
+	entries map[*multitask]*netEntry
+	fifo    []*netEntry
+	active  int
+	limit   int
+	// QueueLen tracks multitasks waiting for a network admission slot (§3.1).
+	QueueLen resource.Tracker
+}
+
+func newNetworkScheduler(w *Worker, limit int) *networkScheduler {
+	return &networkScheduler{w: w, entries: make(map[*multitask]*netEntry), limit: limit}
+}
+
+func (ns *networkScheduler) submit(m *monotask) {
+	m.queued = ns.w.eng.Now()
+	e, ok := ns.entries[m.owner]
+	if !ok {
+		e = &netEntry{mt: m.owner, queuedAt: ns.w.eng.Now()}
+		ns.entries[m.owner] = e
+		ns.fifo = append(ns.fifo, e)
+	}
+	if e.active {
+		ns.launch(e, m)
+		return
+	}
+	e.pending = append(e.pending, m)
+	ns.pump()
+	ns.QueueLen.Set(ns.w.eng.Now(), float64(len(ns.fifo)))
+}
+
+func (ns *networkScheduler) pump() {
+	defer func() { ns.QueueLen.Set(ns.w.eng.Now(), float64(len(ns.fifo))) }()
+	for ns.active < ns.limit && len(ns.fifo) > 0 {
+		e := ns.fifo[0]
+		ns.fifo[0] = nil
+		ns.fifo = ns.fifo[1:]
+		e.active = true
+		ns.active++
+		pending := e.pending
+		e.pending = nil
+		for _, m := range pending {
+			ns.launch(e, m)
+		}
+	}
+}
+
+// launch issues one fetch: the serving machine reads the bytes (unless they
+// are in memory there), then a network flow carries them here. Under the
+// matching policy the whole serve+transfer waits for a sender/receiver
+// grant first.
+func (ns *networkScheduler) launch(e *netEntry, m *monotask) {
+	m.start = ns.w.eng.Now()
+	e.inflight++
+	transferDone := func() {
+		metric := task.MonotaskMetric{
+			Resource: task.NetworkResource,
+			Kind:     task.KindNetFetch,
+			Machine:  ns.w.machine.ID,
+			Queued:   m.queued,
+			Start:    m.start,
+			End:      ns.w.eng.Now(),
+			Bytes:    m.bytes,
+		}
+		e.inflight--
+		if e.inflight == 0 && len(e.pending) == 0 && e.active {
+			e.active = false
+			ns.active--
+			delete(ns.entries, e.mt)
+			ns.pump()
+		}
+		ns.w.finish(m, metric)
+	}
+	start := func(release func()) {
+		done := func() {
+			release()
+			transferDone()
+		}
+		transfer := func() {
+			ns.w.fabric.Transfer(m.fetch.From, ns.w.machine.ID, m.bytes, done)
+		}
+		if m.fetch.FromMem {
+			transfer()
+			return
+		}
+		remote := ns.w.peer(m.fetch.From)
+		kind := task.KindShuffleServeRead
+		diskIdx := remote.nextServeDisk()
+		if m.kind == task.KindNetFetch && m.owner.t.RemoteRead != nil && m.fetch == *m.owner.t.RemoteRead {
+			// Remote HDFS block read: the block's disk is known.
+			kind = task.KindInputRead
+			diskIdx = m.fetch.FromDisk
+		}
+		remote.serveRead(m.owner, diskIdx, m.bytes, kind, transfer)
+	}
+	if ns.w.matcher != nil {
+		ns.w.matcher.request(m.fetch.From, ns.w.machine.ID, start)
+		return
+	}
+	start(func() {})
+}
+
+// queueLen reports multitasks waiting for a network admission slot.
+func (ns *networkScheduler) queueLen() int { return len(ns.fifo) }

@@ -1,0 +1,261 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/jobsched"
+	"repro/internal/resource"
+	"repro/internal/run"
+	"repro/internal/task"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// AblationResult is a generic label → runtime table for the design-choice
+// ablations DESIGN.md calls out.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	Label   string
+	Seconds float64
+	Note    string
+}
+
+// Fprint renders the table.
+func (r *AblationResult) Fprint(w io.Writer) {
+	fprintf(w, "%s\n", r.Title)
+	fprintf(w, "%-28s %10s  %s\n", "configuration", "job(s)", "")
+	for _, row := range r.Rows {
+		fprintf(w, "%-28s %10.1f  %s\n", row.Label, row.Seconds, row.Note)
+	}
+}
+
+// runSortWithMono runs the reference sort under specific monotask options.
+func runSortWithMono(opts core.Options) (float64, error) {
+	res, err := execute(5, cluster.M2_4XLarge(),
+		run.Options{Mode: run.Monotasks, Mono: opts},
+		workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: 25}.Build)
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.Jobs[0].Duration()), nil
+}
+
+// AblationPhaseRR compares the §3.3 phase round-robin queues against plain
+// FIFO in the scenario the paper describes: a deep backlog of disk writes
+// (from a write-heavy job) with a read-then-compute job arriving behind it.
+// Under FIFO the second job's reads are stuck behind every queued write and
+// its CPU sits idle; round robin interleaves them.
+func AblationPhaseRR() (*AblationResult, error) {
+	out := &AblationResult{Title: "Ablation: per-resource queue discipline (§3.3)"}
+	for _, fifo := range []bool{false, true} {
+		c, err := cluster.New(5, cluster.M2_4XLarge())
+		if err != nil {
+			return nil, err
+		}
+		env, err := workloads.NewEnv(c)
+		if err != nil {
+			return nil, err
+		}
+		writer := &task.JobSpec{Name: "writer", Stages: []*task.StageSpec{{
+			ID: 0, Name: "writer", NumTasks: 400, OpCPU: 0.05, OutputBytes: 512 << 20,
+		}}}
+		reader, err := workloads.ReadCompute{Name: "reader", TotalBytes: 20 * units.GB, NumTasks: 160}.Build(env)
+		if err != nil {
+			return nil, err
+		}
+		d, err := run.Driver(c, env.FS, run.Options{Mode: run.Monotasks,
+			Mono: core.Options{DisablePhaseRoundRobin: fifo}})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.Submit(writer); err != nil {
+			return nil, err
+		}
+		// The reader arrives once the writer's backlog is established; its
+		// runtime isolates the queueing effect.
+		var submitErr error
+		var readerHandle *jobsched.JobHandle
+		c.Engine.At(30, func() {
+			readerHandle, submitErr = d.Submit(reader)
+		})
+		d.Run()
+		if submitErr != nil {
+			return nil, submitErr
+		}
+		label, note := "phase round-robin (paper)", ""
+		if fifo {
+			label, note = "plain FIFO", "reader's disk reads starve behind the write backlog"
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:   label,
+			Seconds: float64(readerHandle.Metrics.Duration()),
+			Note:    note,
+		})
+	}
+	return out, nil
+}
+
+// AblationSpareMultitask compares the §3.4 "+1" spare multitask against a
+// concurrency target with no slack.
+func AblationSpareMultitask() (*AblationResult, error) {
+	out := &AblationResult{Title: "Ablation: the spare multitask (§3.4)"}
+	with, err := runSortWithMono(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	without, err := runSortWithMono(core.Options{NoSpareMultitask: true})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows,
+		AblationRow{Label: "cores+disks+net+1 (paper)", Seconds: with},
+		AblationRow{Label: "no spare multitask", Seconds: without},
+	)
+	return out, nil
+}
+
+// AblationNetLimit sweeps the receiver-side limit on multitasks with
+// outstanding network requests, reproducing the §3.3 trade-off that led the
+// authors to pick four. The cluster has one degraded machine, the exact
+// hazard §3.3 names: with too few multitasks outstanding, a receiver can
+// sit waiting on data from one slow sender; with too many, no multitask's
+// data completes early enough to pipeline with compute.
+func AblationNetLimit() (*AblationResult, error) {
+	out := &AblationResult{Title: "Ablation: network scheduler multitask limit (§3.3; one machine degraded to 0.4×)"}
+	specs := make([]cluster.MachineSpec, 15)
+	for i := range specs {
+		specs[i] = cluster.I2_2XLarge(2)
+	}
+	specs[0] = specs[0].Degraded(0.4)
+	for _, lim := range []int{1, 2, 4, 8, 16} {
+		res, err := executeHetero(specs,
+			run.Options{Mode: run.Monotasks, Mono: core.Options{NetMultitaskLimit: lim}},
+			workloads.LeastSquares{}.Build)
+		if err != nil {
+			return nil, err
+		}
+		note := ""
+		if lim == 4 {
+			note = "(paper's choice)"
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:   labelNetLimit(lim),
+			Seconds: float64(res.Jobs[0].Duration()),
+			Note:    note,
+		})
+	}
+	return out, nil
+}
+
+func labelNetLimit(lim int) string {
+	switch lim {
+	case 1:
+		return "1 multitask outstanding"
+	default:
+		return lab("%d multitasks outstanding", lim)
+	}
+}
+
+// AblationSSDConcurrency sweeps outstanding monotasks per flash drive: the
+// §3.3 finding is that throughput rises to a knee around four.
+func AblationSSDConcurrency() (*AblationResult, error) {
+	out := &AblationResult{Title: "Ablation: outstanding monotasks per SSD (§3.3)"}
+	for _, conc := range []int{1, 2, 4, 8} {
+		res, err := execute(5, cluster.I2_2XLarge(2),
+			run.Options{Mode: run.Monotasks, Mono: core.Options{SSDConcurrency: conc}},
+			workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: 50}.Build)
+		if err != nil {
+			return nil, err
+		}
+		note := ""
+		if conc == 4 {
+			note = "(paper's choice: the throughput knee)"
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:   lab("%d per SSD", conc),
+			Seconds: float64(res.Jobs[0].Duration()),
+			Note:    note,
+		})
+	}
+	return out, nil
+}
+
+// AblationLoadAwareWrites compares round-robin write placement against the
+// shortest-queue policy §8 proposes, on machines with heterogeneous disks
+// (one HDD + one SSD), where round robin keeps feeding the slow drive.
+func AblationLoadAwareWrites() (*AblationResult, error) {
+	spec := cluster.MachineSpec{
+		Cores:    8,
+		Disks:    []resource.DiskSpec{resource.DefaultHDD(), resource.DefaultSSD()},
+		NetBW:    units.Gbps(1),
+		MemBytes: 60 * units.GB,
+	}
+	out := &AblationResult{Title: "Ablation: write-disk selection on mixed HDD+SSD machines (§8)"}
+	for _, aware := range []bool{false, true} {
+		res, err := execute(5, spec,
+			run.Options{Mode: run.Monotasks, Mono: core.Options{LoadAwareWrites: aware}},
+			workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: 25}.Build)
+		if err != nil {
+			return nil, err
+		}
+		label := "round robin (paper)"
+		if aware {
+			label = "shortest queue (§8)"
+		}
+		out.Rows = append(out.Rows, AblationRow{Label: label, Seconds: float64(res.Jobs[0].Duration())})
+	}
+	return out, nil
+}
+
+// lab is a tiny Sprintf wrapper to keep the rows tidy.
+func lab(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// AblationNetworkPolicy compares the paper's receiver-limited network
+// scheduler against the sender/receiver matching discipline it names as
+// future work (pHost / iSlip, §3.3), on the network-heavy ML workload and
+// on the sort's disk-backed shuffle.
+func AblationNetworkPolicy() (*AblationResult, error) {
+	out := &AblationResult{Title: "Ablation: network scheduling discipline (§3.3 future work)"}
+	configs := []struct {
+		label  string
+		policy core.NetworkPolicy
+	}{
+		{"receiver-limited (paper)", core.ReceiverLimited},
+		{"sender/receiver matching", core.SenderReceiverMatching},
+	}
+	for _, cfgRow := range configs {
+		res, err := execute(15, cluster.I2_2XLarge(2),
+			run.Options{Mode: run.Monotasks, Mono: core.Options{NetworkPolicy: cfgRow.policy}},
+			workloads.LeastSquares{}.Build)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:   cfgRow.label + " / ml",
+			Seconds: float64(res.Jobs[0].Duration()),
+		})
+	}
+	for _, cfgRow := range configs {
+		res, err := execute(5, cluster.M2_4XLarge(),
+			run.Options{Mode: run.Monotasks, Mono: core.Options{NetworkPolicy: cfgRow.policy}},
+			workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: 25}.Build)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:   cfgRow.label + " / sort",
+			Seconds: float64(res.Jobs[0].Duration()),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVTable is a figure's data in plottable form: a header row plus records.
+// Every figure result that renders a table also exposes one, so
+// `monobench -csv` can hand the evaluation to external plotting tools.
+type CSVTable struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Write emits the table as RFC-4180 CSV.
+func (t *CSVTable) Write(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// CSV renders the sort comparison.
+func (r *SortResult) CSV() *CSVTable {
+	t := &CSVTable{Name: "sort", Header: []string{"system", "job_s", "map_s", "reduce_s"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.System, f1(float64(row.Job)), f1(float64(row.Map)), f1(float64(row.Reduce))})
+	}
+	return t
+}
+
+// CSV renders the Fig. 2 utilization series.
+func (r *Fig02Result) CSV() *CSVTable {
+	t := &CSVTable{Name: "fig02", Header: []string{"time_s", "cpu", "disk1", "disk2"}}
+	for i := range r.CPU {
+		ts := float64(r.Start) + float64(r.Step)*float64(i)
+		t.Rows = append(t.Rows, []string{f1(ts), f3(r.CPU[i]), f3(r.Disk0[i]), f3(r.Disk1[i])})
+	}
+	return t
+}
+
+// CSV renders the Fig. 5 table.
+func (r *Fig05Result) CSV() *CSVTable {
+	t := &CSVTable{Name: "fig05", Header: []string{"query", "spark_s", "spark_flush_s", "mono_s"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Query, f1(float64(row.Spark)), f1(float64(row.SparkFlush)), f1(float64(row.MonoSpark))})
+	}
+	return t
+}
+
+// CSV renders the Fig. 7 per-stage table.
+func (r *Fig07Result) CSV() *CSVTable {
+	t := &CSVTable{Name: "fig07", Header: []string{"stage", "spark_s", "mono_s"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Stage, f1(float64(row.Spark)), f1(float64(row.Mono))})
+	}
+	return t
+}
+
+// CSV renders the Fig. 8 sweep.
+func (r *Fig08Result) CSV() *CSVTable {
+	t := &CSVTable{Name: "fig08", Header: []string{"tasks", "waves", "spark_s", "mono_s"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(row.Tasks), f1(row.Waves), f1(float64(row.Spark)), f1(float64(row.Mono))})
+	}
+	return t
+}
+
+// CSV renders a prediction table (Figs. 11, 13, §6.3).
+func (r *PredictResult) CSV() *CSVTable {
+	t := &CSVTable{Name: "predict", Header: []string{"workload", "baseline_s", "predicted_s", "actual_s", "err_pct"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Label, f1(row.Baseline), f1(row.Predicted), f1(row.Actual), f1(row.ErrPct())})
+	}
+	return t
+}
+
+// CSV renders the three disk-removal models side by side (Figs. 12/15/17).
+func (r *Fig12Result) CSV() *CSVTable {
+	t := &CSVTable{Name: "fig12", Header: []string{
+		"query", "mono_baseline_s", "mono_predicted_s", "mono_actual_s",
+		"spark_baseline_s", "slot_predicted_s", "util_predicted_s", "spark_actual_s"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Query, f1(row.MonoBaseline), f1(row.MonoPredicted), f1(row.MonoActual),
+			f1(row.SparkBaseline), f1(row.SlotPredicted), f1(row.UtilPredicted), f1(row.SparkActual)})
+	}
+	return t
+}
+
+// CSV renders the bottleneck analysis (Fig. 14).
+func (r *Fig14Result) CSV() *CSVTable {
+	t := &CSVTable{Name: "fig14", Header: []string{"query", "orig_s", "no_disk_frac", "no_net_frac", "no_cpu_frac", "bottleneck"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Query, f1(row.Original), f3(row.NoDiskFrac), f3(row.NoNetFrac), f3(row.NoCPUFrac), row.Bottleneck.String()})
+	}
+	return t
+}
+
+// CSV renders the attribution comparison (Fig. 16).
+func (r *Fig16Result) CSV() *CSVTable {
+	sm, sp := MedianAndP75(r.SparkErrors)
+	mm, mp := MedianAndP75(r.MonoErrors)
+	return &CSVTable{
+		Name:   "fig16",
+		Header: []string{"system", "median_err_pct", "p75_err_pct"},
+		Rows: [][]string{
+			{"spark", f1(sm), f1(sp)},
+			{"monospark", f1(mm), f1(mp)},
+		},
+	}
+}
+
+// CSV renders the auto-configuration sweep (Fig. 18).
+func (r *Fig18Result) CSV() *CSVTable {
+	header := []string{"workload"}
+	for _, tc := range r.TaskCounts {
+		header = append(header, fmt.Sprintf("spark%d_s", tc))
+	}
+	header = append(header, "best_s", "mono_s")
+	t := &CSVTable{Name: "fig18", Header: header}
+	for _, row := range r.Rows {
+		rec := []string{row.Workload}
+		for _, tc := range r.TaskCounts {
+			rec = append(rec, f1(float64(row.SparkByTasks[tc])))
+		}
+		rec = append(rec, f1(float64(row.BestSpark)), f1(float64(row.Mono)))
+		t.Rows = append(t.Rows, rec)
+	}
+	return t
+}
+
+// CSV renders an ablation table.
+func (r *AblationResult) CSV() *CSVTable {
+	t := &CSVTable{Name: "ablation", Header: []string{"configuration", "job_s"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Label, f1(row.Seconds)})
+	}
+	return t
+}
+
+// CSV renders the failure experiment.
+func (r *FailureResult) CSV() *CSVTable {
+	t := &CSVTable{Name: "failure", Header: []string{"system", "clean_s", "with_failure_s"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.System, f1(float64(row.Clean)), f1(float64(row.WithFailure))})
+	}
+	return t
+}

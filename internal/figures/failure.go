@@ -1,0 +1,93 @@
+package figures
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// FailureResult is the fault-tolerance extension experiment: one worker
+// fail-stops mid-job, the driver re-executes its in-flight tasks and
+// regenerates its lost shuffle outputs (Spark's FetchFailure → parent-stage
+// resubmission), and the job still completes — at a measurable cost. The
+// paper's frameworks all have this machinery (§2.1's bulk-synchronous
+// model); the experiment quantifies it under both executors.
+type FailureResult struct {
+	Rows []FailureRow
+}
+
+// FailureRow is one system's clean-vs-failure comparison.
+type FailureRow struct {
+	System      string
+	Clean       sim.Duration
+	WithFailure sim.Duration
+}
+
+// Overhead is the failure run's slowdown relative to the clean run.
+func (r FailureRow) Overhead() float64 { return float64(r.WithFailure)/float64(r.Clean) - 1 }
+
+// Failure runs a replicated-input sort twice per system: once cleanly and
+// once with a machine failing during the reduce stage.
+func Failure() (*FailureResult, error) {
+	sortW := workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: 25, InputReplication: 2}
+	out := &FailureResult{}
+	for _, mode := range []run.Mode{run.Spark, run.Monotasks} {
+		times := [2]sim.Duration{}
+		for i, fail := range []bool{false, true} {
+			c, err := cluster.New(5, cluster.M2_4XLarge())
+			if err != nil {
+				return nil, err
+			}
+			env, err := workloads.NewEnv(c)
+			if err != nil {
+				return nil, err
+			}
+			job, err := sortW.Build(env)
+			if err != nil {
+				return nil, err
+			}
+			d, err := run.Driver(c, env.FS, run.Options{Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			h, err := d.Submit(job)
+			if err != nil {
+				return nil, err
+			}
+			if fail {
+				// Clean-run stage boundaries put the reduce mid-flight at
+				// ~60% of the clean runtime.
+				failAt := times[0] * 6 / 10
+				var failErr error
+				c.Engine.At(failAt, func() { failErr = d.FailMachine(4) })
+				d.Run()
+				if failErr != nil {
+					return nil, failErr
+				}
+			} else {
+				d.Run()
+			}
+			times[i] = h.Metrics.Duration()
+		}
+		out.Rows = append(out.Rows, FailureRow{
+			System:      mode.String(),
+			Clean:       times[0],
+			WithFailure: times[1],
+		})
+	}
+	return out, nil
+}
+
+// Fprint renders the comparison.
+func (r *FailureResult) Fprint(w io.Writer) {
+	fprintf(w, "Extension: fail-stop of 1 of 5 workers mid-reduce (sort, replicated input)\n")
+	fprintf(w, "%-12s %10s %13s %10s\n", "system", "clean(s)", "w/ failure(s)", "overhead")
+	for _, row := range r.Rows {
+		fprintf(w, "%-12s %10.1f %13.1f %9.0f%%\n",
+			row.System, float64(row.Clean), float64(row.WithFailure), row.Overhead()*100)
+	}
+}

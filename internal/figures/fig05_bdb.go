@@ -1,0 +1,112 @@
+package figures
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/workloads"
+)
+
+// Fig05Row is one big data benchmark query under the three systems.
+type Fig05Row struct {
+	Query      string
+	Spark      sim.Duration
+	SparkFlush sim.Duration
+	MonoSpark  sim.Duration
+}
+
+// MonoVsSpark is MonoSpark's runtime relative to Spark (1.0 = equal,
+// >1 = MonoSpark slower).
+func (r Fig05Row) MonoVsSpark() float64 { return float64(r.MonoSpark) / float64(r.Spark) }
+
+// MonoVsFlush compares against the write-through Spark configuration.
+func (r Fig05Row) MonoVsFlush() float64 { return float64(r.MonoSpark) / float64(r.SparkFlush) }
+
+// Fig05Result is the Fig. 5 table plus the stage-utilization summaries that
+// Fig. 6 reports for the same runs.
+type Fig05Result struct {
+	Rows []Fig05Row
+	// Fig6 boxes: per query and system, the two most utilized resources
+	// during each stage.
+	Util map[string][]StageUtilRow
+}
+
+// StageUtilRow is one stage's Fig. 6 entry.
+type StageUtilRow struct {
+	System     string
+	Stage      string
+	Bottleneck metrics.ResourceName
+	Box        metrics.BoxPlot
+	Second     metrics.ResourceName
+	SecondBox  metrics.BoxPlot
+}
+
+// Fig05 runs every benchmark query under Spark, Spark-with-flushed-writes,
+// and MonoSpark on the paper's 5-worker HDD cluster.
+func Fig05() (*Fig05Result, error) {
+	out := &Fig05Result{Util: make(map[string][]StageUtilRow)}
+	for _, q := range workloads.BDBQueryNames() {
+		row := Fig05Row{Query: q}
+		for _, mode := range []run.Mode{run.Spark, run.SparkWriteThrough, run.Monotasks} {
+			res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: mode},
+				func(env *workloads.Env) (*task.JobSpec, error) { return workloads.BDBQuery(q, env) })
+			if err != nil {
+				return nil, err
+			}
+			d := res.Jobs[0].Duration()
+			switch mode {
+			case run.Spark:
+				row.Spark = d
+			case run.SparkWriteThrough:
+				row.SparkFlush = d
+			default:
+				row.MonoSpark = d
+			}
+			if mode == run.SparkWriteThrough {
+				continue // Fig. 6 compares default Spark and MonoSpark
+			}
+			for _, st := range res.Jobs[0].Stages {
+				su := metrics.StageUtil(res.Cluster, st.Start, st.End, 10)
+				out.Util[q] = append(out.Util[q], StageUtilRow{
+					System:     mode.String(),
+					Stage:      st.Spec.Name,
+					Bottleneck: su.Bottleneck,
+					Box:        su.BottleneckBox,
+					Second:     su.Second,
+					SecondBox:  su.SecondBox,
+				})
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Fprint renders the Fig. 5 table.
+func (r *Fig05Result) Fprint(w io.Writer) {
+	fprintf(w, "Figure 5: big data benchmark, 5 workers × (8 cores, 2 HDD)\n")
+	fprintf(w, "%-6s %10s %14s %11s %12s %12s\n",
+		"query", "spark(s)", "spark-flush(s)", "mono(s)", "mono/spark", "mono/flush")
+	for _, row := range r.Rows {
+		fprintf(w, "%-6s %10.1f %14.1f %11.1f %12.2f %12.2f\n",
+			row.Query, float64(row.Spark), float64(row.SparkFlush), float64(row.MonoSpark),
+			row.MonoVsSpark(), row.MonoVsFlush())
+	}
+}
+
+// FprintFig6 renders the stage-utilization boxes for the same runs.
+func (r *Fig05Result) FprintFig6(w io.Writer) {
+	fprintf(w, "Figure 6: two most utilized resources per stage (p5/p25/p50/p75/p95)\n")
+	for _, q := range workloads.BDBQueryNames() {
+		for _, u := range r.Util[q] {
+			fprintf(w, "q%-3s %-10s %-18s best=%-7s [%.2f %.2f %.2f %.2f %.2f]  2nd=%-7s [%.2f %.2f %.2f %.2f %.2f]\n",
+				q, u.System, u.Stage,
+				u.Bottleneck, u.Box.P5, u.Box.P25, u.Box.P50, u.Box.P75, u.Box.P95,
+				u.Second, u.SecondBox.P5, u.SecondBox.P25, u.SecondBox.P50, u.SecondBox.P75, u.SecondBox.P95)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package figures
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// Fig07Row is one stage of the least-squares workload under both systems.
+type Fig07Row struct {
+	Stage string
+	Spark sim.Duration
+	Mono  sim.Duration
+}
+
+// Fig07Result compares the machine-learning workload per stage (Fig. 7).
+type Fig07Result struct {
+	Rows []Fig07Row
+}
+
+// Fig07 runs the least-squares workload on 15 two-SSD workers.
+func Fig07() (*Fig07Result, error) {
+	var stages [2][]sim.Duration
+	var names []string
+	for i, mode := range []run.Mode{run.Spark, run.Monotasks} {
+		res, err := execute(15, cluster.I2_2XLarge(2), run.Options{Mode: mode},
+			workloads.LeastSquares{}.Build)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range res.Jobs[0].Stages {
+			stages[i] = append(stages[i], st.Duration())
+			if i == 0 {
+				names = append(names, st.Spec.Name)
+			}
+		}
+	}
+	out := &Fig07Result{}
+	for i, name := range names {
+		out.Rows = append(out.Rows, Fig07Row{Stage: name, Spark: stages[0][i], Mono: stages[1][i]})
+	}
+	return out, nil
+}
+
+// MaxRatio is the worst per-stage MonoSpark-to-Spark ratio.
+func (r *Fig07Result) MaxRatio() float64 {
+	worst := 0.0
+	for _, row := range r.Rows {
+		if ratio := float64(row.Mono) / float64(row.Spark); ratio > worst {
+			worst = ratio
+		}
+	}
+	return worst
+}
+
+// Fprint renders the per-stage table.
+func (r *Fig07Result) Fprint(w io.Writer) {
+	fprintf(w, "Figure 7: least squares (matrix multiply) per stage, 15 workers × (8 cores, 2 SSD)\n")
+	fprintf(w, "%-14s %10s %10s %8s\n", "stage", "spark(s)", "mono(s)", "ratio")
+	for _, row := range r.Rows {
+		fprintf(w, "%-14s %10.1f %10.1f %8.2f\n", row.Stage,
+			float64(row.Spark), float64(row.Mono), float64(row.Mono)/float64(row.Spark))
+	}
+}
+
+// Fig08Row is one task-count point of the pipelining-sensitivity sweep.
+type Fig08Row struct {
+	Tasks int
+	Waves float64
+	Spark sim.Duration
+	Mono  sim.Duration
+}
+
+// Fig08Result is the Fig. 8 sweep: runtime versus number of tasks for a job
+// that reads input and computes on it, on 20 workers (160 cores).
+type Fig08Result struct {
+	Rows []Fig08Row
+}
+
+// Fig08 sweeps the task count from one wave (160) upward.
+func Fig08() (*Fig08Result, error) {
+	out := &Fig08Result{}
+	const totalBytes = 200 * units.GB
+	for _, tasks := range []int{160, 320, 480, 960, 1920} {
+		row := Fig08Row{Tasks: tasks, Waves: float64(tasks) / 160}
+		for _, mode := range []run.Mode{run.Spark, run.Monotasks} {
+			res, err := execute(20, cluster.M2_4XLarge(), run.Options{Mode: mode},
+				workloads.ReadCompute{TotalBytes: totalBytes, NumTasks: tasks}.Build)
+			if err != nil {
+				return nil, err
+			}
+			if mode == run.Spark {
+				row.Spark = res.Jobs[0].Duration()
+			} else {
+				row.Mono = res.Jobs[0].Duration()
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Fprint renders the sweep.
+func (r *Fig08Result) Fprint(w io.Writer) {
+	fprintf(w, "Figure 8: read+compute job vs task count, 20 workers (160 cores)\n")
+	fprintf(w, "%8s %7s %10s %10s %12s\n", "tasks", "waves", "spark(s)", "mono(s)", "mono/spark")
+	for _, row := range r.Rows {
+		fprintf(w, "%8d %7.1f %10.1f %10.1f %12.2f\n", row.Tasks, row.Waves,
+			float64(row.Spark), float64(row.Mono), float64(row.Mono)/float64(row.Spark))
+	}
+}
+
+// Fig09Result compares utilization during the q2c map stage (Fig. 9): the
+// monotasks per-resource schedulers keep the bottleneck CPU pegged while
+// Spark's independent tasks leave it partially idle.
+type Fig09Result struct {
+	SparkCPU, SparkDisk float64
+	MonoCPU, MonoDisk   float64
+	SparkSeries         [][2]float64 // (cpu, disk) samples
+	MonoSeries          [][2]float64
+}
+
+// Fig09 runs q2c in both modes and summarizes map-stage utilization.
+func Fig09() (*Fig09Result, error) {
+	out := &Fig09Result{}
+	for _, mode := range []run.Mode{run.Spark, run.Monotasks} {
+		res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: mode},
+			func(env *workloads.Env) (*task.JobSpec, error) { return workloads.BDBQuery("2c", env) })
+		if err != nil {
+			return nil, err
+		}
+		st := res.Jobs[0].Stages[0]
+		const n = 30
+		cpu := metrics.UtilSamples(res.Cluster, metrics.CPU, st.Start, st.End, n)
+		disk := metrics.UtilSamples(res.Cluster, metrics.Disk, st.Start, st.End, n)
+		meanOf := func(s []float64) float64 {
+			var sum float64
+			for _, v := range s {
+				sum += v
+			}
+			return sum / float64(len(s))
+		}
+		series := make([][2]float64, 0, n)
+		m0cpu := res.Cluster.Machines[0].CPU.Util.Samples(st.Start, st.End, n)
+		m0disk := res.Cluster.Machines[0].Disks[0].Util.Samples(st.Start, st.End, n)
+		for i := 0; i < n; i++ {
+			series = append(series, [2]float64{m0cpu[i], m0disk[i]})
+		}
+		if mode == run.Spark {
+			out.SparkCPU, out.SparkDisk = meanOf(cpu), meanOf(disk)
+			out.SparkSeries = series
+		} else {
+			out.MonoCPU, out.MonoDisk = meanOf(cpu), meanOf(disk)
+			out.MonoSeries = series
+		}
+	}
+	return out, nil
+}
+
+// Fprint renders the summary and series.
+func (r *Fig09Result) Fprint(w io.Writer) {
+	fprintf(w, "Figure 9: utilization during the q2c map stage (CPU is the bottleneck)\n")
+	fprintf(w, "%-10s %10s %10s\n", "system", "mean cpu", "mean disk")
+	fprintf(w, "%-10s %10.2f %10.2f\n", "spark", r.SparkCPU, r.SparkDisk)
+	fprintf(w, "%-10s %10.2f %10.2f\n", "monospark", r.MonoCPU, r.MonoDisk)
+	fprintf(w, "machine-0 series (cpu/disk):\n spark: ")
+	for _, s := range r.SparkSeries {
+		fprintf(w, "%.2f/%.2f ", s[0], s[1])
+	}
+	fprintf(w, "\n mono:  ")
+	for _, s := range r.MonoSeries {
+		fprintf(w, "%.2f/%.2f ", s[0], s[1])
+	}
+	fprintf(w, "\n")
+}

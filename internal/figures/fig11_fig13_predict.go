@@ -1,0 +1,154 @@
+package figures
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/run"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// PredictRow is one what-if prediction versus reality.
+type PredictRow struct {
+	Label     string
+	Baseline  float64 // measured runtime in the original configuration
+	Predicted float64 // model's prediction for the new configuration
+	Actual    float64 // measured runtime in the new configuration
+}
+
+// ErrPct is the prediction's signed relative error.
+func (r PredictRow) ErrPct() float64 { return pctErr(r.Predicted, r.Actual) }
+
+// PredictResult is a table of predictions (Figs. 11–13, §6.3).
+type PredictResult struct {
+	Title string
+	Rows  []PredictRow
+}
+
+// MaxAbsErrPct is the worst absolute prediction error in the table.
+func (r *PredictResult) MaxAbsErrPct() float64 {
+	worst := 0.0
+	for _, row := range r.Rows {
+		e := row.ErrPct()
+		if e < 0 {
+			e = -e
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Fprint renders the prediction table.
+func (r *PredictResult) Fprint(w io.Writer) {
+	fprintf(w, "%s\n", r.Title)
+	fprintf(w, "%-14s %12s %13s %11s %8s\n", "workload", "baseline(s)", "predicted(s)", "actual(s)", "err%")
+	for _, row := range r.Rows {
+		fprintf(w, "%-14s %12.1f %13.1f %11.1f %+8.1f\n",
+			row.Label, row.Baseline, row.Predicted, row.Actual, row.ErrPct())
+	}
+	fprintf(w, "max |error| = %.1f%%\n", r.MaxAbsErrPct())
+}
+
+// Fig11 predicts the effect of doubling SSDs per machine for the sort
+// workload at three value sizes: run on 20×1-SSD, predict 20×2-SSD from
+// monotask times, then actually run 20×2-SSD.
+func Fig11() (*PredictResult, error) {
+	out := &PredictResult{Title: "Figure 11: predict 2× SSDs (sort 600 GB, 20 workers × 1 SSD → 2 SSD)"}
+	for _, values := range []int{10, 20, 50} {
+		sort := workloads.Sort{TotalBytes: 600 * units.GB, ValuesPerKey: values}
+		base, err := execute(20, cluster.I2_2XLarge(1), run.Options{Mode: run.Monotasks}, sort.Build)
+		if err != nil {
+			return nil, err
+		}
+		profile := model.FromMetrics(base.Jobs[0], model.ClusterResources(base.Cluster))
+		pred := model.Predict(profile, model.ScaleDiskBW(2))
+		after, err := execute(20, cluster.I2_2XLarge(2), run.Options{Mode: run.Monotasks}, sort.Build)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, PredictRow{
+			Label:     labelValues(values),
+			Baseline:  float64(base.Jobs[0].Duration()),
+			Predicted: pred.PredictedSeconds,
+			Actual:    float64(after.Jobs[0].Duration()),
+		})
+	}
+	return out, nil
+}
+
+// Sec63 predicts storing input deserialized in memory (§6.3): the model
+// removes input-read disk time and the deserialization share of compute.
+func Sec63() (*PredictResult, error) {
+	out := &PredictResult{Title: "§6.3: predict in-memory deserialized input (sort, 20 workers × 2 HDD)"}
+	sortDisk := workloads.Sort{Name: "sort-disk", TotalBytes: 40 * units.GB, ValuesPerKey: 10}
+	sortMem := workloads.Sort{Name: "sort-mem", TotalBytes: 40 * units.GB, ValuesPerKey: 10, InMemoryInput: true}
+	base, err := execute(20, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortDisk.Build)
+	if err != nil {
+		return nil, err
+	}
+	profile := model.FromMetrics(base.Jobs[0], model.ClusterResources(base.Cluster))
+	pred := model.Predict(profile, model.InMemoryInput{})
+	after, err := execute(20, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortMem.Build)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, PredictRow{
+		Label:     "sort-10v",
+		Baseline:  float64(base.Jobs[0].Duration()),
+		Predicted: pred.PredictedSeconds,
+		Actual:    float64(after.Jobs[0].Duration()),
+	})
+	return out, nil
+}
+
+// Fig13 predicts a combined hardware and software migration: 5 machines
+// with HDDs and on-disk input → 20 machines with SSDs and in-memory
+// deserialized input — a ~10× runtime change (Fig. 13).
+func Fig13() (*PredictResult, error) {
+	out := &PredictResult{Title: "Figure 13: predict 5×2-HDD on-disk → 20×2-SSD in-memory (sort 100 GB)"}
+	for _, values := range []int{10, 20, 50} {
+		before := workloads.Sort{TotalBytes: 100 * units.GB, ValuesPerKey: values}
+		after := workloads.Sort{TotalBytes: 100 * units.GB, ValuesPerKey: values, InMemoryInput: true}
+		base, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, before.Build)
+		if err != nil {
+			return nil, err
+		}
+		profile := model.FromMetrics(base.Jobs[0], model.ClusterResources(base.Cluster))
+		// 4× machines, HDD→SSD (2×100 MB/s → 2×400 MB/s per machine), input
+		// in memory. ScaleCluster covers the machine count; the disk-type
+		// change is the remaining 4× on aggregate disk bandwidth.
+		pred := model.Predict(profile,
+			model.ScaleCluster(4),
+			model.ScaleDiskBW(4),
+			model.InMemoryInput{},
+		)
+		target, err := execute(20, cluster.I2_2XLarge(2), run.Options{Mode: run.Monotasks}, after.Build)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, PredictRow{
+			Label:     labelValues(values),
+			Baseline:  float64(base.Jobs[0].Duration()),
+			Predicted: pred.PredictedSeconds,
+			Actual:    float64(target.Jobs[0].Duration()),
+		})
+	}
+	return out, nil
+}
+
+func labelValues(values int) string {
+	switch values {
+	case 10:
+		return "sort-10v"
+	case 20:
+		return "sort-20v"
+	case 50:
+		return "sort-50v"
+	default:
+		return "sort"
+	}
+}

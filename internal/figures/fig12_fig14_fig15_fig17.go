@@ -1,0 +1,194 @@
+package figures
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/run"
+	"repro/internal/task"
+	"repro/internal/workloads"
+)
+
+// oneHDD is the Fig. 12 target configuration: the same machines with one of
+// the two disks removed.
+func oneHDD() cluster.MachineSpec {
+	spec := cluster.M2_4XLarge()
+	spec.Disks = spec.Disks[:1]
+	return spec
+}
+
+// Fig12Row holds one query's disk-removal prediction from all three models:
+// the monotasks model (Fig. 12), the slot-based Spark model (Fig. 15), and
+// the measured-utilization Spark model (Fig. 17).
+type Fig12Row struct {
+	Query string
+	// MonoSpark side.
+	MonoBaseline  float64
+	MonoPredicted float64
+	MonoActual    float64
+	// Spark side.
+	SparkBaseline float64
+	SparkActual   float64
+	SlotPredicted float64 // Fig. 15
+	UtilPredicted float64 // Fig. 17
+}
+
+// Fig12Result covers Figs. 12, 15, and 17 in one pass (they share runs).
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12 predicts the big data benchmark with one disk per machine instead
+// of two, with each of the three models, and measures reality for both
+// systems.
+func Fig12() (*Fig12Result, error) {
+	out := &Fig12Result{}
+	for _, q := range workloads.BDBQueryNames() {
+		q := q
+		build := func(env *workloads.Env) (*task.JobSpec, error) { return workloads.BDBQuery(q, env) }
+		row := Fig12Row{Query: q}
+
+		// MonoSpark: baseline on 2 HDDs, model, then 1-HDD reality.
+		base, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, build)
+		if err != nil {
+			return nil, err
+		}
+		row.MonoBaseline = float64(base.Jobs[0].Duration())
+		profile := model.FromMetrics(base.Jobs[0], model.ClusterResources(base.Cluster))
+		row.MonoPredicted = model.Predict(profile, model.ScaleDiskBW(0.5)).PredictedSeconds
+		after, err := execute(5, oneHDD(), run.Options{Mode: run.Monotasks}, build)
+		if err != nil {
+			return nil, err
+		}
+		row.MonoActual = float64(after.Jobs[0].Duration())
+
+		// Spark: baseline on 2 HDDs with external measurements, the two
+		// Spark-feasible models, then 1-HDD reality.
+		sparkBase, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Spark}, build)
+		if err != nil {
+			return nil, err
+		}
+		row.SparkBaseline = float64(sparkBase.Jobs[0].Duration())
+		// Fig. 15: slots don't change when a disk is removed.
+		slots := 5 * cluster.M2_4XLarge().Cores
+		row.SlotPredicted = model.SlotPrediction(row.SparkBaseline, slots, slots)
+		// Fig. 17: measure per-stage usage with OS counters and feed the
+		// same ideal-time model.
+		var measured []model.MeasuredStage
+		for _, st := range sparkBase.Jobs[0].Stages {
+			measured = append(measured, model.MeasuredStage{
+				Name:          st.Spec.Name,
+				Usage:         metrics.Measure(sparkBase.Cluster, st.Start, st.End),
+				ActualSeconds: float64(st.Duration()),
+			})
+		}
+		utilProfile := model.FromMeasured("q"+q, measured, model.ClusterResources(sparkBase.Cluster))
+		row.UtilPredicted = model.Predict(utilProfile, model.ScaleDiskBW(0.5)).PredictedSeconds
+		sparkAfter, err := execute(5, oneHDD(), run.Options{Mode: run.Spark}, build)
+		if err != nil {
+			return nil, err
+		}
+		row.SparkActual = float64(sparkAfter.Jobs[0].Duration())
+
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Fprint renders the Fig. 12 view (monotasks model).
+func (r *Fig12Result) Fprint(w io.Writer) {
+	fprintf(w, "Figure 12: predict 2 HDD → 1 HDD per machine (monotasks model)\n")
+	fprintf(w, "%-6s %12s %13s %11s %8s\n", "query", "baseline(s)", "predicted(s)", "actual(s)", "err%")
+	for _, row := range r.Rows {
+		fprintf(w, "%-6s %12.1f %13.1f %11.1f %+8.1f\n",
+			row.Query, row.MonoBaseline, row.MonoPredicted, row.MonoActual,
+			pctErr(row.MonoPredicted, row.MonoActual))
+	}
+}
+
+// FprintFig15 renders the slot-model view of the same change.
+func (r *Fig12Result) FprintFig15(w io.Writer) {
+	fprintf(w, "Figure 15: slot-based Spark model for 2 HDD → 1 HDD (slots unchanged ⇒ no change predicted)\n")
+	fprintf(w, "%-6s %12s %13s %11s %8s\n", "query", "baseline(s)", "predicted(s)", "actual(s)", "err%")
+	for _, row := range r.Rows {
+		fprintf(w, "%-6s %12.1f %13.1f %11.1f %+8.1f\n",
+			row.Query, row.SparkBaseline, row.SlotPredicted, row.SparkActual,
+			pctErr(row.SlotPredicted, row.SparkActual))
+	}
+}
+
+// FprintFig17 renders the measured-utilization model view.
+func (r *Fig12Result) FprintFig17(w io.Writer) {
+	fprintf(w, "Figure 17: Spark measured-utilization model for 2 HDD → 1 HDD\n")
+	fprintf(w, "%-6s %12s %13s %11s %8s\n", "query", "baseline(s)", "predicted(s)", "actual(s)", "err%")
+	for _, row := range r.Rows {
+		fprintf(w, "%-6s %12.1f %13.1f %11.1f %+8.1f\n",
+			row.Query, row.SparkBaseline, row.UtilPredicted, row.SparkActual,
+			pctErr(row.UtilPredicted, row.SparkActual))
+	}
+}
+
+// Fig14Row is one query's bottleneck analysis: predicted runtime with each
+// resource made infinitely fast, as a fraction of the original runtime.
+type Fig14Row struct {
+	Query      string
+	Original   float64
+	NoDiskFrac float64
+	NoNetFrac  float64
+	NoCPUFrac  float64
+	Bottleneck task.Resource
+}
+
+// Fig14Result replicates the NSDI '15 blocked-time analysis with monotask
+// runtimes (Fig. 14).
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14 profiles each query once and removes each resource from the model.
+func Fig14() (*Fig14Result, error) {
+	out := &Fig14Result{}
+	for _, q := range workloads.BDBQueryNames() {
+		q := q
+		build := func(env *workloads.Env) (*task.JobSpec, error) { return workloads.BDBQuery(q, env) }
+		res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, build)
+		if err != nil {
+			return nil, err
+		}
+		profile := model.FromMetrics(res.Jobs[0], model.ClusterResources(res.Cluster))
+		orig := float64(res.Jobs[0].Duration())
+		frac := func(r task.Resource) float64 {
+			return model.Predict(profile, model.InfinitelyFast(r)).PredictedSeconds / orig
+		}
+		// Job-level bottleneck: the resource whose removal helps most.
+		row := Fig14Row{
+			Query:      q,
+			Original:   orig,
+			NoDiskFrac: frac(task.DiskResource),
+			NoNetFrac:  frac(task.NetworkResource),
+			NoCPUFrac:  frac(task.CPUResource),
+		}
+		switch {
+		case row.NoCPUFrac <= row.NoDiskFrac && row.NoCPUFrac <= row.NoNetFrac:
+			row.Bottleneck = task.CPUResource
+		case row.NoDiskFrac <= row.NoNetFrac:
+			row.Bottleneck = task.DiskResource
+		default:
+			row.Bottleneck = task.NetworkResource
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Fprint renders the analysis.
+func (r *Fig14Result) Fprint(w io.Writer) {
+	fprintf(w, "Figure 14: best-case runtime fraction with each resource infinitely fast\n")
+	fprintf(w, "%-6s %10s %9s %9s %9s %12s\n", "query", "orig(s)", "no-disk", "no-net", "no-cpu", "bottleneck")
+	for _, row := range r.Rows {
+		fprintf(w, "%-6s %10.1f %9.2f %9.2f %9.2f %12v\n",
+			row.Query, row.Original, row.NoDiskFrac, row.NoNetFrac, row.NoCPUFrac, row.Bottleneck)
+	}
+}

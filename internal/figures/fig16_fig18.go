@@ -1,0 +1,209 @@
+package figures
+
+import (
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// Fig16Result quantifies per-job resource attribution error when two jobs
+// run concurrently (Fig. 16): Spark can only split machine-level usage by
+// slot share, while monotask metrics attribute resource use exactly.
+type Fig16Result struct {
+	// Errors are |estimate − truth|/truth per (job, resource), pooled.
+	SparkErrors []float64
+	MonoErrors  []float64
+}
+
+// MedianAndP75 summarizes an error distribution in percent.
+func MedianAndP75(errs []float64) (median, p75 float64) {
+	if len(errs) == 0 {
+		return 0, 0
+	}
+	s := append([]float64(nil), errs...)
+	sort.Float64s(s)
+	return metrics.Percentile(s, 50) * 100, metrics.Percentile(s, 75) * 100
+}
+
+// Fig16 runs the 10-value and 50-value sorts concurrently under both
+// systems and compares each system's per-job resource attribution against
+// ground truth.
+func Fig16() (*Fig16Result, error) {
+	sortA := workloads.Sort{Name: "sort-10v", TotalBytes: 60 * units.GB, ValuesPerKey: 10}
+	sortB := workloads.Sort{Name: "sort-50v", TotalBytes: 60 * units.GB, ValuesPerKey: 50}
+	out := &Fig16Result{}
+
+	// Ground truth per job: run each job alone in monotasks mode and take
+	// its exact per-resource use (by construction, identical across modes
+	// because the workload spec fixes CPU seconds and byte volumes).
+	truth := make([]model.StageProfile, 2)
+	for i, b := range []Builder{sortA.Build, sortB.Build} {
+		res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, b)
+		if err != nil {
+			return nil, err
+		}
+		p := model.FromMetrics(res.Jobs[0], model.ClusterResources(res.Cluster))
+		var total model.StageProfile
+		for _, st := range p.Stages {
+			total.CPUSeconds += st.CPUSeconds
+			total.DiskBytes += st.DiskBytes
+			total.NetBytes += st.NetBytes
+		}
+		truth[i] = total
+	}
+
+	// Compare CPU seconds and disk bytes: both are placement-independent,
+	// so a solo run is a valid ground truth for them. Network bytes depend
+	// on where tasks landed (the local-fetch fraction), which legitimately
+	// differs between runs, so they would contaminate the attribution error
+	// with scheduling variance.
+	addErrs := func(dst *[]float64, est [3]float64, i int) {
+		tr := [3]float64{truth[i].CPUSeconds, float64(truth[i].DiskBytes), float64(truth[i].NetBytes)}
+		for k := 0; k < 2; k++ {
+			if tr[k] == 0 {
+				continue
+			}
+			*dst = append(*dst, math.Abs(est[k]-tr[k])/tr[k])
+		}
+	}
+
+	// Spark: run concurrently, measure totals externally over the combined
+	// window, split by slot occupancy (task-seconds) — the best Spark can do.
+	sparkRes, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Spark}, sortA.Build, sortB.Build)
+	if err != nil {
+		return nil, err
+	}
+	t0, t1 := sim.Time(0), sparkRes.Jobs[0].End
+	if sparkRes.Jobs[1].End > t1 {
+		t1 = sparkRes.Jobs[1].End
+	}
+	total := metrics.Measure(sparkRes.Cluster, t0, t1)
+	slotSeconds := make([]float64, 2)
+	for i, jm := range sparkRes.Jobs {
+		for _, st := range jm.Stages {
+			for _, tm := range st.Tasks {
+				slotSeconds[i] += float64(tm.Duration())
+			}
+		}
+	}
+	parts := model.SlotShareAttribution(total, slotSeconds)
+	for i, p := range parts {
+		addErrs(&out.SparkErrors, [3]float64{p.CPUSeconds, float64(p.DiskReadBytes + p.DiskWriteBytes), float64(p.NetBytes)}, i)
+	}
+
+	// MonoSpark: run concurrently; monotask metrics attribute exactly.
+	monoRes, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortA.Build, sortB.Build)
+	if err != nil {
+		return nil, err
+	}
+	for i, jm := range monoRes.Jobs {
+		p := model.FromMetrics(jm, model.ClusterResources(monoRes.Cluster))
+		var est [3]float64
+		for _, st := range p.Stages {
+			est[0] += st.CPUSeconds
+			est[1] += float64(st.DiskBytes)
+			est[2] += float64(st.NetBytes)
+		}
+		addErrs(&out.MonoErrors, est, i)
+	}
+	return out, nil
+}
+
+// Fprint renders the error summary.
+func (r *Fig16Result) Fprint(w io.Writer) {
+	sm, sp := MedianAndP75(r.SparkErrors)
+	mm, mp := MedianAndP75(r.MonoErrors)
+	fprintf(w, "Figure 16: per-job resource attribution error, two concurrent sort jobs\n")
+	fprintf(w, "%-10s %12s %12s\n", "system", "median err%", "p75 err%")
+	fprintf(w, "%-10s %12.1f %12.1f\n", "spark", sm, sp)
+	fprintf(w, "%-10s %12.1f %12.1f\n", "monospark", mm, mp)
+	fprintf(w, "(paper: Spark 17%% median / 68%% p75; MonoSpark < 1%%)\n")
+}
+
+// Fig18Row is one workload of the auto-configuration comparison.
+type Fig18Row struct {
+	Workload string
+	// SparkByTasks maps tasks-per-machine → runtime.
+	SparkByTasks map[int]sim.Duration
+	BestSpark    sim.Duration
+	BestConfig   int
+	Mono         sim.Duration
+}
+
+// Fig18Result compares MonoSpark's per-resource concurrency control against
+// every Spark slot configuration (Fig. 18).
+type Fig18Result struct {
+	TaskCounts []int
+	Rows       []Fig18Row
+}
+
+// Fig18 sweeps Spark's tasks-per-machine knob for three sort workloads and
+// runs MonoSpark, which has no such knob.
+func Fig18() (*Fig18Result, error) {
+	out := &Fig18Result{TaskCounts: []int{1, 2, 4, 8, 16, 32}}
+	for _, values := range []int{1, 25, 100} {
+		sortW := workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: values}
+		row := Fig18Row{
+			Workload:     labelValues18(values),
+			SparkByTasks: make(map[int]sim.Duration),
+			BestSpark:    sim.Time(math.MaxFloat64),
+		}
+		for _, tpm := range out.TaskCounts {
+			res, err := execute(5, cluster.M2_4XLarge(),
+				run.Options{Mode: run.Spark, TasksPerMachine: tpm}, sortW.Build)
+			if err != nil {
+				return nil, err
+			}
+			d := res.Jobs[0].Duration()
+			row.SparkByTasks[tpm] = d
+			if d < row.BestSpark {
+				row.BestSpark = d
+				row.BestConfig = tpm
+			}
+		}
+		res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortW.Build)
+		if err != nil {
+			return nil, err
+		}
+		row.Mono = res.Jobs[0].Duration()
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func labelValues18(values int) string {
+	switch values {
+	case 1:
+		return "sort-1v"
+	case 25:
+		return "sort-25v"
+	default:
+		return "sort-100v"
+	}
+}
+
+// Fprint renders the sweep.
+func (r *Fig18Result) Fprint(w io.Writer) {
+	fprintf(w, "Figure 18: Spark tasks-per-machine sweep vs MonoSpark auto-configuration\n")
+	fprintf(w, "%-10s", "workload")
+	for _, tc := range r.TaskCounts {
+		fprintf(w, " spark%-4d", tc)
+	}
+	fprintf(w, " %9s %9s %10s\n", "best", "mono", "mono/best")
+	for _, row := range r.Rows {
+		fprintf(w, "%-10s", row.Workload)
+		for _, tc := range r.TaskCounts {
+			fprintf(w, " %9.1f", float64(row.SparkByTasks[tc]))
+		}
+		fprintf(w, " %9.1f %9.1f %10.2f\n",
+			float64(row.BestSpark), float64(row.Mono), float64(row.Mono)/float64(row.BestSpark))
+	}
+}

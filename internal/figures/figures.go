@@ -1,0 +1,80 @@
+// Package figures regenerates every table and figure in the paper's
+// evaluation (§5–§7). Each FigNN function runs the corresponding experiment
+// on the virtual cluster and returns a result that prints the same rows or
+// series the paper reports. The cmd/monobench binary and bench_test.go are
+// thin wrappers over these functions; EXPERIMENTS.md records paper-vs-
+// measured for each.
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/run"
+	"repro/internal/task"
+	"repro/internal/workloads"
+)
+
+// Builder produces a job for an environment (matches the workloads types).
+type Builder func(*workloads.Env) (*task.JobSpec, error)
+
+// RunResult is one completed execution with the cluster state retained so
+// figures can query utilization timelines.
+type RunResult struct {
+	Cluster *cluster.Cluster
+	Env     *workloads.Env
+	Jobs    []*task.JobMetrics
+}
+
+// execute builds a fresh cluster, materializes each builder's job, submits
+// them together (concurrent jobs), and drains the simulation.
+func execute(machines int, spec cluster.MachineSpec, o run.Options, builders ...Builder) (*RunResult, error) {
+	specs := make([]cluster.MachineSpec, machines)
+	for i := range specs {
+		specs[i] = spec
+	}
+	return executeHetero(specs, o, builders...)
+}
+
+// executeHetero is execute with per-machine specs (straggler experiments).
+func executeHetero(specs []cluster.MachineSpec, o run.Options, builders ...Builder) (*RunResult, error) {
+	c, err := cluster.NewHetero(specs)
+	if err != nil {
+		return nil, err
+	}
+	env, err := workloads.NewEnv(c)
+	if err != nil {
+		return nil, err
+	}
+	jobSpecs := make([]*task.JobSpec, 0, len(builders))
+	for _, b := range builders {
+		js, err := b(env)
+		if err != nil {
+			return nil, err
+		}
+		jobSpecs = append(jobSpecs, js)
+	}
+	jobs, err := run.Jobs(c, env.FS, o, jobSpecs...)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Cluster: c, Env: env, Jobs: jobs}, nil
+}
+
+// pctErr returns the signed relative error of predicted vs actual in percent.
+func pctErr(predicted, actual float64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return (predicted - actual) / actual * 100
+}
+
+// fprintf panics on write errors: figures print to stdout or a buffer, where
+// a failed write is unrecoverable and not worth threading errors through
+// every row printer.
+func fprintf(w io.Writer, format string, args ...any) {
+	if _, err := fmt.Fprintf(w, format, args...); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,196 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The figure functions are exercised end to end by bench_test.go at the
+// repository root; these tests cover the cheaper ones plus the printers,
+// asserting the paper's qualitative claims.
+
+func TestFig05AndFig06(t *testing.T) {
+	r, err := Fig05()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("%d queries, want 10", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Spark <= 0 || row.SparkFlush <= 0 || row.MonoSpark <= 0 {
+			t.Fatalf("q%s has non-positive runtime: %+v", row.Query, row)
+		}
+		ceiling := 1.15
+		if row.Query == "1c" {
+			ceiling = 1.6 // the paper's buffer-cache outlier
+		}
+		if v := row.MonoVsSpark(); v < 0.7 || v > ceiling {
+			t.Errorf("q%s mono/spark = %.2f outside [0.7, %.2f]", row.Query, v, ceiling)
+		}
+	}
+	if len(r.Util) != 10 {
+		t.Fatalf("utilization summaries for %d queries, want 10", len(r.Util))
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Figure 5") || !strings.Contains(buf.String(), "1c") {
+		t.Fatal("Fig. 5 printer output incomplete")
+	}
+	buf.Reset()
+	r.FprintFig6(&buf)
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Fatal("Fig. 6 printer output incomplete")
+	}
+}
+
+func TestFig09MonoKeepsBottleneckBusier(t *testing.T) {
+	r, err := Fig09()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.4 / Fig. 9: q2c's map stage is CPU-bound; MonoSpark keeps the CPU
+	// more utilized than Spark.
+	if r.MonoCPU <= r.SparkCPU {
+		t.Fatalf("mono cpu util %.2f ≤ spark %.2f", r.MonoCPU, r.SparkCPU)
+	}
+	if r.MonoCPU < 0.85 {
+		t.Fatalf("mono cpu util %.2f; paper reports > 0.92", r.MonoCPU)
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Fatal("printer output incomplete")
+	}
+}
+
+func TestFig14NetworkIrrelevant(t *testing.T) {
+	r, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuBound := 0
+	for _, row := range r.Rows {
+		if row.NoNetFrac < 0.9 {
+			t.Errorf("q%s: removing the network predicted %.2f; the paper finds network irrelevant", row.Query, row.NoNetFrac)
+		}
+		if row.Bottleneck.String() == "cpu" {
+			cpuBound++
+		}
+	}
+	if cpuBound < 5 {
+		t.Fatalf("only %d/10 queries CPU-bound; paper: CPU is the bottleneck for most", cpuBound)
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Figure 14") {
+		t.Fatal("printer output incomplete")
+	}
+}
+
+func TestSec63Prediction(t *testing.T) {
+	r, err := Sec63()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row.Actual >= row.Baseline {
+		t.Fatalf("in-memory run %.1f not faster than on-disk %.1f", row.Actual, row.Baseline)
+	}
+	if r.MaxAbsErrPct() > 25 {
+		t.Fatalf("prediction error %.1f%% > 25%%", r.MaxAbsErrPct())
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "6.3") {
+		t.Fatal("printer output incomplete")
+	}
+}
+
+func TestFig16AttributionAsymmetry(t *testing.T) {
+	r, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparkMed, _ := MedianAndP75(r.SparkErrors)
+	monoMed, monoP75 := MedianAndP75(r.MonoErrors)
+	if monoMed > 1 || monoP75 > 1 {
+		t.Fatalf("mono attribution error %.1f%%/%.1f%%; paper: < 1%%", monoMed, monoP75)
+	}
+	if sparkMed < 5 {
+		t.Fatalf("spark attribution error %.1f%% suspiciously low; paper: 17%% median", sparkMed)
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Figure 16") {
+		t.Fatal("printer output incomplete")
+	}
+}
+
+func TestPredictRowArithmetic(t *testing.T) {
+	row := PredictRow{Label: "x", Baseline: 10, Predicted: 12, Actual: 10}
+	if row.ErrPct() != 20 {
+		t.Fatalf("ErrPct = %v, want 20", row.ErrPct())
+	}
+	r := PredictResult{Title: "t", Rows: []PredictRow{row, {Predicted: 5, Actual: 10}}}
+	if r.MaxAbsErrPct() != 50 {
+		t.Fatalf("MaxAbsErrPct = %v, want 50", r.MaxAbsErrPct())
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "max |error|") {
+		t.Fatal("printer output incomplete")
+	}
+}
+
+func TestPctErr(t *testing.T) {
+	if pctErr(11, 10) != 10 {
+		t.Fatalf("pctErr(11,10) = %v", pctErr(11, 10))
+	}
+	if pctErr(5, 0) != 0 {
+		t.Fatal("pctErr with zero actual should be 0")
+	}
+}
+
+func TestCSVTables(t *testing.T) {
+	// Hand-built results: every CSV table must round-trip through the
+	// encoder with a consistent column count.
+	cases := []interface {
+		CSV() *CSVTable
+	}{
+		&SortResult{Rows: []SortRow{{System: "spark", Job: 10, Map: 4, Reduce: 6}}},
+		&Fig02Result{Start: 0, Step: 1, CPU: []float64{0.5}, Disk0: []float64{1}, Disk1: []float64{0}},
+		&Fig05Result{Rows: []Fig05Row{{Query: "1a", Spark: 1, SparkFlush: 2, MonoSpark: 3}}},
+		&Fig07Result{Rows: []Fig07Row{{Stage: "m", Spark: 1, Mono: 2}}},
+		&Fig08Result{Rows: []Fig08Row{{Tasks: 160, Waves: 1, Spark: 1, Mono: 2}}},
+		&PredictResult{Rows: []PredictRow{{Label: "x", Baseline: 1, Predicted: 2, Actual: 2}}},
+		&Fig12Result{Rows: []Fig12Row{{Query: "1a"}}},
+		&Fig14Result{Rows: []Fig14Row{{Query: "1a", Original: 1, NoDiskFrac: 0.5, NoNetFrac: 1, NoCPUFrac: 1}}},
+		&Fig16Result{SparkErrors: []float64{0.1}, MonoErrors: []float64{0}},
+		&Fig18Result{TaskCounts: []int{1, 2}, Rows: []Fig18Row{{Workload: "s", SparkByTasks: map[int]sim.Duration{1: 5, 2: 3}, BestSpark: 3, Mono: 3}}},
+		&AblationResult{Rows: []AblationRow{{Label: "a", Seconds: 1}}},
+		&FailureResult{Rows: []FailureRow{{System: "spark", Clean: 1, WithFailure: 2}}},
+	}
+	for _, c := range cases {
+		tbl := c.CSV()
+		if tbl.Name == "" || len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+			t.Fatalf("%T: empty CSV table", c)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Fatalf("%T: row width %d ≠ header width %d", c, len(row), len(tbl.Header))
+			}
+		}
+		var buf bytes.Buffer
+		if err := tbl.Write(&buf); err != nil {
+			t.Fatalf("%T: %v", c, err)
+		}
+		lines := strings.Count(buf.String(), "\n")
+		if lines != len(tbl.Rows)+1 {
+			t.Fatalf("%T: %d CSV lines for %d rows", c, lines, len(tbl.Rows))
+		}
+	}
+}

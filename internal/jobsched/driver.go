@@ -1,0 +1,396 @@
+// Package jobsched is the driver: it walks a job's stage DAG, places
+// multitasks on workers with locality preference, and keeps each worker
+// loaded to its executor's declared concurrency.
+//
+// The driver is identical for Spark-style and monotasks execution (§3.4):
+// the only difference it sees is MaxConcurrentTasks — slot count for the
+// pipelined executor, cores + disk concurrency + network concurrency + 1
+// for monotasks — which is exactly the paper's point about where concurrency
+// control should live.
+package jobsched
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/shuffle"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// JobHandle tracks one submitted job.
+type JobHandle struct {
+	Spec    *task.JobSpec
+	Metrics *task.JobMetrics
+
+	stages    []*stageState
+	remaining int
+	done      bool
+	// base offsets this job's stage IDs in the shared shuffle tracker so
+	// concurrent jobs' outputs cannot collide.
+	base int
+}
+
+// Done reports whether every stage has completed.
+func (h *JobHandle) Done() bool { return h.done }
+
+// attempt is one execution of one task index (speculation and failure
+// recovery can create several per index).
+type attempt struct {
+	machine int
+	start   sim.Time
+	// retired attempts no longer count: they lost a race, their machine
+	// died, or their input was invalidated. Their eventual completion
+	// callbacks are ignored.
+	retired bool
+}
+
+type stageState struct {
+	job       *JobHandle
+	spec      *task.StageSpec
+	metrics   *task.StageMetrics
+	waitingOn int   // parent stages not yet complete
+	pending   []int // task indices not yet launched
+	running   int   // live attempts
+	completed int   // task indices with a winning attempt
+	started   bool
+	finished  bool // finishStage has run (may be rolled back by a failure)
+	// hasChildren: some stage reads this one's shuffle output, so map
+	// outputs must register even when a task produced zero bytes (the
+	// tracker needs the entry to plan fetches at all).
+	hasChildren bool
+
+	attempts  map[int][]*attempt
+	doneTasks []bool
+	durations []float64 // completed-attempt durations, for speculation
+}
+
+func (s *stageState) runnable() bool {
+	return s.waitingOn == 0 && len(s.pending) > 0
+}
+
+func (s *stageState) hasLiveAttempt(ti int) bool {
+	for _, a := range s.attempts[ti] {
+		if !a.retired {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *stageState) inPending(ti int) bool {
+	for _, p := range s.pending {
+		if p == ti {
+			return true
+		}
+	}
+	return false
+}
+
+// Driver schedules any number of concurrent jobs over one set of executors.
+// When several jobs have runnable tasks, free slots rotate between them
+// (fair sharing), which is what lets the Fig. 16 attribution experiment run
+// two jobs side by side.
+type Driver struct {
+	cluster *cluster.Cluster
+	fs      *dfs.FS
+	tracker *shuffle.Tracker
+	execs   []task.Executor
+	free    []int
+	dead    []bool
+	cfg     Config
+
+	jobs      []*JobHandle
+	jobCursor int
+	nextBase  int
+}
+
+// New builds a driver over one executor per cluster machine, in machine
+// order, with default policies.
+func New(c *cluster.Cluster, fs *dfs.FS, execs []task.Executor) (*Driver, error) {
+	return NewWithConfig(c, fs, execs, Config{})
+}
+
+// NewWithConfig is New with explicit driver policies.
+func NewWithConfig(c *cluster.Cluster, fs *dfs.FS, execs []task.Executor, cfg Config) (*Driver, error) {
+	if len(execs) != c.Size() {
+		return nil, fmt.Errorf("jobsched: %d executors for %d machines", len(execs), c.Size())
+	}
+	d := &Driver{cluster: c, fs: fs, tracker: shuffle.NewTracker(), execs: execs, cfg: cfg.withDefaults()}
+	for i, e := range execs {
+		if e.MachineID() != i {
+			return nil, fmt.Errorf("jobsched: executor %d reports machine %d", i, e.MachineID())
+		}
+		d.free = append(d.free, e.MaxConcurrentTasks())
+	}
+	d.dead = make([]bool, len(execs))
+	return d, nil
+}
+
+// Submit queues a job; its first stages begin at the next scheduling pass.
+// Call Run (or drive the cluster engine) afterwards.
+func (d *Driver) Submit(spec *task.JobSpec) (*JobHandle, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	h := &JobHandle{
+		Spec:      spec,
+		Metrics:   &task.JobMetrics{Name: spec.Name, Start: d.cluster.Engine.Now()},
+		remaining: len(spec.Stages),
+		base:      d.nextBase,
+	}
+	d.nextBase += len(spec.Stages)
+	for _, ss := range spec.Stages {
+		st := &stageState{
+			job:       h,
+			spec:      ss,
+			metrics:   &task.StageMetrics{Spec: ss},
+			waitingOn: len(ss.ParentIDs),
+			pending:   make([]int, 0, ss.NumTasks),
+			attempts:  make(map[int][]*attempt),
+			doneTasks: make([]bool, ss.NumTasks),
+		}
+		st.metrics.Tasks = make([]*task.TaskMetrics, ss.NumTasks)
+		for i := 0; i < ss.NumTasks; i++ {
+			st.pending = append(st.pending, i)
+		}
+		h.stages = append(h.stages, st)
+		h.Metrics.Stages = append(h.Metrics.Stages, st.metrics)
+	}
+	for _, st := range h.stages {
+		for _, pid := range st.spec.ParentIDs {
+			h.stages[pid].hasChildren = true
+		}
+	}
+	d.jobs = append(d.jobs, h)
+	d.schedule()
+	return h, nil
+}
+
+// Run drives the simulation until all submitted jobs finish and returns
+// their metrics in submission order.
+func (d *Driver) Run() []*task.JobMetrics {
+	d.cluster.Engine.Run()
+	out := make([]*task.JobMetrics, 0, len(d.jobs))
+	for _, h := range d.jobs {
+		if !h.done {
+			panic(fmt.Sprintf("jobsched: engine drained but job %q incomplete (deadlock in task DAG?)", h.Spec.Name))
+		}
+		out = append(out, h.Metrics)
+	}
+	return out
+}
+
+// schedule fills free slots one task per worker per pass (round robin), so
+// a stage smaller than the cluster's total concurrency still spreads across
+// machines instead of piling onto the lowest-numbered ones. It is called on
+// submission and on every task completion. When no regular work fits, the
+// speculation policy may launch backup attempts.
+func (d *Driver) schedule() {
+	for {
+		progress := false
+		for w := range d.execs {
+			if d.dead[w] || d.free[w] == 0 {
+				continue
+			}
+			st, idx := d.pickTask(w)
+			if st == nil {
+				continue
+			}
+			d.launch(st, idx, w)
+			progress = true
+		}
+		if progress {
+			continue
+		}
+		for w := range d.execs {
+			if d.dead[w] || d.free[w] == 0 {
+				continue
+			}
+			if d.maybeSpeculate(w) {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// pickTask chooses the next task for worker w: jobs are scanned round-robin
+// from a rotating cursor for fairness; within a job, stages in DAG order.
+// Locality: an input-stage task whose block lives on w is preferred; a
+// stage's remaining remote tasks are only taken when it has no local ones.
+func (d *Driver) pickTask(w int) (*stageState, int) {
+	n := len(d.jobs)
+	for off := 0; off < n; off++ {
+		h := d.jobs[(d.jobCursor+off)%n]
+		for _, st := range h.stages {
+			if !st.runnable() {
+				continue
+			}
+			idx, ok := d.pickFromStage(st, w)
+			if !ok {
+				continue
+			}
+			d.jobCursor = (d.jobCursor + off + 1) % n
+			return st, idx
+		}
+	}
+	return nil, 0
+}
+
+// pickFromStage returns the position in st.pending to run on w.
+func (d *Driver) pickFromStage(st *stageState, w int) (int, bool) {
+	if st.spec.InputBlocks == nil {
+		return 0, true // no locality to honour; FIFO
+	}
+	for pos, ti := range st.pending {
+		if st.spec.InputBlocks[ti].IsLocal(w) {
+			return pos, true
+		}
+	}
+	// No local block here. Stealing another machine's local task the moment
+	// a slot opens wrecks locality whenever slots outnumber tasks, so —
+	// like Spark's delay scheduling — only run a task remotely if none of
+	// its home machines has a free slot to claim it.
+	for pos, ti := range st.pending {
+		if !d.hasFreeHome(st.spec.InputBlocks[ti].Replicas) {
+			return pos, true
+		}
+	}
+	return 0, false
+}
+
+// hasFreeHome reports whether any replica's machine has an open slot.
+func (d *Driver) hasFreeHome(replicas []dfs.Location) bool {
+	for _, r := range replicas {
+		if !d.dead[r.Machine] && d.free[r.Machine] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// liveReplica returns a replica of b on a live machine.
+func (d *Driver) liveReplica(b *dfs.Block) (dfs.Location, bool) {
+	for _, r := range b.Replicas {
+		if !d.dead[r.Machine] {
+			return r, true
+		}
+	}
+	return dfs.Location{}, false
+}
+
+// launch takes the pending task at position pos of st and runs it on w.
+func (d *Driver) launch(st *stageState, pos, w int) {
+	ti := st.pending[pos]
+	st.pending = append(st.pending[:pos], st.pending[pos+1:]...)
+	d.launchAttempt(st, ti, w)
+}
+
+// launchAttempt starts one attempt of task ti on worker w (first run,
+// failure retry, or speculative backup).
+func (d *Driver) launchAttempt(st *stageState, ti, w int) {
+	att := &attempt{machine: w, start: d.cluster.Engine.Now()}
+	st.attempts[ti] = append(st.attempts[ti], att)
+	st.running++
+	if !st.started {
+		st.started = true
+		st.metrics.Start = d.cluster.Engine.Now()
+	}
+	t, err := d.resolve(st, ti, w)
+	if err != nil {
+		panic(fmt.Sprintf("jobsched: resolving task %d of stage %q: %v", ti, st.spec.Name, err))
+	}
+	d.free[w]--
+	d.execs[w].Launch(t, func(m *task.TaskMetrics) {
+		if att.retired {
+			// The machine failed or the attempt's input was invalidated;
+			// accounting was already unwound. Dead machines' slots stay zero.
+			if !d.dead[w] {
+				d.free[w]++
+			}
+			return
+		}
+		att.retired = true
+		d.free[w]++
+		st.running--
+		if st.doneTasks[ti] {
+			// A competing speculative attempt already won.
+			d.schedule()
+			return
+		}
+		st.doneTasks[ti] = true
+		st.completed++
+		st.metrics.Tasks[ti] = m
+		st.durations = append(st.durations, float64(m.End-m.Start))
+		if st.spec.ShuffleOutBytes > 0 || st.hasChildren {
+			d.tracker.RegisterMapOutput(st.spec.ID+st.job.stageBase(), ti, w, st.spec.ShuffleOutBytes, st.spec.ShuffleInMemory)
+		}
+		if st.completed == st.spec.NumTasks && !st.finished {
+			d.finishStage(st)
+		}
+		d.schedule()
+	})
+}
+
+// stageBase namespaces stage IDs per job in the shared shuffle tracker.
+func (h *JobHandle) stageBase() int { return h.base }
+
+// finishStage marks st complete and unblocks its children.
+func (d *Driver) finishStage(st *stageState) {
+	st.finished = true
+	st.metrics.End = d.cluster.Engine.Now()
+	h := st.job
+	for _, child := range h.stages {
+		for _, pid := range child.spec.ParentIDs {
+			if pid == st.spec.ID {
+				child.waitingOn--
+			}
+		}
+	}
+	h.remaining--
+	if h.remaining == 0 {
+		h.done = true
+		h.Metrics.End = d.cluster.Engine.Now()
+	}
+}
+
+// resolve turns (stage, index) into a concrete Task for machine w.
+func (d *Driver) resolve(st *stageState, ti, w int) (*task.Task, error) {
+	spec := st.spec
+	t := &task.Task{Stage: spec, Index: ti, Machine: w, DiskReadDisk: -1}
+	switch {
+	case spec.InputBlocks != nil:
+		b := spec.InputBlocks[ti]
+		if disk := b.LocalDisk(w); disk >= 0 && !d.dead[w] {
+			t.DiskReadBytes = b.Bytes
+			t.DiskReadDisk = disk
+		} else {
+			replica, ok := d.liveReplica(b)
+			if !ok {
+				return nil, fmt.Errorf("every replica of block %d of %q is on a failed machine (replication too low for this failure)", b.Index, b.File)
+			}
+			t.RemoteRead = &task.Fetch{From: replica.Machine, Bytes: b.Bytes, FromDisk: replica.Disk}
+		}
+	case spec.InputFromMem:
+		t.MemReadBytes = spec.InputBytesPerTask
+	case spec.HasShuffleInput():
+		parents := make([]int, len(spec.ParentIDs))
+		for i, p := range spec.ParentIDs {
+			parents[i] = p + st.job.stageBase()
+		}
+		fetches, err := d.tracker.FetchesFor(parents, ti, spec.NumTasks)
+		if err != nil {
+			return nil, err
+		}
+		// Rewrite fetch stage IDs back to job-local for executor cache keys.
+		for i := range fetches {
+			fetches[i].Stage -= st.job.stageBase()
+		}
+		t.Fetches = fetches
+	}
+	return t, nil
+}

@@ -1,0 +1,232 @@
+package jobsched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Config tunes driver policies beyond the paper's defaults.
+type Config struct {
+	// Speculation launches backup copies of straggling tasks (Spark's
+	// spark.speculation): once a stage is mostly complete, a task running
+	// far beyond the median completed duration gets a second attempt on
+	// another machine, and the first finisher wins.
+	Speculation bool
+	// SpeculationMultiplier is how many times the median completed-task
+	// duration a task must exceed to be speculated. Default 1.5.
+	SpeculationMultiplier float64
+	// SpeculationMinFraction is the completed fraction of the stage
+	// required before any speculation. Default 0.75.
+	SpeculationMinFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpeculationMultiplier <= 0 {
+		c.SpeculationMultiplier = 1.5
+	}
+	if c.SpeculationMinFraction <= 0 {
+		c.SpeculationMinFraction = 0.75
+	}
+	return c
+}
+
+// FailMachine makes machine m fail-stop at the current virtual time:
+//
+//   - no further tasks are assigned to it, and results from its in-flight
+//     tasks are discarded (the attempts are re-queued elsewhere);
+//   - shuffle outputs it held are invalidated; if a downstream stage still
+//     needs them, the producing tasks re-execute on live machines — Spark's
+//     FetchFailure → parent-stage resubmission path;
+//   - reduce tasks that were mid-fetch from m are re-queued (their fetch
+//     would have failed).
+//
+// Input blocks whose only replica lived on m are lost for good: resolving a
+// task for such a block panics with a descriptive message, as a single-
+// replica DFS must. Schedule failures after the input stage, or replicate.
+func (d *Driver) FailMachine(m int) error {
+	if m < 0 || m >= len(d.execs) {
+		return fmt.Errorf("jobsched: no machine %d", m)
+	}
+	if d.dead[m] {
+		return nil
+	}
+	d.dead[m] = true
+	d.free[m] = 0
+	for _, h := range d.jobs {
+		if h.done {
+			continue
+		}
+		for _, st := range h.stages {
+			d.killAttemptsOn(st, m)
+		}
+		// Invalidate lost shuffle outputs parent-by-parent so children can
+		// be rolled back.
+		for _, st := range h.stages {
+			if st.spec.ShuffleOutBytes == 0 || !d.childNeedsOutput(h, st) {
+				continue
+			}
+			lost := d.tracker.RemoveMachine(st.spec.ID+h.base, m)
+			if len(lost) == 0 {
+				continue
+			}
+			d.reopenStage(h, st, lost)
+		}
+	}
+	d.schedule()
+	return nil
+}
+
+// killAttemptsOn discards st's live attempts on machine m, re-queuing tasks
+// that have no surviving attempt.
+func (d *Driver) killAttemptsOn(st *stageState, m int) {
+	for ti, atts := range st.attempts {
+		for _, a := range atts {
+			if a.machine != m || a.retired {
+				continue
+			}
+			a.retired = true
+			st.running--
+			if !st.doneTasks[ti] && !st.hasLiveAttempt(ti) && !st.inPending(ti) {
+				st.pending = append(st.pending, ti)
+			}
+		}
+	}
+	sort.Ints(st.pending)
+}
+
+// childNeedsOutput reports whether any unfinished stage reads st's shuffle
+// output. A finished consumer already has its data; the lost files are then
+// irrelevant.
+func (d *Driver) childNeedsOutput(h *JobHandle, st *stageState) bool {
+	for _, child := range h.stages {
+		if child.finished {
+			continue
+		}
+		for _, pid := range child.spec.ParentIDs {
+			if pid == st.spec.ID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reopenStage rolls back the given completed task indices of st (their
+// shuffle output is gone), re-blocks unfinished children, and re-queues
+// children's in-flight attempts, which were fetching the lost data.
+func (d *Driver) reopenStage(h *JobHandle, st *stageState, lost []int) {
+	reopened := false
+	for _, ti := range lost {
+		if !st.doneTasks[ti] {
+			continue
+		}
+		st.doneTasks[ti] = false
+		st.completed--
+		if !st.inPending(ti) && !st.hasLiveAttempt(ti) {
+			st.pending = append(st.pending, ti)
+		}
+		reopened = true
+	}
+	sort.Ints(st.pending)
+	if !reopened {
+		return
+	}
+	if !st.finished {
+		// The parent was still running: its children were never unblocked,
+		// so there is nothing to roll back downstream.
+		return
+	}
+	st.finished = false
+	st.metrics.End = 0
+	h.remaining++
+	h.done = false
+	for _, child := range h.stages {
+		if child.finished {
+			continue
+		}
+		isChild := false
+		for _, pid := range child.spec.ParentIDs {
+			if pid == st.spec.ID {
+				isChild = true
+			}
+		}
+		if !isChild {
+			continue
+		}
+		// Block the child until the parent refills, and abandon its
+		// in-flight attempts: their fetch plans reference the lost files.
+		child.waitingOn++
+		for ti, atts := range child.attempts {
+			for _, a := range atts {
+				if a.retired {
+					continue
+				}
+				a.retired = true
+				child.running--
+				if !d.dead[a.machine] {
+					d.free[a.machine]++
+				}
+				if !child.doneTasks[ti] && !child.inPending(ti) && !child.hasLiveAttempt(ti) {
+					child.pending = append(child.pending, ti)
+				}
+			}
+		}
+		sort.Ints(child.pending)
+	}
+}
+
+// maybeSpeculate launches a backup attempt on worker w for the slowest
+// qualifying task of any running stage, returning true if one was launched.
+func (d *Driver) maybeSpeculate(w int) bool {
+	if !d.cfg.Speculation {
+		return false
+	}
+	now := d.cluster.Engine.Now()
+	for _, h := range d.jobs {
+		if h.done {
+			continue
+		}
+		for _, st := range h.stages {
+			ti, ok := d.speculableTask(st, w, now)
+			if !ok {
+				continue
+			}
+			d.launchAttempt(st, ti, w)
+			return true
+		}
+	}
+	return false
+}
+
+// speculableTask finds a task of st worth duplicating on w.
+func (d *Driver) speculableTask(st *stageState, w int, now sim.Time) (int, bool) {
+	if !st.started || st.finished || len(st.pending) > 0 || st.running == 0 {
+		return 0, false
+	}
+	frac := float64(st.completed) / float64(st.spec.NumTasks)
+	if frac < d.cfg.SpeculationMinFraction || len(st.durations) == 0 {
+		return 0, false
+	}
+	threshold := d.cfg.SpeculationMultiplier * metrics.Percentile(st.durations, 50)
+	bestIdx, bestAge := -1, 0.0
+	for ti, atts := range st.attempts {
+		if st.doneTasks[ti] || len(atts) >= 2 {
+			continue // already done or already speculated
+		}
+		for _, a := range atts {
+			if a.retired || a.machine == w {
+				continue
+			}
+			if age := float64(now - a.start); age > threshold && age > bestAge {
+				bestIdx, bestAge = ti, age
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+	return bestIdx, true
+}

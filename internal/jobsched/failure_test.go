@@ -1,0 +1,254 @@
+package jobsched
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// testSpec builds a clean-arithmetic machine spec for failure tests.
+func testSpec(cores, disks int) cluster.MachineSpec {
+	ds := make([]resource.DiskSpec, disks)
+	for i := range ds {
+		ds[i] = resource.DiskSpec{Kind: resource.HDD, SeqBW: 100e6, ContentionAlpha: 0.35}
+	}
+	return cluster.MachineSpec{Cores: cores, Disks: ds, NetBW: 100e6, MemBytes: 1 << 30}
+}
+
+// monoDriver builds a monotasks driver over n test machines.
+func monoDriver(t *testing.T, n int, cfg Config) (*cluster.Cluster, *Driver) {
+	t.Helper()
+	c := testCluster(t, n)
+	fs, _ := dfs.New(dfs.Config{Machines: n, DisksPerMachine: 1})
+	g := core.NewGroup(c, core.Options{})
+	execs := make([]task.Executor, n)
+	for i, w := range g.Workers {
+		execs[i] = w
+	}
+	d, err := NewWithConfig(c, fs, execs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d
+}
+
+func mapReduceJob(maps, reduces int) *task.JobSpec {
+	return &task.JobSpec{Name: "mr", Stages: []*task.StageSpec{
+		{ID: 0, Name: "map", NumTasks: maps, OpCPU: 1, ShuffleOutBytes: 20e6},
+		// A long reduce keeps the job mid-shuffle when the test injects the
+		// failure.
+		{ID: 1, Name: "reduce", NumTasks: reduces, OpCPU: 5, ParentIDs: []int{0}, OutputBytes: 10e6},
+	}}
+}
+
+func TestFailureDuringStageRetriesTasks(t *testing.T) {
+	c, d := monoDriver(t, 4, Config{})
+	h, err := d.Submit(&task.JobSpec{Name: "j", Stages: []*task.StageSpec{
+		{ID: 0, Name: "cpu", NumTasks: 32, OpCPU: 5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.At(1, func() {
+		if err := d.FailMachine(3); err != nil {
+			t.Error(err)
+		}
+	})
+	ms := d.Run()
+	if !h.Done() {
+		t.Fatal("job did not complete after failure")
+	}
+	// Every task index must have metrics, and none from the dead machine's
+	// discarded attempts.
+	for i, tm := range ms[0].Stages[0].Tasks {
+		if tm == nil {
+			t.Fatalf("task %d has no result", i)
+		}
+		if tm.Machine == 3 && tm.End > 1 {
+			t.Fatalf("task %d credited to dead machine at %v", i, tm.End)
+		}
+	}
+}
+
+func TestFailureLosesShuffleOutputAndRerunsMaps(t *testing.T) {
+	c, d := monoDriver(t, 4, Config{})
+	h, err := d.Submit(mapReduceJob(16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail machine 2 well into the reduce stage: its map outputs are gone,
+	// so those map tasks must re-run before the reduce can finish.
+	failed := false
+	c.Engine.At(4, func() {
+		failed = true
+		if err := d.FailMachine(2); err != nil {
+			t.Error(err)
+		}
+	})
+	ms := d.Run()
+	if !failed || !h.Done() {
+		t.Fatal("job did not complete after mid-reduce failure")
+	}
+	// Some map task must have been re-executed after the failure.
+	reran := false
+	for _, tm := range ms[0].Stages[0].Tasks {
+		if tm.Start >= 4 {
+			reran = true
+			if tm.Machine == 2 {
+				t.Fatal("re-executed map placed on the dead machine")
+			}
+		}
+	}
+	if !reran {
+		t.Fatal("no map task re-executed despite lost shuffle output")
+	}
+	// The reduce stage must finish after the re-executions.
+	if ms[0].Stages[1].End <= 4 {
+		t.Fatal("reduce finished before the failure it depends on was repaired")
+	}
+}
+
+func TestFailureAfterJobDoneIsHarmless(t *testing.T) {
+	c, d := monoDriver(t, 2, Config{})
+	h, _ := d.Submit(&task.JobSpec{Name: "j", Stages: []*task.StageSpec{
+		{ID: 0, Name: "cpu", NumTasks: 4, OpCPU: 0.5},
+	}})
+	c.Engine.At(100, func() {
+		if err := d.FailMachine(0); err != nil {
+			t.Error(err)
+		}
+	})
+	d.Run()
+	if !h.Done() {
+		t.Fatal("job incomplete")
+	}
+}
+
+func TestFailMachineValidation(t *testing.T) {
+	_, d := monoDriver(t, 2, Config{})
+	if err := d.FailMachine(9); err == nil {
+		t.Fatal("out-of-range machine accepted")
+	}
+	if err := d.FailMachine(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailMachine(1); err != nil {
+		t.Fatal("double failure should be a no-op, not an error")
+	}
+}
+
+func TestSpeculationRescuesStraggler(t *testing.T) {
+	// One machine at 20% speed. Without speculation the stage waits for its
+	// crawling tasks; with it, backups on fast machines win.
+	runJob := func(speculate bool) sim.Time {
+		specs := []cluster.MachineSpec{
+			testSpec(4, 1), testSpec(4, 1), testSpec(4, 1), testSpec(4, 1).Degraded(0.2),
+		}
+		c, err := cluster.NewHetero(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, _ := dfs.New(dfs.Config{Machines: 4, DisksPerMachine: 1})
+		g := core.NewGroup(c, core.Options{})
+		execs := make([]task.Executor, 4)
+		for i, w := range g.Workers {
+			execs[i] = w
+		}
+		d, _ := NewWithConfig(c, fs, execs, Config{Speculation: speculate})
+		h, _ := d.Submit(&task.JobSpec{Name: "j", Stages: []*task.StageSpec{
+			{ID: 0, Name: "cpu", NumTasks: 64, OpCPU: 2},
+		}})
+		d.Run()
+		if !h.Done() {
+			t.Fatal("job incomplete")
+		}
+		return h.Metrics.Duration()
+	}
+	plain := runJob(false)
+	spec := runJob(true)
+	if spec >= plain {
+		t.Fatalf("speculation did not help: %v ≥ %v", spec, plain)
+	}
+}
+
+func TestSpeculationDisabledByDefault(t *testing.T) {
+	_, d := monoDriver(t, 2, Config{})
+	if d.cfg.Speculation {
+		t.Fatal("speculation should default off")
+	}
+	if d.cfg.SpeculationMultiplier != 1.5 || d.cfg.SpeculationMinFraction != 0.75 {
+		t.Fatalf("defaults wrong: %+v", d.cfg)
+	}
+}
+
+func TestSpeculativeWinnerCountsOnce(t *testing.T) {
+	// With aggressive speculation on a uniform cluster, duplicated attempts
+	// must not double-count completions or deadlock accounting.
+	_, d := monoDriver(t, 3, Config{Speculation: true, SpeculationMultiplier: 0.1, SpeculationMinFraction: 0.1})
+	h, _ := d.Submit(&task.JobSpec{Name: "j", Stages: []*task.StageSpec{
+		{ID: 0, Name: "cpu", NumTasks: 24, OpCPU: 3},
+		{ID: 1, Name: "next", NumTasks: 6, OpCPU: 1, ParentIDs: []int{0}},
+	}})
+	// Stage 0 has no shuffle output, so add one for the child to read.
+	h.Spec.Stages[0].ShuffleOutBytes = 1e6
+	ms := d.Run()
+	if !h.Done() {
+		t.Fatal("job incomplete under aggressive speculation")
+	}
+	for i, tm := range ms[0].Stages[0].Tasks {
+		if tm == nil {
+			t.Fatalf("task %d missing metrics", i)
+		}
+	}
+}
+
+func TestFailureDuringMapStageDoesNotDeadlockChildren(t *testing.T) {
+	// Regression: a failure while the parent stage is still running must
+	// not double-block the child (the parent never unblocked it yet).
+	c, d := monoDriver(t, 4, Config{})
+	h, err := d.Submit(mapReduceJob(32, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail while maps are clearly still running.
+	c.Engine.At(0.5, func() {
+		if err := d.FailMachine(1); err != nil {
+			t.Error(err)
+		}
+	})
+	d.Run()
+	if !h.Done() {
+		t.Fatal("job deadlocked after a mid-map failure")
+	}
+}
+
+func TestRepeatedFailures(t *testing.T) {
+	// Losing two of four machines, at different phases, must still finish.
+	c, d := monoDriver(t, 4, Config{})
+	h, err := d.Submit(mapReduceJob(32, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.At(0.5, func() { _ = d.FailMachine(3) })
+	c.Engine.At(6, func() { _ = d.FailMachine(2) })
+	d.Run()
+	if !h.Done() {
+		t.Fatal("job did not survive two failures")
+	}
+	// Surviving machines only.
+	for _, st := range h.Metrics.Stages {
+		for i, tm := range st.Tasks {
+			if tm == nil {
+				t.Fatalf("task %d missing", i)
+			}
+			if tm.Machine >= 2 && tm.End > 6 {
+				t.Fatalf("final attempt of task %d credited to failed machine %d", i, tm.Machine)
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package metrics turns device timelines and task records into the
+// summaries the paper's figures report: box-plot percentiles of resource
+// utilization (Fig. 6), utilization time series (Figs. 2 and 9), and
+// OS-counter-style usage measurements over stage windows — the impoverished
+// view of a Spark run that Figs. 16 and 17 are built from.
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// BoxPlot is the five-number summary used in Fig. 6: 5th/25th/50th/75th/95th
+// percentiles.
+type BoxPlot struct {
+	P5, P25, P50, P75, P95 float64
+}
+
+// Percentile returns the p-th percentile (0..100) of samples by linear
+// interpolation between closest ranks. It does not modify samples.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Box summarizes samples as a BoxPlot.
+func Box(samples []float64) BoxPlot {
+	return BoxPlot{
+		P5:  Percentile(samples, 5),
+		P25: Percentile(samples, 25),
+		P50: Percentile(samples, 50),
+		P75: Percentile(samples, 75),
+		P95: Percentile(samples, 95),
+	}
+}
+
+// ResourceName identifies a utilization series.
+type ResourceName string
+
+const (
+	CPU     ResourceName = "cpu"
+	Disk    ResourceName = "disk"
+	Network ResourceName = "network"
+)
+
+// UtilSamples pools utilization samples for one resource across all
+// machines of c over [t0, t1): n samples per machine. Disk utilization is
+// the mean across a machine's drives; network is the busier direction.
+func UtilSamples(c *cluster.Cluster, r ResourceName, t0, t1 sim.Time, n int) []float64 {
+	var out []float64
+	for _, m := range c.Machines {
+		switch r {
+		case CPU:
+			out = append(out, m.CPU.Util.Samples(t0, t1, n)...)
+		case Disk:
+			if len(m.Disks) == 0 {
+				continue
+			}
+			acc := make([]float64, n)
+			for _, d := range m.Disks {
+				for i, v := range d.Util.Samples(t0, t1, n) {
+					acc[i] += v / float64(len(m.Disks))
+				}
+			}
+			out = append(out, acc...)
+		case Network:
+			in := m.NIC.UtilIn.Samples(t0, t1, n)
+			eg := m.NIC.UtilOut.Samples(t0, t1, n)
+			for i := range in {
+				if eg[i] > in[i] {
+					out = append(out, eg[i])
+				} else {
+					out = append(out, in[i])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mean averages a sample set.
+func mean(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// StageUtilization is Fig. 6's per-stage summary: the most- and second-most
+// utilized resources with box plots of their utilization.
+type StageUtilization struct {
+	Bottleneck    ResourceName
+	BottleneckBox BoxPlot
+	Second        ResourceName
+	SecondBox     BoxPlot
+}
+
+// StageUtil ranks the three resources by mean utilization over [t0, t1) and
+// returns box plots for the top two.
+func StageUtil(c *cluster.Cluster, t0, t1 sim.Time, samplesPerMachine int) StageUtilization {
+	type entry struct {
+		name    ResourceName
+		samples []float64
+		mean    float64
+	}
+	entries := []entry{}
+	for _, r := range []ResourceName{CPU, Disk, Network} {
+		s := UtilSamples(c, r, t0, t1, samplesPerMachine)
+		entries = append(entries, entry{name: r, samples: s, mean: mean(s)})
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].mean > entries[j].mean })
+	return StageUtilization{
+		Bottleneck:    entries[0].name,
+		BottleneckBox: Box(entries[0].samples),
+		Second:        entries[1].name,
+		SecondBox:     Box(entries[1].samples),
+	}
+}
+
+// MeasuredUsage is what an external observer with OS counters can say about
+// a window of cluster execution: CPU core-seconds consumed, disk bytes
+// moved, network bytes received. This is the only per-stage resource
+// information a Spark run exposes, and it is what the Spark-side models of
+// Figs. 16–17 must work from.
+type MeasuredUsage struct {
+	CPUSeconds     float64
+	DiskReadBytes  int64
+	DiskWriteBytes int64
+	NetBytes       int64
+}
+
+// Measure snapshots cluster-wide resource use over [t0, t1).
+func Measure(c *cluster.Cluster, t0, t1 sim.Time) MeasuredUsage {
+	var u MeasuredUsage
+	for _, m := range c.Machines {
+		u.CPUSeconds += m.CPU.Util.Mean(t0, t1) * float64(m.CPU.Cores()) * float64(t1-t0)
+		for _, d := range m.Disks {
+			u.DiskReadBytes += int64(d.ReadCum.At(t1) - d.ReadCum.Before(t0))
+			u.DiskWriteBytes += int64(d.WriteCum.At(t1) - d.WriteCum.Before(t0))
+		}
+		u.NetBytes += int64(m.NIC.BytesInCum.At(t1) - m.NIC.BytesInCum.Before(t0))
+	}
+	return u
+}
+
+// Add accumulates another measurement (summing windows).
+func (u MeasuredUsage) Add(v MeasuredUsage) MeasuredUsage {
+	u.CPUSeconds += v.CPUSeconds
+	u.DiskReadBytes += v.DiskReadBytes
+	u.DiskWriteBytes += v.DiskWriteBytes
+	u.NetBytes += v.NetBytes
+	return u
+}

@@ -1,0 +1,74 @@
+package model
+
+import (
+	"repro/internal/metrics"
+)
+
+// SlotPrediction is the Fig. 15 strawman: Spark's only concurrency handle is
+// the slot count, so the most direct Spark analogue of the monotasks model
+// predicts runtime inversely proportional to slots. Changing disk count
+// leaves slots unchanged, so this model predicts no change — which is the
+// figure's point: "Spark uses one dimension, slots, to control resource use
+// that is multi-dimensional" (§6.6).
+func SlotPrediction(actualSeconds float64, oldSlots, newSlots int) float64 {
+	if newSlots <= 0 || oldSlots <= 0 {
+		return actualSeconds
+	}
+	return actualSeconds * float64(oldSlots) / float64(newSlots)
+}
+
+// MeasuredStage is a stage observed from outside a Spark run: OS-counter
+// usage over the stage's window plus its duration. No monotask breakdown, no
+// deser split, no separation of input reads from shuffle I/O.
+type MeasuredStage struct {
+	Name          string
+	Usage         metrics.MeasuredUsage
+	ActualSeconds float64
+}
+
+// FromMeasured builds a JobProfile from external measurements of a Spark run
+// (Fig. 17). The resulting profile supports hardware what-ifs only: the
+// in-memory-input question needs the deser split, which §6.3 shows cannot be
+// measured in Spark. Its predictions also inherit Spark's contention: the
+// measured byte counts say nothing about the throughput collapse concurrent
+// access caused, so the model underestimates how much slower fewer disks
+// make the job (§6.6).
+func FromMeasured(name string, stages []MeasuredStage, res Resources) *JobProfile {
+	p := &JobProfile{Name: name, Res: res}
+	for _, ms := range stages {
+		p.Stages = append(p.Stages, StageProfile{
+			Name:          ms.Name,
+			CPUSeconds:    ms.Usage.CPUSeconds,
+			DiskBytes:     ms.Usage.DiskReadBytes + ms.Usage.DiskWriteBytes,
+			NetBytes:      ms.Usage.NetBytes,
+			ActualSeconds: ms.ActualSeconds,
+		})
+	}
+	return p
+}
+
+// SlotShareAttribution divides a window's total measured usage between
+// concurrent jobs in proportion to their slot occupancy (task-seconds) —
+// the best Spark can do, and the Fig. 16 demonstration of why it is wrong:
+// resource use is attributed equally regardless of each job's actual
+// profile. slotSeconds[i] is job i's total task-seconds in the window.
+func SlotShareAttribution(total metrics.MeasuredUsage, slotSeconds []float64) []metrics.MeasuredUsage {
+	var sum float64
+	for _, s := range slotSeconds {
+		sum += s
+	}
+	out := make([]metrics.MeasuredUsage, len(slotSeconds))
+	if sum == 0 {
+		return out
+	}
+	for i, s := range slotSeconds {
+		f := s / sum
+		out[i] = metrics.MeasuredUsage{
+			CPUSeconds:     total.CPUSeconds * f,
+			DiskReadBytes:  int64(float64(total.DiskReadBytes) * f),
+			DiskWriteBytes: int64(float64(total.DiskWriteBytes) * f),
+			NetBytes:       int64(float64(total.NetBytes) * f),
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// ScaleDiskBW multiplies aggregate disk bandwidth — twice the disks (Fig.
+// 11), half the disks (Fig. 12), or an HDD→SSD swap expressed as a ratio.
+type ScaleDiskBW float64
+
+func (s ScaleDiskBW) Apply(p *JobProfile) { p.Res.DiskBW *= float64(s) }
+func (s ScaleDiskBW) String() string      { return fmt.Sprintf("disk bandwidth ×%.2f", float64(s)) }
+
+// SetDiskBW replaces aggregate disk bandwidth outright (changing disk type
+// and count together).
+type SetDiskBW float64
+
+func (s SetDiskBW) Apply(p *JobProfile) { p.Res.DiskBW = float64(s) }
+func (s SetDiskBW) String() string      { return fmt.Sprintf("disk bandwidth = %.0f B/s", float64(s)) }
+
+// ScaleCluster multiplies machine count: cores, disk bandwidth, and network
+// bandwidth all scale (Fig. 13's 5 → 20 machine move). The model assumes
+// data volumes stay fixed — the paper notes the resulting locality error
+// (§6.4: more machines ⇒ less local shuffle data than modeled).
+type ScaleCluster float64
+
+func (s ScaleCluster) Apply(p *JobProfile) {
+	p.Res.TotalCores *= float64(s)
+	p.Res.DiskBW *= float64(s)
+	p.Res.NetBW *= float64(s)
+}
+func (s ScaleCluster) String() string { return fmt.Sprintf("cluster size ×%.2f", float64(s)) }
+
+// ScaleNetBW multiplies aggregate network bandwidth (the 1 Gb/s → 10 Gb/s
+// question from §1).
+type ScaleNetBW float64
+
+func (s ScaleNetBW) Apply(p *JobProfile) { p.Res.NetBW *= float64(s) }
+func (s ScaleNetBW) String() string      { return fmt.Sprintf("network bandwidth ×%.2f", float64(s)) }
+
+// InMemoryInput models storing job input deserialized in memory (§6.3):
+// input-read disk time disappears, and so does the deserialization share of
+// compute time in the stages that read input. Only a monotasks profile can
+// apply this — the deser split is not measurable in Spark.
+type InMemoryInput struct{}
+
+func (InMemoryInput) Apply(p *JobProfile) {
+	for i := range p.Stages {
+		s := &p.Stages[i]
+		if s.InputReadBytes == 0 && s.InputDeserSeconds == 0 {
+			continue
+		}
+		s.DiskBytes -= s.InputReadBytes
+		s.InputReadBytes = 0
+		s.CPUSeconds -= s.InputDeserSeconds
+		s.InputDeserSeconds = 0
+	}
+}
+func (InMemoryInput) String() string { return "input stored deserialized in memory" }
+
+// InfinitelyFast bounds the improvement from optimizing one resource by
+// removing it from the model entirely (§6.5, replicating the NSDI '15
+// blocked-time analysis).
+type InfinitelyFast task.Resource
+
+func (r InfinitelyFast) Apply(p *JobProfile) {
+	if p.exclusions == nil {
+		p.exclusions = make(map[task.Resource]bool)
+	}
+	p.exclusions[task.Resource(r)] = true
+}
+func (r InfinitelyFast) String() string {
+	return fmt.Sprintf("%v infinitely fast", task.Resource(r))
+}

@@ -1,0 +1,307 @@
+// Package netsim models the cluster network as a full-bisection fabric of
+// per-machine full-duplex NICs. Flows between machines receive max-min fair
+// rates computed by water-filling over the sender-egress and receiver-ingress
+// links; rates are recomputed whenever a flow starts or finishes.
+//
+// This is the fluid-flow analogue of the transport behaviour the paper's
+// network monotasks see: a machine fetching shuffle data from many senders is
+// limited by its own ingress link, and a sender serving many receivers
+// divides its egress link among them (§3.3, "Network scheduler").
+package netsim
+
+import (
+	"math"
+
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// NIC is one machine's network interface: independent egress and ingress
+// capacities in bytes/second (full duplex).
+type NIC struct {
+	id        int
+	egressBW  float64
+	ingressBW float64
+
+	// UtilOut and UtilIn track the utilization (0..1) of the egress and
+	// ingress directions.
+	UtilOut resource.Tracker
+	UtilIn  resource.Tracker
+	// BytesOutCum and BytesInCum are cumulative byte timelines (charged at
+	// transfer start) — the OS-counter view of this interface.
+	BytesOutCum resource.Tracker
+	BytesInCum  resource.Tracker
+
+	bytesOut int64
+	bytesIn  int64
+}
+
+// ID returns the NIC's machine index within its fabric.
+func (n *NIC) ID() int { return n.id }
+
+// EgressBW and IngressBW report the link capacities in bytes/second.
+func (n *NIC) EgressBW() float64  { return n.egressBW }
+func (n *NIC) IngressBW() float64 { return n.ingressBW }
+
+// Flow is an in-flight transfer between two machines.
+type Flow struct {
+	src, dst  int
+	remaining float64
+	total     float64
+	rate      float64
+	done      func()
+	seq       uint64
+	active    bool
+}
+
+// Remaining reports the bytes left to transfer.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate reports the flow's current max-min fair rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Fabric connects n NICs with full bisection bandwidth: the only contention
+// points are the NICs themselves.
+type Fabric struct {
+	eng        *sim.Engine
+	nics       []*NIC
+	flows      map[*Flow]struct{}
+	order      []*Flow // deterministic iteration order (insertion order)
+	nextSeq    uint64
+	lastUpdate sim.Time
+	completion *sim.Event
+}
+
+// NewFabric creates a fabric of n NICs, each with the given full-duplex
+// bandwidth in bytes/second.
+func NewFabric(eng *sim.Engine, n int, linkBW float64) *Fabric {
+	bws := make([]float64, n)
+	for i := range bws {
+		bws[i] = linkBW
+	}
+	return NewFabricBW(eng, bws)
+}
+
+// NewFabricBW creates a fabric with per-machine link bandwidths — the
+// heterogeneity knob (a machine with a degraded NIC slows every flow it
+// terminates).
+func NewFabricBW(eng *sim.Engine, linkBWs []float64) *Fabric {
+	if len(linkBWs) == 0 {
+		panic("netsim: fabric needs machines")
+	}
+	f := &Fabric{eng: eng, flows: make(map[*Flow]struct{})}
+	for i, bw := range linkBWs {
+		if bw <= 0 {
+			panic("netsim: fabric needs positive bandwidth")
+		}
+		f.nics = append(f.nics, &NIC{id: i, egressBW: bw, ingressBW: bw})
+	}
+	return f
+}
+
+// NIC returns machine i's interface.
+func (f *Fabric) NIC(i int) *NIC { return f.nics[i] }
+
+// Size reports the number of machines.
+func (f *Fabric) Size() int { return len(f.nics) }
+
+// Transfer starts a flow of the given size from machine src to machine dst;
+// done fires when the last byte arrives. Local transfers (src == dst) are
+// free: data never leaves the machine, so done fires on the next dispatch.
+func (f *Fabric) Transfer(src, dst int, bytes int64, done func()) *Flow {
+	if src < 0 || src >= len(f.nics) || dst < 0 || dst >= len(f.nics) {
+		panic("netsim: transfer endpoint out of range")
+	}
+	f.nextSeq++
+	fl := &Flow{src: src, dst: dst, remaining: float64(bytes), total: float64(bytes), done: done, seq: f.nextSeq}
+	if src == dst || bytes <= 0 {
+		f.eng.After(0, done)
+		return fl
+	}
+	f.advance()
+	fl.active = true
+	f.flows[fl] = struct{}{}
+	f.order = append(f.order, fl)
+	now := f.eng.Now()
+	srcNIC, dstNIC := f.nics[fl.src], f.nics[fl.dst]
+	srcNIC.bytesOut += bytes
+	srcNIC.BytesOutCum.Set(now, float64(srcNIC.bytesOut))
+	dstNIC.bytesIn += bytes
+	dstNIC.BytesInCum.Set(now, float64(dstNIC.bytesIn))
+	f.rerate()
+	return fl
+}
+
+// Cancel abandons an in-flight flow.
+func (f *Fabric) Cancel(fl *Flow) {
+	if !fl.active {
+		return
+	}
+	f.advance()
+	fl.active = false
+	delete(f.flows, fl)
+	f.compactOrder()
+	f.rerate()
+}
+
+// ActiveFlows reports the number of in-flight flows.
+func (f *Fabric) ActiveFlows() int { return len(f.flows) }
+
+// advance drains each flow by rate·dt.
+func (f *Fabric) advance() {
+	now := f.eng.Now()
+	dt := float64(now - f.lastUpdate)
+	f.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for _, fl := range f.order {
+		fl.remaining -= fl.rate * dt
+		// Clamp float residue relative to the flow's size: rate changes on
+		// every membership change, and the subtraction errors accumulate
+		// with the byte count. An absolute epsilon eventually leaves a
+		// residue whose drain time underflows the clock's resolution,
+		// rescheduling a zero-length completion event forever.
+		if fl.remaining < 1e-9*fl.total+1e-9 {
+			fl.remaining = 0
+		}
+	}
+}
+
+// rerate recomputes max-min fair rates by water-filling, updates NIC
+// utilization trackers, and reschedules the next completion event.
+func (f *Fabric) rerate() {
+	// Residual capacity per link; links are (machine, direction).
+	n := len(f.nics)
+	egressCap := make([]float64, n)
+	ingressCap := make([]float64, n)
+	egressFlows := make([]int, n)
+	ingressFlows := make([]int, n)
+	for i, nic := range f.nics {
+		egressCap[i] = nic.egressBW
+		ingressCap[i] = nic.ingressBW
+	}
+	unfrozen := 0
+	for _, fl := range f.order {
+		fl.rate = 0
+		egressFlows[fl.src]++
+		ingressFlows[fl.dst]++
+		unfrozen++
+	}
+	frozen := make(map[*Flow]bool, len(f.order))
+	for unfrozen > 0 {
+		// Find the bottleneck link: smallest fair share.
+		share := math.MaxFloat64
+		for i := 0; i < n; i++ {
+			if egressFlows[i] > 0 {
+				if s := egressCap[i] / float64(egressFlows[i]); s < share {
+					share = s
+				}
+			}
+			if ingressFlows[i] > 0 {
+				if s := ingressCap[i] / float64(ingressFlows[i]); s < share {
+					share = s
+				}
+			}
+		}
+		// Freeze every flow traversing a link at exactly that share.
+		progress := false
+		for _, fl := range f.order {
+			if frozen[fl] {
+				continue
+			}
+			se := egressCap[fl.src] / float64(egressFlows[fl.src])
+			si := ingressCap[fl.dst] / float64(ingressFlows[fl.dst])
+			if se <= share*(1+1e-12) || si <= share*(1+1e-12) {
+				fl.rate = share
+				frozen[fl] = true
+				unfrozen--
+				progress = true
+				egressCap[fl.src] -= share
+				ingressCap[fl.dst] -= share
+				egressFlows[fl.src]--
+				ingressFlows[fl.dst]--
+			}
+		}
+		if !progress {
+			panic("netsim: water-filling failed to make progress")
+		}
+	}
+	// Utilization per link.
+	egressUse := make([]float64, n)
+	ingressUse := make([]float64, n)
+	for _, fl := range f.order {
+		egressUse[fl.src] += fl.rate
+		ingressUse[fl.dst] += fl.rate
+	}
+	now := f.eng.Now()
+	for i, nic := range f.nics {
+		nic.UtilOut.Set(now, egressUse[i]/nic.egressBW)
+		nic.UtilIn.Set(now, ingressUse[i]/nic.ingressBW)
+	}
+	// Next completion.
+	f.eng.Cancel(f.completion)
+	f.completion = nil
+	soonest := sim.Time(math.MaxFloat64)
+	for _, fl := range f.order {
+		if fl.rate <= 0 {
+			continue
+		}
+		t := sim.Duration(fl.remaining / fl.rate)
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if soonest < sim.Time(math.MaxFloat64) {
+		f.completion = f.eng.After(soonest, f.complete)
+	}
+}
+
+// complete retires flows that have drained, then recomputes rates.
+func (f *Fabric) complete() {
+	f.completion = nil
+	f.advance()
+	var finished []*Flow
+	for _, fl := range f.order {
+		if fl.remaining == 0 {
+			finished = append(finished, fl)
+			fl.active = false
+			delete(f.flows, fl)
+		}
+	}
+	if len(finished) == 0 && len(f.order) > 0 {
+		// Float residue left the due flow fractionally short: retire the
+		// minimum-remaining flow rather than rescheduling a drain whose
+		// duration can underflow the clock's resolution (see the matching
+		// guard in resource.server.complete).
+		min := f.order[0]
+		for _, fl := range f.order[1:] {
+			if fl.rate > 0 && (min.rate <= 0 || fl.remaining/fl.rate < min.remaining/min.rate) {
+				min = fl
+			}
+		}
+		min.remaining = 0
+		min.active = false
+		delete(f.flows, min)
+		finished = append(finished, min)
+	}
+	f.compactOrder()
+	f.rerate()
+	for _, fl := range finished {
+		fl.done()
+	}
+}
+
+// compactOrder drops inactive flows from the deterministic iteration slice.
+func (f *Fabric) compactOrder() {
+	kept := f.order[:0]
+	for _, fl := range f.order {
+		if fl.active {
+			kept = append(kept, fl)
+		}
+	}
+	for i := len(kept); i < len(f.order); i++ {
+		f.order[i] = nil
+	}
+	f.order = kept
+}

@@ -1,0 +1,127 @@
+package pipeexec
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func newTestCache(t *testing.T, capacity, dirtyLimit int64) (*cluster.Cluster, *bufferCache) {
+	t.Helper()
+	c, err := cluster.New(1, testSpec(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(c.Machines[0], c.Fabric, c.Engine, Options{})
+	bc := newBufferCache(w, capacity, dirtyLimit, 30)
+	return c, bc
+}
+
+func TestCacheHitFraction(t *testing.T) {
+	_, bc := newTestCache(t, 1000, 500)
+	if got := bc.readHitFraction("missing"); got != 0 {
+		t.Fatalf("miss fraction = %v, want 0", got)
+	}
+	bc.write("f", 400)
+	if got := bc.readHitFraction("f"); got != 1 {
+		t.Fatalf("fully resident fraction = %v, want 1", got)
+	}
+}
+
+func TestCacheEvictionLRU(t *testing.T) {
+	_, bc := newTestCache(t, 1000, 10000)
+	bc.write("old", 600)
+	bc.write("new", 600) // total 1200 > 1000: evict 200 from "old"
+	if got := bc.readHitFraction("old"); got != 400.0/600.0 {
+		t.Fatalf("old fraction = %v, want 2/3", got)
+	}
+	if got := bc.readHitFraction("new"); got != 1 {
+		t.Fatalf("new fraction = %v, want 1 (MRU untouched)", got)
+	}
+}
+
+func TestCacheFullyEvictedKeyCanReenter(t *testing.T) {
+	_, bc := newTestCache(t, 1000, 100000)
+	bc.write("a", 1000)
+	bc.write("b", 1000) // evicts all of a
+	if got := bc.readHitFraction("a"); got != 0 {
+		t.Fatalf("evicted fraction = %v, want 0", got)
+	}
+	bc.write("a", 500) // must rejoin the LRU list
+	bc.write("c", 1000)
+	// c's write must be able to evict a again; total stays ≤ capacity.
+	if bc.total > 1000 {
+		t.Fatalf("cache total %d exceeds capacity after re-entry", bc.total)
+	}
+}
+
+func TestCachePressureFlushHitsDisk(t *testing.T) {
+	c, bc := newTestCache(t, 10000, 500)
+	bc.write("f", 2000) // 1500 over the dirty limit queue for flush
+	c.Engine.RunUntil(5)
+	disk := c.Machines[0].Disks
+	if disk[0].BytesWritten()+disk[1].BytesWritten() != 1500 {
+		t.Fatalf("flushed %d bytes under pressure, want 1500",
+			disk[0].BytesWritten()+disk[1].BytesWritten())
+	}
+	if bc.dirtyBytes() != 500 {
+		t.Fatalf("dirty = %d, want 500 (at the limit)", bc.dirtyBytes())
+	}
+}
+
+func TestCacheAgeFlushDrainsEverything(t *testing.T) {
+	c, bc := newTestCache(t, 10000, 5000)
+	bc.write("f", 2000) // under the pressure limit
+	c.Engine.Run()      // 30 s expiry fires
+	if bc.dirtyBytes() != 0 {
+		t.Fatalf("dirty = %d after expiry, want 0", bc.dirtyBytes())
+	}
+}
+
+func TestCacheThrottleAndRelease(t *testing.T) {
+	c, bc := newTestCache(t, 100000, 500) // hard limit 1000
+	released := 0
+	bc.write("f", 5000)
+	if !bc.throttled() {
+		t.Fatal("cache not throttled despite 5000 unflushed > 1000 hard limit")
+	}
+	bc.waitWritable(func() { released++ })
+	bc.waitWritable(func() { released++ })
+	if released != 0 {
+		t.Fatal("waiters released while over the hard limit")
+	}
+	c.Engine.Run() // flusher drains
+	if released != 2 {
+		t.Fatalf("released %d waiters after drain, want 2", released)
+	}
+	// Below the limit, waitWritable resumes via the engine.
+	resumed := false
+	bc.waitWritable(func() { resumed = true })
+	c.Engine.Run()
+	if !resumed {
+		t.Fatal("waitWritable under the limit never resumed")
+	}
+}
+
+func TestCacheFlushOneWritePerDisk(t *testing.T) {
+	c, bc := newTestCache(t, 100000, 100)
+	bc.write("f", 200e6) // huge flush queue
+	// Immediately after the write, at most one in-flight write per disk.
+	if q := c.Machines[0].Disks[0].Queue() + c.Machines[0].Disks[1].Queue(); q > 2 {
+		t.Fatalf("%d concurrent flush writes, want ≤ 2 (one per disk)", q)
+	}
+	c.Engine.RunUntil(sim.Time(0.5))
+	if q := c.Machines[0].Disks[0].Queue() + c.Machines[0].Disks[1].Queue(); q > 2 {
+		t.Fatalf("%d concurrent flush writes mid-drain, want ≤ 2", q)
+	}
+}
+
+func TestCacheZeroByteWriteHarmless(t *testing.T) {
+	c, bc := newTestCache(t, 1000, 500)
+	bc.write("f", 0)
+	c.Engine.Run()
+	if bc.dirtyBytes() != 0 || bc.total != 0 {
+		t.Fatalf("zero write left state: dirty=%d total=%d", bc.dirtyBytes(), bc.total)
+	}
+}

@@ -1,0 +1,285 @@
+package pipeexec
+
+import "repro/internal/task"
+
+// chunkKind says where one pipeline chunk's bytes come from.
+type chunkKind int
+
+const (
+	chunkMem chunkKind = iota // cached input: instantly available
+	chunkLocalDisk
+	chunkRemoteBlock
+	chunkShuffleFetch
+)
+
+// chunk is one unit of the fine-grained pipeline.
+type chunk struct {
+	kind  chunkKind
+	bytes int64
+	disk  int        // chunkLocalDisk
+	fetch task.Fetch // chunkRemoteBlock / chunkShuffleFetch
+}
+
+// runningTask drives one multitask through Spark-style record pipelining,
+// modeled at chunk granularity: up to FetchWindow chunk reads in flight,
+// one chunk computing, writes going to the buffer cache as compute emits
+// them (or synchronously to disk under WriteThrough). This is the Fig. 1
+// execution: the task's bottleneck hops between resources as the pipeline
+// stages drain and fill.
+type runningTask struct {
+	w       *Worker
+	t       *task.Task
+	metrics *task.TaskMetrics
+	done    func(*task.TaskMetrics)
+
+	chunks       []chunk
+	totalInput   int64
+	nextRead     int
+	diskInFlight int
+	netInFlight  int
+	readDone     int
+	computeDone  int
+	computing    bool
+	writing      bool
+
+	// Cumulative accounting keeps CPU seconds and write bytes exactly
+	// conserved across uneven chunk sizes.
+	bytesComputed                 int64
+	cpuCharged                    float64
+	shuffleWritten, outputWritten int64
+}
+
+func (rt *runningTask) start() {
+	rt.buildChunks()
+	rt.issueReads()
+	rt.tryCompute() // mem-only input can begin immediately
+}
+
+// buildChunks flattens the task's input sources into pipeline chunks.
+func (rt *runningTask) buildChunks() {
+	cb := rt.w.opts.ChunkBytes
+	addChunks := func(total int64, mk func(bytes int64) chunk) {
+		for total > 0 {
+			b := cb
+			if total < b {
+				b = total
+			}
+			total -= b
+			rt.chunks = append(rt.chunks, mk(b))
+		}
+	}
+	t := rt.t
+	if t.MemReadBytes > 0 {
+		addChunks(t.MemReadBytes, func(b int64) chunk { return chunk{kind: chunkMem, bytes: b} })
+	}
+	if t.DiskReadBytes > 0 {
+		addChunks(t.DiskReadBytes, func(b int64) chunk {
+			return chunk{kind: chunkLocalDisk, bytes: b, disk: t.DiskReadDisk}
+		})
+	}
+	if t.RemoteRead != nil {
+		addChunks(t.RemoteRead.Bytes, func(b int64) chunk {
+			return chunk{kind: chunkRemoteBlock, bytes: b, fetch: *t.RemoteRead}
+		})
+	}
+	if len(t.Fetches) > 0 {
+		// Build each source's chunk queue, then interleave them round-robin
+		// starting at a per-task offset. Spark randomizes remote block
+		// order precisely so that concurrent reducers do not all hammer the
+		// same map host in lockstep; deterministic striping gives the same
+		// load spreading without randomness.
+		queues := make([][]chunk, len(t.Fetches))
+		for i, f := range t.Fetches {
+			f := f
+			kind := chunkShuffleFetch
+			if f.From == t.Machine && f.FromMem {
+				kind = chunkMem // local in-memory shuffle data
+			}
+			rem := f.Bytes
+			for rem > 0 {
+				b := cb
+				if rem < b {
+					b = rem
+				}
+				rem -= b
+				queues[i] = append(queues[i], chunk{kind: kind, bytes: b, fetch: f})
+			}
+		}
+		for next := t.Index % max(1, len(queues)); ; next = (next + 1) % len(queues) {
+			empty := true
+			for off := 0; off < len(queues); off++ {
+				q := (next + off) % len(queues)
+				if len(queues[q]) > 0 {
+					rt.chunks = append(rt.chunks, queues[q][0])
+					queues[q] = queues[q][1:]
+					next = q
+					empty = false
+					break
+				}
+			}
+			if empty {
+				break
+			}
+		}
+	}
+	if len(rt.chunks) == 0 {
+		// Generator stages (no input): a single all-compute chunk.
+		rt.chunks = []chunk{{kind: chunkMem, bytes: 1}}
+	}
+	for _, c := range rt.chunks {
+		rt.totalInput += c.bytes
+	}
+}
+
+// issueReads keeps chunk reads in flight, in order: one outstanding local
+// disk chunk (a task's own chunk reads are sequential readahead — issuing
+// more would spuriously self-contend), and up to FetchWindow network chunks
+// (overlapping a remote serve with an in-flight transfer).
+func (rt *runningTask) issueReads() {
+	for rt.nextRead < len(rt.chunks) {
+		c := rt.chunks[rt.nextRead]
+		isNet := c.kind == chunkRemoteBlock || c.kind == chunkShuffleFetch
+		if isNet && rt.netInFlight >= rt.w.opts.FetchWindow {
+			return
+		}
+		if !isNet && c.kind == chunkLocalDisk && rt.diskInFlight >= 1 {
+			return
+		}
+		rt.nextRead++
+		if isNet {
+			rt.netInFlight++
+		} else if c.kind == chunkLocalDisk {
+			rt.diskInFlight++
+		}
+		onRead := func() {
+			if isNet {
+				rt.netInFlight--
+			} else if c.kind == chunkLocalDisk {
+				rt.diskInFlight--
+			}
+			rt.readDone++
+			rt.tryCompute()
+			rt.issueReads()
+		}
+		switch c.kind {
+		case chunkMem:
+			rt.w.eng.After(0, onRead)
+		case chunkLocalDisk:
+			rt.w.machine.Disks[c.disk].ReadStream(c.bytes, onRead)
+		case chunkRemoteBlock:
+			rt.w.peer(c.fetch.From).serveBlockRead(c.fetch.FromDisk, rt.t.Machine, c.bytes, onRead)
+		case chunkShuffleFetch:
+			if c.fetch.From == rt.t.Machine {
+				// Local shuffle data: read through the local cache/disk.
+				rt.localShuffleRead(c, onRead)
+			} else {
+				rt.w.peer(c.fetch.From).serveFetch(c.fetch.Stage, rt.t.Machine, c.bytes, c.fetch.FromMem, onRead)
+			}
+		}
+	}
+}
+
+// localShuffleRead reads a local shuffle chunk: cache hits are free.
+func (rt *runningTask) localShuffleRead(c chunk, onRead func()) {
+	hit := rt.w.cache.readHitFraction(shuffleKey(c.fetch.Stage))
+	diskBytes := c.bytes - int64(float64(c.bytes)*hit)
+	if diskBytes <= 0 {
+		rt.w.eng.After(0, onRead)
+		return
+	}
+	rt.w.machine.Disks[rt.w.nextServeDisk()].ReadStream(diskBytes, onRead)
+}
+
+// tryCompute processes the next read-but-uncomputed chunk. The task has one
+// thread (§2.1), so at most one chunk computes at a time, and a synchronous
+// write blocks it.
+func (rt *runningTask) tryCompute() {
+	if rt.computing || rt.writing || rt.computeDone >= rt.readDone {
+		return
+	}
+	rt.computing = true
+	c := rt.chunks[rt.computeDone]
+	cpu := rt.cpuShare(c.bytes)
+	rt.w.machine.CPU.Run(cpu, func() {
+		rt.computing = false
+		rt.computeDone++
+		rt.writeChunk(c)
+	})
+}
+
+// cpuShare charges the chunk's proportional share of the task's CPU time,
+// conserving the total exactly.
+func (rt *runningTask) cpuShare(bytes int64) float64 {
+	total := rt.t.Stage.DeserCPU + rt.t.Stage.OpCPU + rt.t.Stage.SerCPU
+	rt.bytesComputed += bytes
+	target := total * float64(rt.bytesComputed) / float64(rt.totalInput)
+	share := target - rt.cpuCharged
+	rt.cpuCharged = target
+	return share
+}
+
+// writeChunk emits the chunk's proportional share of shuffle and output
+// bytes, then lets the pipeline continue.
+func (rt *runningTask) writeChunk(c chunk) {
+	st := rt.t.Stage
+	frac := float64(rt.bytesComputed) / float64(rt.totalInput)
+	shuffleTarget := int64(float64(st.ShuffleOutBytes) * frac)
+	outputTarget := int64(float64(st.OutputBytes) * frac)
+	if rt.computeDone == len(rt.chunks) {
+		shuffleTarget, outputTarget = st.ShuffleOutBytes, st.OutputBytes
+	}
+	shuffleBytes := shuffleTarget - rt.shuffleWritten
+	outputBytes := outputTarget - rt.outputWritten
+	rt.shuffleWritten, rt.outputWritten = shuffleTarget, outputTarget
+
+	var toDisk, toCache int64
+	if st.ShuffleOutBytes > 0 && !st.ShuffleInMemory {
+		if rt.w.opts.WriteThrough {
+			toDisk += shuffleBytes
+		} else {
+			rt.w.cache.write(shuffleKey(st.ID), shuffleBytes)
+			toCache += shuffleBytes
+		}
+	}
+	if st.OutputBytes > 0 && !st.OutputToMem {
+		if rt.w.opts.WriteThrough {
+			toDisk += outputBytes
+		} else {
+			rt.w.cache.write("output", outputBytes)
+			toCache += outputBytes
+		}
+	}
+	resume := func() {
+		rt.writing = false
+		rt.tryCompute()
+		rt.maybeFinish()
+	}
+	switch {
+	case toDisk > 0:
+		rt.writing = true
+		rt.w.machine.Disks[rt.w.nextWriteDisk()].WriteStream(toDisk, resume)
+	case toCache > 0 && rt.w.cache.throttled():
+		// Dirty data beyond the kernel's hard limit: the writing thread is
+		// throttled until writeback catches up — the OS, not the framework,
+		// decides when the task runs again (§2.2).
+		rt.writing = true
+		rt.w.cache.waitWritable(resume)
+	}
+	rt.tryCompute()
+	rt.maybeFinish()
+}
+
+// maybeFinish completes the task once every chunk is computed and no write
+// is outstanding.
+func (rt *runningTask) maybeFinish() {
+	if rt.computeDone < len(rt.chunks) || rt.writing || rt.computing {
+		return
+	}
+	rt.metrics.End = rt.w.eng.Now()
+	done := rt.done
+	rt.done = nil
+	if done != nil {
+		metrics := rt.metrics
+		rt.w.eng.After(0, func() { done(metrics) })
+	}
+}

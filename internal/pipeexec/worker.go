@@ -1,0 +1,193 @@
+package pipeexec
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/units"
+)
+
+// Options tune the Spark-style executor.
+type Options struct {
+	// TasksPerMachine is the slot count — Spark's only concurrency control
+	// (§6.6). Default: the machine's core count, Spark's default.
+	TasksPerMachine int
+	// WriteThrough forces task writes to disk synchronously instead of into
+	// the buffer cache — the "Spark (writes flushed)" configuration of
+	// Fig. 5.
+	WriteThrough bool
+	// ChunkBytes is the granularity of the fine-grained pipeline. Default
+	// 8 MB.
+	ChunkBytes int64
+	// CacheCapacity bounds buffer-cache residency. Default: one sixth of
+	// machine memory — on the paper's workers the executor JVM heap claims
+	// most of the 60 GB, leaving roughly 10 GB of page cache.
+	CacheCapacity int64
+	// DirtyLimit is the dirty-byte level above which writeback starts
+	// immediately. Default: 5% of machine memory (the kernel's
+	// vm.dirty_ratio spirit).
+	DirtyLimit int64
+	// FlushDelay is the age at which dirty data is written back regardless
+	// of pressure. Default 30 s (vm.dirty_expire_centisecs).
+	FlushDelay sim.Duration
+	// FetchWindow is how many chunk fetches a reduce task keeps in flight.
+	// Default 2 (Spark's maxSizeInFlight spirit).
+	FetchWindow int
+}
+
+func (o Options) withDefaults(m *cluster.Machine) Options {
+	if o.TasksPerMachine <= 0 {
+		o.TasksPerMachine = m.Spec.Cores
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 8 * units.MB
+	}
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = m.Spec.MemBytes / 6
+	}
+	if o.DirtyLimit <= 0 {
+		o.DirtyLimit = m.Spec.MemBytes / 20
+	}
+	if o.FlushDelay <= 0 {
+		o.FlushDelay = 30
+	}
+	if o.FetchWindow <= 0 {
+		o.FetchWindow = 2
+	}
+	return o
+}
+
+// Worker runs multitasks the way Spark 1.3 does: one slot per task, each
+// task fine-grained-pipelining its own resource use, all tasks contending
+// freely for the machine's devices.
+type Worker struct {
+	machine *cluster.Machine
+	eng     *sim.Engine
+	fabric  *netsim.Fabric
+	opts    Options
+	cache   *bufferCache
+	peers   func(int) *Worker
+
+	serveCursor int
+	writeCursor int
+}
+
+// NewWorker builds the Spark-style runtime for one machine.
+func NewWorker(m *cluster.Machine, fabric *netsim.Fabric, eng *sim.Engine, opts Options) *Worker {
+	w := &Worker{machine: m, eng: eng, fabric: fabric, opts: opts.withDefaults(m)}
+	if len(m.Disks) > 0 {
+		w.cache = newBufferCache(w, w.opts.CacheCapacity, w.opts.DirtyLimit, w.opts.FlushDelay)
+	}
+	return w
+}
+
+// SetPeers installs the lookup used for shuffle fetches.
+func (w *Worker) SetPeers(lookup func(machineID int) *Worker) { w.peers = lookup }
+
+func (w *Worker) peer(id int) *Worker {
+	if w.peers == nil {
+		panic("pipeexec: worker peers not wired")
+	}
+	p := w.peers(id)
+	if p == nil {
+		panic(fmt.Sprintf("pipeexec: no worker for machine %d", id))
+	}
+	return p
+}
+
+// MachineID reports this worker's machine.
+func (w *Worker) MachineID() int { return w.machine.ID }
+
+// MaxConcurrentTasks is the slot count.
+func (w *Worker) MaxConcurrentTasks() int { return w.opts.TasksPerMachine }
+
+// Launch starts t in a slot. The driver enforces the slot count.
+func (w *Worker) Launch(t *task.Task, done func(*task.TaskMetrics)) {
+	if t.Machine != w.machine.ID {
+		panic(fmt.Sprintf("pipeexec: task for machine %d launched on %d", t.Machine, w.machine.ID))
+	}
+	rt := &runningTask{
+		w: w,
+		t: t,
+		metrics: &task.TaskMetrics{
+			StageID: t.Stage.ID,
+			Index:   t.Index,
+			Machine: t.Machine,
+			Start:   w.eng.Now(),
+		},
+		done: done,
+	}
+	rt.start()
+}
+
+// shuffleKey names a stage's shuffle output in a machine's buffer cache.
+func shuffleKey(stageID int) string { return fmt.Sprintf("shuffle:%d", stageID) }
+
+// serveFetch reads `bytes` of stage `stageID`'s shuffle output on this
+// machine (from cache where resident, disk otherwise) and then transfers
+// them to machine `to`; done fires at arrival. fromMem skips the disk
+// entirely (in-memory shuffle data).
+func (w *Worker) serveFetch(stageID int, to int, bytes int64, fromMem bool, done func()) {
+	transfer := func() {
+		w.fabric.Transfer(w.machine.ID, to, bytes, done)
+	}
+	if fromMem {
+		transfer()
+		return
+	}
+	hit := w.cache.readHitFraction(shuffleKey(stageID))
+	diskBytes := bytes - int64(float64(bytes)*hit)
+	if diskBytes <= 0 {
+		transfer()
+		return
+	}
+	w.machine.Disks[w.nextServeDisk()].ReadStream(diskBytes, transfer)
+}
+
+// serveBlockRead reads an HDFS block chunk on behalf of a remote task.
+func (w *Worker) serveBlockRead(disk int, to int, bytes int64, done func()) {
+	w.machine.Disks[disk].ReadStream(bytes, func() {
+		w.fabric.Transfer(w.machine.ID, to, bytes, done)
+	})
+}
+
+func (w *Worker) nextServeDisk() int {
+	d := w.serveCursor
+	w.serveCursor = (w.serveCursor + 1) % len(w.machine.Disks)
+	return d
+}
+
+func (w *Worker) nextWriteDisk() int {
+	d := w.writeCursor
+	w.writeCursor = (w.writeCursor + 1) % len(w.machine.Disks)
+	return d
+}
+
+// DirtyBytes exposes the buffer cache's unflushed volume (tests, memory
+// reporting). Zero on diskless machines.
+func (w *Worker) DirtyBytes() int64 {
+	if w.cache == nil {
+		return 0
+	}
+	return w.cache.dirtyBytes()
+}
+
+// Group wires one pipelined Worker per cluster machine.
+type Group struct {
+	Workers []*Worker
+}
+
+// NewGroup builds a Spark-style worker on every machine of c.
+func NewGroup(c *cluster.Cluster, opts Options) *Group {
+	g := &Group{}
+	for _, m := range c.Machines {
+		g.Workers = append(g.Workers, NewWorker(m, c.Fabric, c.Engine, opts))
+	}
+	for _, w := range g.Workers {
+		w.SetPeers(func(id int) *Worker { return g.Workers[id] })
+	}
+	return g
+}

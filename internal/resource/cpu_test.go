@@ -1,0 +1,173 @@
+package resource
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCPUSingleJobRunsAtFullRate(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 4)
+	var done sim.Time
+	cpu.Run(10, func() { done = eng.Now() })
+	eng.Run()
+	if done != 10 {
+		t.Fatalf("1 job of 10 core-s on 4 cores finished at %v, want 10", done)
+	}
+}
+
+func TestCPUUnderSubscribedJobsDontInterfere(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 4)
+	var t1, t2 sim.Time
+	cpu.Run(10, func() { t1 = eng.Now() })
+	cpu.Run(20, func() { t2 = eng.Now() })
+	eng.Run()
+	if t1 != 10 || t2 != 20 {
+		t.Fatalf("got %v, %v; want 10, 20 (k ≤ cores ⇒ rate 1 each)", t1, t2)
+	}
+}
+
+func TestCPUProcessorSharingWhenOversubscribed(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 1)
+	var t1, t2 sim.Time
+	cpu.Run(10, func() { t1 = eng.Now() })
+	cpu.Run(10, func() { t2 = eng.Now() })
+	eng.Run()
+	// Two equal jobs sharing one core finish together at 20.
+	if t1 != 20 || t2 != 20 {
+		t.Fatalf("got %v, %v; want both 20 (processor sharing)", t1, t2)
+	}
+}
+
+func TestCPUShareChangesOnCompletion(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 1)
+	var tShort, tLong sim.Time
+	cpu.Run(10, func() { tShort = eng.Now() })
+	cpu.Run(20, func() { tLong = eng.Now() })
+	eng.Run()
+	// Shared until the short job drains: each gets rate ½, so short finishes
+	// at t=20 with the long job having 10 units left, which then run at rate
+	// 1 ⇒ long finishes at t=30.
+	if tShort != 20 {
+		t.Fatalf("short job finished at %v, want 20", tShort)
+	}
+	if tLong != 30 {
+		t.Fatalf("long job finished at %v, want 30", tLong)
+	}
+}
+
+func TestCPULateArrivalSharesRemaining(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 1)
+	var tA, tB sim.Time
+	cpu.Run(10, func() { tA = eng.Now() })
+	eng.At(5, func() { cpu.Run(10, func() { tB = eng.Now() }) })
+	eng.Run()
+	// A runs alone on [0,5) (5 units done), then shares: A's remaining 5
+	// units at rate ½ finish at t=15. B then has 5 left, runs alone, t=20.
+	if tA != 15 {
+		t.Fatalf("A finished at %v, want 15", tA)
+	}
+	if tB != 20 {
+		t.Fatalf("B finished at %v, want 20", tB)
+	}
+}
+
+func TestCPUZeroWorkCompletesImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 1)
+	var done sim.Time = -1
+	cpu.Run(0, func() { done = eng.Now() })
+	eng.Run()
+	if done != 0 {
+		t.Fatalf("zero-work job finished at %v, want 0", done)
+	}
+}
+
+func TestCPUCancel(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 1)
+	fired := false
+	j := cpu.Run(10, func() { fired = true })
+	var other sim.Time
+	cpu.Run(10, func() { other = eng.Now() })
+	eng.At(5, func() { cpu.Cancel(j) })
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled job's callback fired")
+	}
+	// Other job: rate ½ on [0,5) (2.5 done), then rate 1 ⇒ finishes 12.5.
+	if other != 12.5 {
+		t.Fatalf("surviving job finished at %v, want 12.5", other)
+	}
+}
+
+func TestCPUUtilizationTimeline(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 4)
+	cpu.Run(10, func() {})
+	cpu.Run(10, func() {})
+	eng.Run()
+	if got := cpu.Util.Mean(0, 10); !almostEqual(got, 0.5) {
+		t.Fatalf("utilization with 2 of 4 cores busy = %v, want 0.5", got)
+	}
+	if got := cpu.Util.At(11); got != 0 {
+		t.Fatalf("utilization after completion = %v, want 0", got)
+	}
+}
+
+func TestCPUUtilizationCapsAtOne(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 2)
+	for i := 0; i < 8; i++ {
+		cpu.Run(1, func() {})
+	}
+	if got := cpu.Util.At(0); got != 1 {
+		t.Fatalf("utilization with 8 jobs on 2 cores = %v, want 1", got)
+	}
+	eng.Run()
+}
+
+func TestCPUChainedWorkFromCallback(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 1)
+	var done sim.Time
+	cpu.Run(5, func() {
+		cpu.Run(5, func() { done = eng.Now() })
+	})
+	eng.Run()
+	if done != 10 {
+		t.Fatalf("chained jobs finished at %v, want 10", done)
+	}
+}
+
+func TestCPUConservationOfWork(t *testing.T) {
+	// Total completion time of any workload on 1 core ≥ total work, and the
+	// last completion equals total work when the CPU is never idle.
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 1)
+	var last sim.Time
+	total := 0.0
+	for i := 1; i <= 10; i++ {
+		w := float64(i)
+		total += w
+		cpu.Run(w, func() { last = eng.Now() })
+	}
+	eng.Run()
+	if !almostEqual(float64(last), total) {
+		t.Fatalf("last completion %v, want %v (work conservation)", last, total)
+	}
+}
+
+func TestNewCPUInvalidCoresPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCPU(eng, 0) did not panic")
+		}
+	}()
+	NewCPU(sim.NewEngine(), 0)
+}

@@ -1,0 +1,230 @@
+package resource
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// noSeekHDD returns an HDD spec with seeks disabled, for arithmetic-clean
+// tests. Floors are disabled (set below any reachable collapse) so the α
+// arithmetic is exact.
+func noSeekHDD(bw float64, alpha float64) DiskSpec {
+	return DiskSpec{
+		Kind: HDD, SeqBW: bw, SeekTime: 0,
+		ContentionAlpha: alpha, StreamingAlpha: alpha,
+		MixedFloorFrac: 0.01, StreamFloorFrac: 0.01,
+	}
+}
+
+func TestHDDSequentialRead(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, noSeekHDD(100e6, 0.35))
+	var done sim.Time
+	d.Read(200e6, func() { done = eng.Now() })
+	eng.Run()
+	if !almostEqual(float64(done), 2.0) {
+		t.Fatalf("200 MB at 100 MB/s finished at %v, want 2.0", done)
+	}
+}
+
+func TestHDDSeekCharged(t *testing.T) {
+	eng := sim.NewEngine()
+	spec := DiskSpec{Kind: HDD, SeqBW: 100e6, SeekTime: 0.008, ContentionAlpha: 0.35}
+	d := NewDisk(eng, spec)
+	var done sim.Time
+	d.Read(100e6, func() { done = eng.Now() })
+	eng.Run()
+	if !almostEqual(float64(done), 1.008) {
+		t.Fatalf("100 MB + one 8 ms seek finished at %v, want 1.008", done)
+	}
+}
+
+func TestHDDContentionCollapsesThroughput(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, noSeekHDD(100e6, 0.35))
+	var last sim.Time
+	// Four concurrent 100 MB streams at α = 0.35 (no floor):
+	// aggregate = 100/(1+0.35·3) = 48.78 MB/s.
+	for i := 0; i < 4; i++ {
+		d.Read(100e6, func() { last = eng.Now() })
+	}
+	eng.Run()
+	want := 400.0 / (100.0 / 2.05)
+	if !almostEqual(float64(last), want) {
+		t.Fatalf("4 concurrent streams finished at %v, want %v (≈2× collapse)", last, want)
+	}
+}
+
+func TestHDDMixedWorsePureReadsMilder(t *testing.T) {
+	// With the default HDD model, four parallel readers lose ~13%
+	// (streaming α), while a read/write mix collapses to the 50% floor —
+	// the §5.4 contention MonoSpark wins back.
+	spec := DefaultHDD()
+	spec.SeekTime = 0
+
+	engR := sim.NewEngine()
+	dR := NewDisk(engR, spec)
+	var lastR sim.Time
+	for i := 0; i < 4; i++ {
+		dR.Read(100e6, func() { lastR = engR.Now() })
+	}
+	engR.Run()
+	// Streaming α: aggregate 100/(1+0.05·3) = 87 MB/s (above the 85% floor)
+	// ⇒ 400 MB in 4.6 s — a ~13% penalty, not a collapse.
+	if !almostEqual(float64(lastR), 400.0/(100.0/1.15)) {
+		t.Fatalf("4 readers finished at %v, want %v", lastR, 400.0/(100.0/1.15))
+	}
+
+	engM := sim.NewEngine()
+	dM := NewDisk(engM, spec)
+	var lastM sim.Time
+	for i := 0; i < 2; i++ {
+		dM.Read(100e6, func() { lastM = engM.Now() })
+		dM.Write(100e6, func() { lastM = engM.Now() })
+	}
+	engM.Run()
+	// Mixed floor: aggregate 50 MB/s ⇒ 400 MB in 8 s — 2× the sequential time.
+	if !almostEqual(float64(lastM), 400.0/50.0) {
+		t.Fatalf("2R+2W finished at %v, want %v (2× collapse)", lastM, 400.0/50.0)
+	}
+	if lastM <= lastR {
+		t.Fatal("mixed access should be slower than parallel reads")
+	}
+}
+
+func TestHDDSerializedBeatsContended(t *testing.T) {
+	// The monotasks disk scheduler's whole reason to exist: issuing requests
+	// one at a time must beat issuing them all at once.
+	run := func(concurrent bool) sim.Time {
+		eng := sim.NewEngine()
+		d := NewDisk(eng, noSeekHDD(100e6, 0.35))
+		var last sim.Time
+		n := 4
+		if concurrent {
+			for i := 0; i < n; i++ {
+				d.Read(100e6, func() { last = eng.Now() })
+			}
+		} else {
+			var next func(i int)
+			next = func(i int) {
+				if i == n {
+					return
+				}
+				d.Read(100e6, func() {
+					last = eng.Now()
+					next(i + 1)
+				})
+			}
+			next(0)
+		}
+		eng.Run()
+		return last
+	}
+	serialized, contended := run(false), run(true)
+	if serialized >= contended {
+		t.Fatalf("serialized %v ≥ contended %v; seek penalty not modeled", serialized, contended)
+	}
+	ratio := float64(contended) / float64(serialized)
+	if ratio < 1.8 || ratio > 2.3 {
+		t.Fatalf("contention ratio %v, want ≈2× (calibration)", ratio)
+	}
+}
+
+func TestSSDThroughputScalesToKnee(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, DefaultSSD()) // 400 MB/s, knee 4
+	var done sim.Time
+	// One outstanding op only reaches ¼ of peak.
+	d.Read(100e6, func() { done = eng.Now() })
+	eng.Run()
+	if !almostEqual(float64(done), 1.0) {
+		t.Fatalf("1 op: 100 MB at 100 MB/s effective, finished %v, want 1.0", done)
+	}
+
+	eng2 := sim.NewEngine()
+	d2 := NewDisk(eng2, DefaultSSD())
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		d2.Read(100e6, func() { last = eng2.Now() })
+	}
+	eng2.Run()
+	if !almostEqual(float64(last), 1.0) {
+		t.Fatalf("4 ops: 400 MB at 400 MB/s aggregate, finished %v, want 1.0", last)
+	}
+}
+
+func TestSSDNoPenaltyBeyondKnee(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, DefaultSSD())
+	var last sim.Time
+	for i := 0; i < 8; i++ {
+		d.Read(50e6, func() { last = eng.Now() })
+	}
+	eng.Run()
+	// 400 MB total at 400 MB/s aggregate.
+	if !almostEqual(float64(last), 1.0) {
+		t.Fatalf("8 ops finished at %v, want 1.0 (no over-knee collapse)", last)
+	}
+}
+
+func TestDiskUtilizationBinary(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, noSeekHDD(100e6, 0.35))
+	d.Read(100e6, func() {})
+	eng.Run()
+	if got := d.Util.Mean(0, 1); !almostEqual(got, 1) {
+		t.Fatalf("utilization while busy = %v, want 1", got)
+	}
+	if got := d.Util.At(2); got != 0 {
+		t.Fatalf("utilization after idle = %v, want 0", got)
+	}
+}
+
+func TestDiskByteCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, DefaultSSD())
+	d.Read(100, func() {})
+	d.Write(200, func() {})
+	eng.Run()
+	if d.BytesRead() != 100 || d.BytesWritten() != 200 {
+		t.Fatalf("counters = %d read / %d written, want 100/200", d.BytesRead(), d.BytesWritten())
+	}
+}
+
+func TestDiskIdealTime(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, noSeekHDD(100e6, 0.35))
+	if got := d.IdealTime(300e6); !almostEqual(float64(got), 3.0) {
+		t.Fatalf("IdealTime(300 MB) = %v, want 3.0", got)
+	}
+}
+
+func TestDefaultSpecs(t *testing.T) {
+	h := DefaultHDD()
+	if h.Kind != HDD || h.SeqBW != 100e6 || h.SeekTime != 0.008 {
+		t.Fatalf("DefaultHDD = %+v", h)
+	}
+	s := DefaultSSD()
+	if s.Kind != SSD || s.SeqBW != 400e6 || s.SaturationOps != 4 {
+		t.Fatalf("DefaultSSD = %+v", s)
+	}
+	if h.Kind.String() != "HDD" || s.Kind.String() != "SSD" {
+		t.Fatal("DiskKind.String broken")
+	}
+}
+
+func TestDiskCancel(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, noSeekHDD(100e6, 0))
+	fired := false
+	j := d.Read(100e6, func() { fired = true })
+	eng.At(0.5, func() { d.Cancel(j) })
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled request completed")
+	}
+	if d.Queue() != 0 {
+		t.Fatalf("queue = %d after cancel, want 0", d.Queue())
+	}
+}

@@ -1,0 +1,204 @@
+package resource
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// AggregateFunc maps the number of jobs in service — split into two classes,
+// readers and writers, so devices can price mixed access differently — to
+// the server's aggregate service rate (work units per second). The rate is
+// split equally among all jobs. Examples:
+//
+//   - CPU with n cores: aggregate(k) = min(k, n) core-seconds/second, so each
+//     job runs at rate min(1, n/k) — classic processor sharing (all jobs are
+//     class 0; the writer count is always zero).
+//   - HDD: concurrent streams cost seeks, collapsing total throughput, and a
+//     read/write mix thrashes the head harder than parallel readers.
+//   - SSD: throughput rises with outstanding operations until the device
+//     saturates.
+type AggregateFunc func(readers, writers int) float64
+
+// Job is one unit of in-service work on a fluid server.
+type Job struct {
+	remaining float64 // work units left
+	total     float64
+	class     int // 0 = reader, 1 = writer
+	done      func()
+	started   sim.Time
+	seq       uint64
+}
+
+// Remaining reports the work still owed to the job.
+func (j *Job) Remaining() float64 { return j.remaining }
+
+// server is the fluid-flow core shared by the CPU and disk models: a set of
+// jobs drains at aggregate(k)/k each; membership changes trigger a catch-up
+// of remaining work and a reschedule of the next completion event.
+type server struct {
+	eng        *sim.Engine
+	aggregate  AggregateFunc
+	jobs       map[*Job]struct{}
+	classCount [2]int
+	nextSeq    uint64
+	lastUpdate sim.Time
+	completion *sim.Event
+	// onCount is invoked whenever the in-service job count changes, with the
+	// new count; devices use it to drive their utilization trackers.
+	onCount func(k int)
+}
+
+func newServer(eng *sim.Engine, aggregate AggregateFunc, onCount func(k int)) *server {
+	return &server{
+		eng:       eng,
+		aggregate: aggregate,
+		jobs:      make(map[*Job]struct{}),
+		onCount:   onCount,
+	}
+}
+
+// Add places work units of demand in service as a class-0 (reader) job;
+// done fires (via the engine) when the job completes. Zero-work jobs
+// complete on the next event dispatch rather than synchronously, so callers
+// never re-enter themselves.
+func (s *server) Add(work float64, done func()) *Job {
+	return s.AddClass(work, 0, done)
+}
+
+// AddClass is Add with an explicit job class (0 = reader, 1 = writer).
+func (s *server) AddClass(work float64, class int, done func()) *Job {
+	s.advance()
+	s.nextSeq++
+	j := &Job{remaining: work, total: work, class: class, done: done, started: s.eng.Now(), seq: s.nextSeq}
+	if work <= 0 {
+		j.remaining = 0
+		s.eng.After(0, done)
+		return j
+	}
+	s.jobs[j] = struct{}{}
+	s.classCount[class]++
+	s.notifyCount()
+	s.reschedule()
+	return j
+}
+
+// Remove cancels a job before completion (e.g. a speculative fetch that is
+// no longer needed). Removing a finished job is a no-op.
+func (s *server) Remove(j *Job) {
+	if _, ok := s.jobs[j]; !ok {
+		return
+	}
+	s.advance()
+	delete(s.jobs, j)
+	s.classCount[j.class]--
+	s.notifyCount()
+	s.reschedule()
+}
+
+// Count reports the number of jobs in service.
+func (s *server) Count() int { return len(s.jobs) }
+
+// perJobRate returns the current drain rate of each job.
+func (s *server) perJobRate() float64 {
+	k := len(s.jobs)
+	if k == 0 {
+		return 0
+	}
+	return s.aggregate(s.classCount[0], s.classCount[1]) / float64(k)
+}
+
+// advance deducts the work completed since the last update from every
+// in-service job. It must be called before any membership change.
+func (s *server) advance() {
+	now := s.eng.Now()
+	dt := float64(now - s.lastUpdate)
+	s.lastUpdate = now
+	if dt <= 0 || len(s.jobs) == 0 {
+		return
+	}
+	drained := s.perJobRate() * dt
+	for j := range s.jobs {
+		j.remaining -= drained
+		// Clamp float residue to zero. The tolerance must be relative to the
+		// job's size: with byte-scale work units (10^8+), absolute epsilons
+		// leave residues that reschedule zero-length completion events
+		// forever once the clock is large enough that now+tiny == now.
+		if j.remaining < 1e-9*j.total+1e-12 {
+			j.remaining = 0
+		}
+	}
+}
+
+// reschedule cancels the pending completion event and schedules one for the
+// job that will finish first (all jobs drain at the same rate, so that is
+// the one with the least remaining work).
+func (s *server) reschedule() {
+	s.eng.Cancel(s.completion)
+	s.completion = nil
+	if len(s.jobs) == 0 {
+		return
+	}
+	minRemaining := math.MaxFloat64
+	for j := range s.jobs {
+		if j.remaining < minRemaining {
+			minRemaining = j.remaining
+		}
+	}
+	rate := s.perJobRate()
+	if rate <= 0 {
+		panic("resource: server with jobs but zero aggregate rate")
+	}
+	s.completion = s.eng.After(sim.Duration(minRemaining/rate), s.complete)
+}
+
+// complete retires every job whose work has drained to zero, then
+// reschedules. Multiple jobs can tie (identical demands started together).
+func (s *server) complete() {
+	s.completion = nil
+	s.advance()
+	var finished []*Job
+	for j := range s.jobs {
+		if j.remaining == 0 {
+			finished = append(finished, j)
+		}
+	}
+	if len(finished) == 0 && len(s.jobs) > 0 {
+		// The completion event fired but float residue left every job
+		// fractionally short. The due job is the minimum-remaining one;
+		// retire it, or the server reschedules a drain whose duration can
+		// underflow the clock's resolution and spin forever.
+		var min *Job
+		for j := range s.jobs {
+			if min == nil || j.remaining < min.remaining ||
+				(j.remaining == min.remaining && j.seq < min.seq) {
+				min = j
+			}
+		}
+		min.remaining = 0
+		finished = append(finished, min)
+	}
+	for _, j := range finished {
+		delete(s.jobs, j)
+		s.classCount[j.class]--
+	}
+	s.notifyCount()
+	s.reschedule()
+	// Run callbacks after internal state is consistent: a done callback may
+	// immediately Add follow-on work to this server. Deterministic order:
+	// admission order (seq), since the finished set was collected from a map.
+	for i := 1; i < len(finished); i++ {
+		for k := i; k > 0 && finished[k].seq < finished[k-1].seq; k-- {
+			finished[k], finished[k-1] = finished[k-1], finished[k]
+		}
+	}
+	for _, j := range finished {
+		j.done()
+	}
+}
+
+func (s *server) notifyCount() {
+	if s.onCount != nil {
+		s.onCount(len(s.jobs))
+	}
+}

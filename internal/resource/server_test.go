@@ -1,0 +1,165 @@
+package resource
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestPropertyServerWorkConservation: for any job sizes and arrival times,
+// a single-capacity server finishes all work no earlier than total work
+// after the last idle period, and every job completes exactly once.
+func TestPropertyServerWorkConservation(t *testing.T) {
+	f := func(rawSizes []uint16, rawArrivals []uint8) bool {
+		if len(rawSizes) == 0 {
+			return true
+		}
+		eng := sim.NewEngine()
+		srv := newServer(eng, func(r, w int) float64 { return 1 }, nil)
+		completions := 0
+		var lastEnd sim.Time
+		var total float64
+		for i, rs := range rawSizes {
+			work := float64(rs%1000) + 1
+			total += work
+			arrival := sim.Time(0)
+			if len(rawArrivals) > 0 {
+				arrival = sim.Time(rawArrivals[i%len(rawArrivals)])
+			}
+			eng.At(arrival, func() {
+				srv.Add(work, func() {
+					completions++
+					lastEnd = eng.Now()
+				})
+			})
+		}
+		eng.Run()
+		if completions != len(rawSizes) {
+			return false
+		}
+		// Work conservation: the server cannot finish before total work
+		// (it has unit capacity), and cannot take longer than last arrival
+		// + total work (it is never idle with work queued).
+		if float64(lastEnd) < total-1e-6 {
+			return false
+		}
+		maxArrival := 0.0
+		for _, a := range rawArrivals {
+			maxArrival = math.Max(maxArrival, float64(a))
+		}
+		return float64(lastEnd) <= maxArrival+total+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyServerEqualJobsFinishTogether: identical jobs admitted
+// together under equal sharing complete simultaneously.
+func TestPropertyServerEqualJobsFinishTogether(t *testing.T) {
+	f := func(nRaw uint8, sizeRaw uint16) bool {
+		n := int(nRaw)%20 + 1
+		size := float64(sizeRaw%5000) + 1
+		eng := sim.NewEngine()
+		srv := newServer(eng, func(r, w int) float64 { return 2 }, nil)
+		ends := make([]sim.Time, 0, n)
+		for i := 0; i < n; i++ {
+			srv.Add(size, func() { ends = append(ends, eng.Now()) })
+		}
+		eng.Run()
+		if len(ends) != n {
+			return false
+		}
+		for _, e := range ends {
+			if math.Abs(float64(e-ends[0])) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerChurnNeverLosesJobs: random adds, removes, and chained
+// completions under a varying-rate aggregate never strand a job.
+func TestServerChurnNeverLosesJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		eng := sim.NewEngine()
+		srv := newServer(eng, func(r, w int) float64 {
+			k := r + w
+			return float64(k) / (1 + 0.3*float64(k-1))
+		}, nil)
+		added, finished, removed := 0, 0, 0
+		var jobs []*Job
+		for i := 0; i < 200; i++ {
+			at := sim.Time(rng.Float64() * 100)
+			work := rng.Float64()*1e8 + 1
+			class := rng.Intn(2)
+			eng.At(at, func() {
+				added++
+				j := srv.AddClass(work, class, func() { finished++ })
+				jobs = append(jobs, j)
+			})
+		}
+		// Random removals racing the completions.
+		for i := 0; i < 50; i++ {
+			at := sim.Time(rng.Float64() * 150)
+			eng.At(at, func() {
+				if len(jobs) == 0 {
+					return
+				}
+				j := jobs[rng.Intn(len(jobs))]
+				if j.Remaining() > 0 {
+					if _, ok := srv.jobs[j]; ok {
+						srv.Remove(j)
+						removed++
+					}
+				}
+			})
+		}
+		eng.Run()
+		if finished+removed != added {
+			t.Fatalf("trial %d: added %d, finished %d, removed %d — jobs lost",
+				trial, added, finished, removed)
+		}
+		if srv.Count() != 0 {
+			t.Fatalf("trial %d: %d jobs stranded in the server", trial, srv.Count())
+		}
+	}
+}
+
+// TestServerClassCountsConsistent: reader/writer class accounting survives
+// arbitrary interleavings (the disk model's direction-aware pricing depends
+// on it).
+func TestServerClassCountsConsistent(t *testing.T) {
+	eng := sim.NewEngine()
+	aggCalls := 0
+	srv := newServer(eng, func(r, w int) float64 {
+		aggCalls++
+		if r < 0 || w < 0 {
+			t.Fatalf("negative class count: r=%d w=%d", r, w)
+		}
+		return float64(r+w) + 1
+	}, nil)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		at := sim.Time(rng.Float64() * 10)
+		class := i % 2
+		eng.At(at, func() {
+			srv.AddClass(rng.Float64()*5+0.1, class, func() {})
+		})
+	}
+	eng.Run()
+	if srv.classCount[0] != 0 || srv.classCount[1] != 0 {
+		t.Fatalf("class counts leaked: %v", srv.classCount)
+	}
+	if aggCalls == 0 {
+		t.Fatal("aggregate function never consulted")
+	}
+}

@@ -1,0 +1,133 @@
+// Package resource implements the device models the virtual cluster is built
+// from: processor-sharing CPUs, seek-penalized hard disks, concurrency-
+// saturating flash drives, and per-device utilization timelines.
+//
+// All devices share one fluid-flow core (server.go): active jobs make
+// progress at a rate determined by how many jobs are in service, and the
+// model recomputes completion times whenever the job set changes. This
+// captures the first-order contention effects the paper's evaluation is
+// about — throughput collapse under concurrent HDD access, processor sharing
+// when more tasks than cores are runnable — without simulating individual
+// I/O operations.
+package resource
+
+import "repro/internal/sim"
+
+// Tracker records a step function of utilization (0..1) over virtual time.
+// Devices call Set whenever their busy fraction changes; experiment code
+// reads back means and percentile samples (Figs. 2, 6 and 9 are produced
+// from these timelines).
+type Tracker struct {
+	times  []sim.Time
+	values []float64
+}
+
+// Set records that the tracked value becomes v at time t. Calls must have
+// non-decreasing t; a repeat at the same t overwrites the prior value.
+func (tr *Tracker) Set(t sim.Time, v float64) {
+	n := len(tr.times)
+	if n > 0 && t < tr.times[n-1] {
+		panic("resource: Tracker.Set with decreasing time")
+	}
+	if n > 0 && tr.times[n-1] == t {
+		tr.values[n-1] = v
+		return
+	}
+	// Coalesce no-op transitions to keep the series compact.
+	if n > 0 && tr.values[n-1] == v {
+		return
+	}
+	tr.times = append(tr.times, t)
+	tr.values = append(tr.values, v)
+}
+
+// At returns the tracked value at time t (0 before the first sample).
+func (tr *Tracker) At(t sim.Time) float64 {
+	// Binary search for the last transition ≤ t.
+	lo, hi := 0, len(tr.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tr.times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return tr.values[lo-1]
+}
+
+// Before returns the tracked value just before time t (0 if no earlier
+// transition). Cumulative-counter users query windows as [Before(t0), At(t1)]
+// so that events stamped exactly at the window start are included.
+func (tr *Tracker) Before(t sim.Time) float64 {
+	lo, hi := 0, len(tr.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tr.times[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return tr.values[lo-1]
+}
+
+// Mean returns the time-weighted mean value over [t0, t1).
+func (tr *Tracker) Mean(t0, t1 sim.Time) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	var area float64
+	cur := tr.At(t0)
+	prev := t0
+	for i, t := range tr.times {
+		if t <= t0 {
+			continue
+		}
+		if t >= t1 {
+			break
+		}
+		area += cur * float64(t-prev)
+		cur = tr.values[i]
+		prev = t
+	}
+	area += cur * float64(t1-prev)
+	return area / float64(t1-t0)
+}
+
+// Samples returns the value at n evenly spaced points across [t0, t1),
+// suitable for percentile summaries (Fig. 6) or time-series plots (Fig. 2).
+func (tr *Tracker) Samples(t0, t1 sim.Time, n int) []float64 {
+	if n <= 0 || t1 <= t0 {
+		return nil
+	}
+	out := make([]float64, n)
+	step := (t1 - t0) / sim.Time(n)
+	for i := 0; i < n; i++ {
+		out[i] = tr.Mean(t0+sim.Time(i)*step, t0+sim.Time(i+1)*step)
+	}
+	return out
+}
+
+// Max returns the maximum recorded value in [t0, t1).
+func (tr *Tracker) Max(t0, t1 sim.Time) float64 {
+	best := tr.At(t0)
+	for i, t := range tr.times {
+		if t <= t0 || t >= t1 {
+			continue
+		}
+		if tr.values[i] > best {
+			best = tr.values[i]
+		}
+	}
+	return best
+}
+
+// Len reports the number of recorded transitions.
+func (tr *Tracker) Len() int { return len(tr.times) }

@@ -1,0 +1,153 @@
+package resource
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTrackerAt(t *testing.T) {
+	var tr Tracker
+	tr.Set(1, 0.5)
+	tr.Set(3, 1.0)
+	tr.Set(5, 0)
+	cases := []struct {
+		t    sim.Time
+		want float64
+	}{
+		{0, 0}, {0.9, 0}, {1, 0.5}, {2, 0.5}, {3, 1.0}, {4.5, 1.0}, {5, 0}, {100, 0},
+	}
+	for _, c := range cases {
+		if got := tr.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTrackerOverwriteSameTime(t *testing.T) {
+	var tr Tracker
+	tr.Set(1, 0.5)
+	tr.Set(1, 0.8)
+	if got := tr.At(1); got != 0.8 {
+		t.Fatalf("At(1) = %v, want 0.8 (overwrite)", got)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", tr.Len())
+	}
+}
+
+func TestTrackerCoalescesNoops(t *testing.T) {
+	var tr Tracker
+	tr.Set(1, 0.5)
+	tr.Set(2, 0.5)
+	tr.Set(3, 0.5)
+	if tr.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1 (coalesced)", tr.Len())
+	}
+}
+
+func TestTrackerDecreasingTimePanics(t *testing.T) {
+	var tr Tracker
+	tr.Set(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set with decreasing time did not panic")
+		}
+	}()
+	tr.Set(4, 0)
+}
+
+func TestTrackerMean(t *testing.T) {
+	var tr Tracker
+	// 0 on [0,2), 1 on [2,4), 0.5 on [4,∞)
+	tr.Set(2, 1)
+	tr.Set(4, 0.5)
+	if got := tr.Mean(0, 4); !almostEqual(got, 0.5) {
+		t.Errorf("Mean(0,4) = %v, want 0.5", got)
+	}
+	if got := tr.Mean(2, 4); !almostEqual(got, 1) {
+		t.Errorf("Mean(2,4) = %v, want 1", got)
+	}
+	if got := tr.Mean(0, 8); !almostEqual(got, (0*2+1*2+0.5*4)/8.0) {
+		t.Errorf("Mean(0,8) = %v, want 0.5", got)
+	}
+	if got := tr.Mean(3, 5); !almostEqual(got, 0.75) {
+		t.Errorf("Mean(3,5) = %v, want 0.75", got)
+	}
+	if got := tr.Mean(5, 5); got != 0 {
+		t.Errorf("Mean over empty window = %v, want 0", got)
+	}
+}
+
+func TestTrackerSamples(t *testing.T) {
+	var tr Tracker
+	tr.Set(0, 0)
+	tr.Set(5, 1)
+	s := tr.Samples(0, 10, 10)
+	if len(s) != 10 {
+		t.Fatalf("len(Samples) = %d, want 10", len(s))
+	}
+	for i := 0; i < 5; i++ {
+		if s[i] != 0 {
+			t.Errorf("sample %d = %v, want 0", i, s[i])
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if s[i] != 1 {
+			t.Errorf("sample %d = %v, want 1", i, s[i])
+		}
+	}
+	if tr.Samples(0, 10, 0) != nil {
+		t.Error("Samples with n=0 should be nil")
+	}
+}
+
+func TestTrackerMax(t *testing.T) {
+	var tr Tracker
+	tr.Set(1, 0.3)
+	tr.Set(2, 0.9)
+	tr.Set(3, 0.1)
+	if got := tr.Max(0, 10); got != 0.9 {
+		t.Errorf("Max(0,10) = %v, want 0.9", got)
+	}
+	if got := tr.Max(2.5, 10); got != 0.9 {
+		t.Errorf("Max(2.5,10) = %v, want 0.9 (carried value)", got)
+	}
+	if got := tr.Max(3, 10); got != 0.1 {
+		t.Errorf("Max(3,10) = %v, want 0.1", got)
+	}
+}
+
+// Property: Mean is always within [min, max] of the recorded values.
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var tr Tracker
+		lo, hi := 1.0, 0.0
+		for i, r := range raw {
+			v := float64(r) / 255
+			tr.Set(sim.Time(i), v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		m := tr.Mean(0, sim.Time(len(raw)))
+		// Value before the first Set is 0.
+		if 0 < lo {
+			lo = 0
+		}
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

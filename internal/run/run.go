@@ -1,0 +1,109 @@
+// Package run wires a cluster, an executor mode, and a driver together —
+// the shared entry point for experiments, benchmarks, and the public API.
+package run
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/jobsched"
+	"repro/internal/pipeexec"
+	"repro/internal/task"
+)
+
+// Mode selects the execution model.
+type Mode int
+
+const (
+	// Monotasks is MonoSpark: per-resource schedulers, write-through disk
+	// monotasks (§3).
+	Monotasks Mode = iota
+	// Spark is the pipelined baseline: slots, fine-grained pipelining,
+	// buffer-cache writes (§2).
+	Spark
+	// SparkWriteThrough is Spark with the OS configured to flush writes to
+	// disk promptly — the second Spark configuration of Fig. 5. Writes still
+	// pipeline through the cache, but the dirty limits are tiny, so the job
+	// pays for its writes before it can finish.
+	SparkWriteThrough
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Monotasks:
+		return "monospark"
+	case Spark:
+		return "spark"
+	case SparkWriteThrough:
+		return "spark-flush"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options configure a run.
+type Options struct {
+	Mode Mode
+	// TasksPerMachine overrides the Spark slot count (Fig. 18's knob).
+	// Ignored by Monotasks, which configures concurrency per resource.
+	TasksPerMachine int
+	// Mono and Pipe tune the respective executors further.
+	Mono core.Options
+	Pipe pipeexec.Options
+}
+
+// Executors builds one executor per machine of c in the requested mode.
+func Executors(c *cluster.Cluster, o Options) []task.Executor {
+	execs := make([]task.Executor, c.Size())
+	switch o.Mode {
+	case Monotasks:
+		g := core.NewGroup(c, o.Mono)
+		for i, w := range g.Workers {
+			execs[i] = w
+		}
+	default:
+		po := o.Pipe
+		if o.TasksPerMachine > 0 {
+			po.TasksPerMachine = o.TasksPerMachine
+		}
+		if o.Mode == SparkWriteThrough {
+			// Force prompt writeback: a tiny dirty budget throttles writers
+			// to the flusher's pace without serializing each chunk.
+			po.DirtyLimit = 8 << 20
+			po.FlushDelay = 0.1
+		}
+		g := pipeexec.NewGroup(c, po)
+		for i, w := range g.Workers {
+			execs[i] = w
+		}
+	}
+	return execs
+}
+
+// Driver builds a ready driver over c in the requested mode.
+func Driver(c *cluster.Cluster, fs *dfs.FS, o Options) (*jobsched.Driver, error) {
+	return jobsched.New(c, fs, Executors(c, o))
+}
+
+// DriverWith builds a driver over pre-built executors (callers that need to
+// keep executor handles for inspection).
+func DriverWith(c *cluster.Cluster, fs *dfs.FS, execs []task.Executor) (*jobsched.Driver, error) {
+	return jobsched.New(c, fs, execs)
+}
+
+// Jobs executes specs (submitted together, so they run concurrently) and
+// returns their metrics in submission order.
+func Jobs(c *cluster.Cluster, fs *dfs.FS, o Options, specs ...*task.JobSpec) ([]*task.JobMetrics, error) {
+	d, err := Driver(c, fs, o)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range specs {
+		if _, err := d.Submit(s); err != nil {
+			return nil, err
+		}
+	}
+	return d.Run(), nil
+}

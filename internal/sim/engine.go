@@ -1,0 +1,159 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All performance experiments in this repository run in virtual time: device
+// models (CPU, disk, network) schedule completion events on an Engine, and
+// the Engine advances a virtual clock from event to event. Determinism is
+// guaranteed by breaking ties on (time, sequence number), so a given workload
+// and cluster configuration always produces bit-identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation. float64 seconds keeps device-model arithmetic (rates, shares)
+// simple; nanosecond-scale rounding error is irrelevant at the tens-of-seconds
+// scale the experiments measure.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = Time
+
+// Forever is a sentinel time later than any event the engine will execute.
+const Forever Time = math.MaxFloat64
+
+// Event is a scheduled callback. It is returned by At/After so callers can
+// cancel it before it fires.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index, -1 once removed
+	fn    func()
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine. Engines are not safe for concurrent use: the simulation
+// is single-threaded by design, which is what makes it deterministic.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	running bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a device-model bug, and silently clamping would
+// mask it.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.pending, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired (or
+// was already cancelled) is a no-op, which lets device models cancel their
+// provisional completion events unconditionally.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.pending, ev.index)
+	ev.index = -1
+}
+
+// Len reports the number of pending events.
+func (e *Engine) Len() int { return len(e.pending) }
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.pending) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pending).(*Event)
+	ev.index = -1
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// Events scheduled later than t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.pending) > 0 && e.pending[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

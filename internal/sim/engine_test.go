@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", e.Len())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	record := func() { got = append(got, e.Now()) }
+	e.At(3, record)
+	e.At(1, record)
+	e.At(2, record)
+	e.Run()
+	want := []Time{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO among ties)", i, v, i)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.At(10, func() {
+		e.After(5, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 15 {
+		t.Fatalf("After(5) at t=10 fired at %v, want 15", fired)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel and cancel-after-fire must be no-ops.
+	e.Cancel(ev)
+	ev2 := e.At(2, func() {})
+	e.Run()
+	e.Cancel(ev2)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	record := func() { got = append(got, e.Now()) }
+	var evs []*Event
+	for i := 1; i <= 5; i++ {
+		evs = append(evs, e.At(Time(i), record))
+	}
+	e.Cancel(evs[2]) // t=3
+	e.Run()
+	want := []Time{1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(-1) did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.At(5, func() { fired++ })
+	e.At(10, func() { fired++ })
+	e.RunUntil(5)
+	if fired != 2 {
+		t.Fatalf("fired %d events by t=5, want 2", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", e.Now())
+	}
+	if e.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", e.Len())
+	}
+	e.Run()
+	if fired != 3 || e.Now() != 10 {
+		t.Fatalf("after Run: fired=%d now=%v, want 3, 10", fired, e.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var schedule func()
+	schedule = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, schedule)
+		}
+	}
+	e.At(0, schedule)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("chained %d events, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("Now() = %v, want 99", e.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step() on empty engine returned true")
+	}
+}
+
+// Property: for any set of scheduled times, events fire in sorted order and
+// the clock never moves backwards.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		times := make([]Time, len(raw))
+		for i, r := range raw {
+			times[i] = Time(r)
+		}
+		var fired []Time
+		last := Time(-1)
+		ok := true
+		for _, tm := range times {
+			tm := tm
+			e.At(tm, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+				fired = append(fired, e.Now())
+			})
+		}
+		e.Run()
+		if !ok || len(fired) != len(times) {
+			return false
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		for i := range times {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the complement firing.
+func TestPropertyCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(100)
+		firedCount := 0
+		evs := make([]*Event, n)
+		for i := 0; i < n; i++ {
+			evs[i] = e.At(Time(rng.Intn(1000)), func() { firedCount++ })
+		}
+		cancelled := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				e.Cancel(evs[i])
+				cancelled++
+			}
+		}
+		e.Run()
+		if firedCount != n-cancelled {
+			t.Fatalf("trial %d: fired %d, want %d", trial, firedCount, n-cancelled)
+		}
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%97), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,55 @@
+// Package units provides byte-count and rate constants and formatting helpers
+// shared across the device models and the benchmark harness.
+package units
+
+import "fmt"
+
+// Byte-count constants (powers of 1024, matching HDFS block-size convention).
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+	TB int64 = 1 << 40
+)
+
+// Rate constants in bytes per second. Network hardware is conventionally
+// quoted in decimal bits per second, so Gbps uses powers of 1000.
+const (
+	KBps float64 = 1e3
+	MBps float64 = 1e6
+	GBps float64 = 1e9
+)
+
+// BitsPerSecond converts a link speed quoted in bits/s to bytes/s.
+func BitsPerSecond(bits float64) float64 { return bits / 8 }
+
+// Gbps converts a link speed quoted in gigabits/s to bytes/s.
+func Gbps(g float64) float64 { return BitsPerSecond(g * 1e9) }
+
+// FormatBytes renders a byte count with a binary-prefix unit, e.g. "600.0 GB".
+func FormatBytes(b int64) string {
+	switch {
+	case b >= TB:
+		return fmt.Sprintf("%.1f TB", float64(b)/float64(TB))
+	case b >= GB:
+		return fmt.Sprintf("%.1f GB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.1f MB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.1f KB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// FormatSeconds renders a duration in seconds as "1m 23.4s" or "12.3s".
+func FormatSeconds(s float64) string {
+	if s < 0 {
+		return "-" + FormatSeconds(-s)
+	}
+	if s >= 60 {
+		m := int(s) / 60
+		return fmt.Sprintf("%dm %.1fs", m, s-float64(m)*60)
+	}
+	return fmt.Sprintf("%.1fs", s)
+}

@@ -1,0 +1,56 @@
+package units
+
+import "testing"
+
+func TestByteConstants(t *testing.T) {
+	if KB != 1024 || MB != 1024*1024 || GB != 1024*1024*1024 || TB != GB*1024 {
+		t.Fatal("byte constants are not powers of 1024")
+	}
+}
+
+func TestGbps(t *testing.T) {
+	// 1 Gb/s = 125 MB/s (decimal).
+	if got := Gbps(1); got != 125e6 {
+		t.Fatalf("Gbps(1) = %v, want 1.25e8", got)
+	}
+	if got := Gbps(10); got != 1.25e9 {
+		t.Fatalf("Gbps(10) = %v, want 1.25e9", got)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KB, "2.0 KB"},
+		{5 * MB, "5.0 MB"},
+		{600 * GB, "600.0 GB"},
+		{3 * TB, "3.0 TB"},
+		{GB + GB/2, "1.5 GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{12.34, "12.3s"},
+		{59.99, "60.0s"},
+		{60, "1m 0.0s"},
+		{88 * 60, "88m 0.0s"},
+		{-5, "-5.0s"},
+	}
+	for _, c := range cases {
+		if got := FormatSeconds(c.in); got != c.want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

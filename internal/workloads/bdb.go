@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// The big data benchmark (§5.2, [31]): four queries over a rankings table
+// and a uservisits table, the first three in three variants whose result
+// sizes sweep from business-intelligence-sized to ETL-sized. The paper runs
+// scale factor 5 on five 2-HDD workers.
+//
+// Table sizes and per-query profiles below are synthetic calibrations (see
+// the package comment): they preserve each query's documented character —
+// q1 is a disk-heavy scan whose variants differ only in output size (q1c's
+// large output is the Fig. 5 buffer-cache story), q2 is a CPU-bound
+// scan+aggregate (Fig. 9 shows its map stage pegging CPU), q3 is a
+// three-stage join whose c-variant has a large on-disk shuffle that uses all
+// three resources evenly (the Fig. 12 worst case), and q4 is a CPU-bound
+// UDF transformation.
+const (
+	rankingsBytes   = 12e9
+	uservisitsBytes = 75e9
+)
+
+// bdbStage is one stage's profile inside a query.
+type bdbStage struct {
+	name       string
+	inputBytes int64 // scan of this many bytes from HDFS; 0 ⇒ shuffle input
+	parents    []int
+	// deserCPUPerByte overrides the default deserialization cost. The
+	// benchmark stores compressed sequence files (§5.1), so scans pay for
+	// decompression on top of deserialization — this is what made the
+	// NSDI '15 study find CPU, not disk, to be the usual bottleneck.
+	deserCPUPerByte float64
+	opCPUPerByte    float64 // user computation per input byte
+	shuffleOut      int64   // total shuffle bytes written by the stage
+	outputBytes     int64   // total job output written by the stage
+}
+
+// bdbScanDeserCPUPerByte is the decompression + deserialization cost for
+// scans of the benchmark's compressed input: 40 ns/byte (≈25 MB/s/core).
+// The q1 rankings table has fewer, simpler columns, so its scans
+// deserialize more cheaply — which is why q1 is the benchmark's only
+// disk-sensitive query family (Fig. 14).
+const (
+	bdbScanDeserCPUPerByte = 40e-9
+	bdbQ1DeserCPUPerByte   = 25e-9
+)
+
+// bdbQueries defines the benchmark. Output and shuffle volumes are totals;
+// the builder splits them per task.
+var bdbQueries = map[string][]bdbStage{
+	// Q1: SELECT pageURL, pageRank FROM rankings WHERE pageRank > X.
+	// Pure scan+filter; variants differ only in result size.
+	"1a": {{name: "scan", inputBytes: rankingsBytes, deserCPUPerByte: bdbQ1DeserCPUPerByte, opCPUPerByte: 5e-9, outputBytes: 60e6}},
+	"1b": {{name: "scan", inputBytes: rankingsBytes, deserCPUPerByte: bdbQ1DeserCPUPerByte, opCPUPerByte: 5e-9, outputBytes: 1.2e9}},
+	"1c": {{name: "scan", inputBytes: rankingsBytes, deserCPUPerByte: bdbQ1DeserCPUPerByte, opCPUPerByte: 5e-9, outputBytes: 12e9}},
+
+	// Q2: SELECT SUBSTR(sourceIP,1,X), SUM(adRevenue) FROM uservisits
+	// GROUP BY SUBSTR(...). String parsing makes the scan CPU-bound;
+	// variants differ in group count and hence shuffle volume.
+	"2a": {
+		{name: "scan", inputBytes: uservisitsBytes, deserCPUPerByte: bdbScanDeserCPUPerByte, opCPUPerByte: 40e-9, shuffleOut: 500e6},
+		{name: "agg", parents: []int{0}, opCPUPerByte: 20e-9, outputBytes: 400e6},
+	},
+	"2b": {
+		{name: "scan", inputBytes: uservisitsBytes, deserCPUPerByte: bdbScanDeserCPUPerByte, opCPUPerByte: 40e-9, shuffleOut: 5e9},
+		{name: "agg", parents: []int{0}, opCPUPerByte: 20e-9, outputBytes: 4e9},
+	},
+	"2c": {
+		{name: "scan", inputBytes: uservisitsBytes, deserCPUPerByte: bdbScanDeserCPUPerByte, opCPUPerByte: 40e-9, shuffleOut: 25e9},
+		{name: "agg", parents: []int{0}, opCPUPerByte: 20e-9, outputBytes: 20e9},
+	},
+
+	// Q3: join of rankings with a date-filtered slice of uservisits;
+	// variants differ in the date range and hence the joined volume.
+	"3a": {
+		{name: "scan-rankings", inputBytes: rankingsBytes, deserCPUPerByte: bdbScanDeserCPUPerByte, opCPUPerByte: 8e-9, shuffleOut: 1.2e9},
+		{name: "scan-uservisits", inputBytes: uservisitsBytes, deserCPUPerByte: bdbScanDeserCPUPerByte, opCPUPerByte: 15e-9, shuffleOut: 1e9},
+		{name: "join", parents: []int{0, 1}, opCPUPerByte: 25e-9, outputBytes: 1e9},
+	},
+	"3b": {
+		{name: "scan-rankings", inputBytes: rankingsBytes, deserCPUPerByte: bdbScanDeserCPUPerByte, opCPUPerByte: 8e-9, shuffleOut: 3e9},
+		{name: "scan-uservisits", inputBytes: uservisitsBytes, deserCPUPerByte: bdbScanDeserCPUPerByte, opCPUPerByte: 15e-9, shuffleOut: 5e9},
+		{name: "join", parents: []int{0, 1}, opCPUPerByte: 25e-9, outputBytes: 4e9},
+	},
+	"3c": {
+		{name: "scan-rankings", inputBytes: rankingsBytes, deserCPUPerByte: bdbScanDeserCPUPerByte, opCPUPerByte: 8e-9, shuffleOut: 6e9},
+		{name: "scan-uservisits", inputBytes: uservisitsBytes, deserCPUPerByte: bdbScanDeserCPUPerByte, opCPUPerByte: 15e-9, shuffleOut: 30e9},
+		{name: "join", parents: []int{0, 1}, opCPUPerByte: 25e-9, outputBytes: 15e9},
+	},
+
+	// Q4: a page-rank-like transformation through an external script —
+	// heavily CPU-bound.
+	"4": {
+		{name: "udf", inputBytes: 30e9, deserCPUPerByte: bdbScanDeserCPUPerByte, opCPUPerByte: 120e-9, shuffleOut: 5e9},
+		{name: "reduce", parents: []int{0}, opCPUPerByte: 30e-9, outputBytes: 5e9},
+	},
+}
+
+// BDBQueryNames lists the benchmark's queries in report order.
+func BDBQueryNames() []string {
+	return []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "3c", "4"}
+}
+
+// BDBQuery builds one benchmark query for env.
+func BDBQuery(name string, env *Env) (*task.JobSpec, error) {
+	stages, ok := bdbQueries[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown big data benchmark query %q", name)
+	}
+	job := &task.JobSpec{Name: "bdb-q" + name}
+	for i, bs := range stages {
+		spec := &task.StageSpec{ID: i, Name: fmt.Sprintf("q%s/%s", name, bs.name)}
+		var perTaskInput int64
+		switch {
+		case bs.inputBytes > 0:
+			blocks := int(bs.inputBytes / (128 << 20))
+			if blocks < env.Cluster.Size() {
+				blocks = env.Cluster.Size()
+			}
+			f, err := env.createInput(fmt.Sprintf("/bdb/%s/%s", job.Name, bs.name), int64(bs.inputBytes), blocks)
+			if err != nil {
+				return nil, err
+			}
+			spec.NumTasks = blocks
+			spec.InputBlocks = f.Blocks
+			perTaskInput = int64(bs.inputBytes) / int64(blocks)
+		default:
+			spec.NumTasks = 2 * env.Cluster.TotalCores()
+			for _, p := range bs.parents {
+				spec.ParentIDs = append(spec.ParentIDs, p)
+				perTaskInput += stages[p].shuffleOut / int64(spec.NumTasks)
+			}
+		}
+		deser := bs.deserCPUPerByte
+		if deser == 0 {
+			deser = DeserCPUPerByte
+		}
+		spec.DeserCPU = deser * float64(perTaskInput)
+		spec.OpCPU = bs.opCPUPerByte * float64(perTaskInput)
+		perTaskOut := (bs.shuffleOut + bs.outputBytes) / int64(spec.NumTasks)
+		spec.SerCPU = SerCPUPerByte * float64(perTaskOut)
+		spec.ShuffleOutBytes = bs.shuffleOut / int64(spec.NumTasks)
+		spec.OutputBytes = bs.outputBytes / int64(spec.NumTasks)
+		job.Stages = append(job.Stages, spec)
+	}
+	return job, nil
+}

@@ -1,0 +1,71 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+)
+
+// Env is where a workload materializes: a virtual cluster and a fresh block
+// store to lay input files into.
+type Env struct {
+	Cluster *cluster.Cluster
+	FS      *dfs.FS
+}
+
+// NewEnv builds an Env over c with an empty DFS matching its shape.
+func NewEnv(c *cluster.Cluster) (*Env, error) {
+	disks := len(c.Spec().Disks)
+	if disks == 0 {
+		disks = 1 // diskless clusters still need a valid (unused) FS shape
+	}
+	fs, err := dfs.New(dfs.Config{Machines: c.Size(), DisksPerMachine: disks})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Cluster: c, FS: fs}, nil
+}
+
+// MustEnv is NewEnv for configurations that cannot fail.
+func MustEnv(c *cluster.Cluster) *Env {
+	e, err := NewEnv(c)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// createInput lays a file of totalBytes into the DFS as numBlocks equal
+// blocks (so one map task per block has uniform input), using a dedicated
+// block-store namespace per file.
+func (e *Env) createInput(path string, totalBytes int64, numBlocks int) (*dfs.File, error) {
+	return e.createInputReplicated(path, totalBytes, numBlocks, 1)
+}
+
+// createInputReplicated is createInput with a replication factor, for
+// failure experiments.
+func (e *Env) createInputReplicated(path string, totalBytes int64, numBlocks, replication int) (*dfs.File, error) {
+	if numBlocks <= 0 {
+		return nil, fmt.Errorf("workloads: %q needs blocks, got %d", path, numBlocks)
+	}
+	per := totalBytes / int64(numBlocks)
+	if per <= 0 {
+		return nil, fmt.Errorf("workloads: %q: %d bytes over %d blocks leaves empty blocks", path, totalBytes, numBlocks)
+	}
+	sizes := make([]int64, numBlocks)
+	locs := make([]int, numBlocks)
+	rem := totalBytes
+	for i := range sizes {
+		sizes[i] = per
+		rem -= per
+	}
+	// Spread the remainder over the first blocks, a byte-exact tiling.
+	for i := int64(0); i < rem; i++ {
+		sizes[i%int64(numBlocks)]++
+	}
+	for i := range locs {
+		locs[i] = i % e.Cluster.Size()
+	}
+	return e.FS.CreateAtReplicated(path, sizes, locs, replication)
+}

@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// LeastSquares is the machine-learning workload (§5.2, Fig. 7): a least
+// squares solve by block coordinate descent — a series of distributed
+// matrix multiplications over a 1M×4096 matrix. It differs from the other
+// workloads in three ways the paper calls out: the CPU path is efficient
+// (native BLAS, so per-byte costs are far below the Spark data plane's),
+// large volumes move over the network between stages, and shuffle data
+// stays in memory — the job never touches disk.
+type LeastSquares struct {
+	// Iterations is the number of multiply stages (block coordinate descent
+	// passes). Fig. 7 compares per-stage times; default 6.
+	Iterations int
+	// TasksPerStage defaults to 2 tasks per core.
+	TasksPerStage int
+	// ColsPerBlock is the column-block width each iteration multiplies;
+	// default 1024 (4096 columns over 4 passes of the inner solver).
+	ColsPerBlock int
+}
+
+// Build materializes the workload for env.
+func (l LeastSquares) Build(env *Env) (*task.JobSpec, error) {
+	iters := l.Iterations
+	if iters <= 0 {
+		iters = 6
+	}
+	tasks := l.TasksPerStage
+	if tasks <= 0 {
+		tasks = 4 * env.Cluster.TotalCores()
+	}
+	cols := l.ColsPerBlock
+	if cols <= 0 {
+		cols = 1024
+	}
+	if cols > MLMatrixCols {
+		return nil, fmt.Errorf("workloads: column block %d exceeds matrix width %d", cols, MLMatrixCols)
+	}
+
+	// Per iteration, each task multiplies its row block (rows/tasks × cols)
+	// with the shared block: 2·rowsPerTask·cols² flops, and the resulting
+	// partial products (rows × cols doubles) shuffle between stages.
+	rowsPerTask := MLMatrixRows / tasks
+	flopsPerTask := 2 * float64(rowsPerTask) * float64(cols) * float64(cols)
+	cpuPerTask := flopsPerTask / MLFlopsPerSec
+	shufflePerTask := int64(rowsPerTask) * int64(cols) * 8
+
+	job := &task.JobSpec{Name: "least-squares"}
+	for i := 0; i < iters; i++ {
+		spec := &task.StageSpec{
+			ID:       i,
+			Name:     fmt.Sprintf("multiply-%d", i),
+			NumTasks: tasks,
+			// The matrix is cached in memory; arrays of doubles serialize
+			// cheaply (§5.2), so serde CPU is negligible next to the math.
+			InputFromMem:      i == 0,
+			InputBytesPerTask: int64(rowsPerTask) * MLMatrixCols * 8,
+			OpCPU:             cpuPerTask,
+			ShuffleOutBytes:   shufflePerTask,
+			ShuffleInMemory:   true,
+		}
+		if i > 0 {
+			spec.ParentIDs = []int{i - 1}
+			spec.InputFromMem = false
+			spec.InputBytesPerTask = 0
+		}
+		job.Stages = append(job.Stages, spec)
+	}
+	return job, nil
+}

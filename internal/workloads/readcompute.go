@@ -1,0 +1,53 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// ReadCompute is the Fig. 8 sensitivity workload: a single stage that reads
+// input from disk and computes on it, swept over different task counts. With
+// tasks == cores (one wave), MonoSpark serializes each task's read and
+// compute with nothing to overlap them; by three waves its coarse-grained
+// cross-task pipelining has caught up with Spark's fine-grained pipelining.
+type ReadCompute struct {
+	Name       string
+	TotalBytes int64
+	// NumTasks is the repartition count — the figure's x axis.
+	NumTasks int
+	// CPUPerByte balances compute against the disk read; default 40 ns/byte
+	// matches one 100 MB/s disk read per 4 cores of compute... calibrated so
+	// CPU and disk demand are equal cluster-wide on the paper's 20-machine,
+	// 2-HDD, 8-core configuration.
+	CPUPerByte float64
+}
+
+// Build materializes the job in env.
+func (r ReadCompute) Build(env *Env) (*task.JobSpec, error) {
+	if r.TotalBytes <= 0 || r.NumTasks <= 0 {
+		return nil, fmt.Errorf("workloads: read-compute needs bytes and tasks, got %d/%d", r.TotalBytes, r.NumTasks)
+	}
+	name := r.Name
+	if name == "" {
+		name = fmt.Sprintf("read-compute-%d", r.NumTasks)
+	}
+	cpuPerByte := r.CPUPerByte
+	if cpuPerByte <= 0 {
+		cpuPerByte = 40e-9
+	}
+	f, err := env.createInput("/readcompute/"+name, r.TotalBytes, r.NumTasks)
+	if err != nil {
+		return nil, err
+	}
+	perTask := r.TotalBytes / int64(r.NumTasks)
+	stage := &task.StageSpec{
+		ID:          0,
+		Name:        name,
+		NumTasks:    r.NumTasks,
+		InputBlocks: f.Blocks,
+		DeserCPU:    DeserCPUPerByte * float64(perTask),
+		OpCPU:       cpuPerByte * float64(perTask),
+	}
+	return &task.JobSpec{Name: name, Stages: []*task.StageSpec{stage}}, nil
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// Sort is the paper's workhorse workload (§5.2, §6.2): sort TotalBytes of
+// random key-value pairs whose values are ValuesPerKey longs. For a fixed
+// total size, smaller values mean more records and therefore more CPU time,
+// while the I/O volumes stay constant — the knob that sweeps the workload
+// from CPU-bound to disk-bound (Fig. 11, Fig. 13, Fig. 18).
+type Sort struct {
+	Name         string
+	TotalBytes   int64
+	ValuesPerKey int
+	// MapTasks and ReduceTasks default to 8 tasks per core when zero —
+	// enough waves for monotask-granularity pipelining to hide each task's
+	// serialized resource use (§5.3; Fig. 8 shows parity needs ≥3 waves)
+	// and for run-to-completion compute monotasks to pack the cores without
+	// a ragged single-task tail (§8 notes frameworks encourage many small
+	// tasks for exactly this kind of reason).
+	MapTasks    int
+	ReduceTasks int
+	// InMemoryInput stores the input deserialized in memory rather than on
+	// disk (the §6.3 / Fig. 13 software change): no input disk reads and no
+	// input deserialization CPU.
+	InMemoryInput bool
+	// InputReplication is the DFS replication factor for the input file
+	// (default 1; failure experiments need ≥ 2).
+	InputReplication int
+}
+
+// Build materializes the two-stage sort job in env.
+func (s Sort) Build(env *Env) (*task.JobSpec, error) {
+	if s.TotalBytes <= 0 || s.ValuesPerKey < 0 {
+		return nil, fmt.Errorf("workloads: sort needs bytes and values, got %d/%d", s.TotalBytes, s.ValuesPerKey)
+	}
+	name := s.Name
+	if name == "" {
+		name = fmt.Sprintf("sort-%dv", s.ValuesPerKey)
+	}
+	maps := s.MapTasks
+	if maps <= 0 {
+		maps = 8 * env.Cluster.TotalCores()
+	}
+	reduces := s.ReduceTasks
+	if reduces <= 0 {
+		reduces = 8 * env.Cluster.TotalCores()
+	}
+	recordBytes := RecordBytes(s.ValuesPerKey)
+	records := s.TotalBytes / recordBytes
+
+	perMapBytes := s.TotalBytes / int64(maps)
+	perMapRecords := records / int64(maps)
+	mapStage := &task.StageSpec{
+		ID:       0,
+		Name:     name + "/map",
+		NumTasks: maps,
+		// Partitioning + run formation cost per record, (de)serialization
+		// per byte.
+		DeserCPU:        DeserCPUPerByte * float64(perMapBytes),
+		OpCPU:           SortMapPerRecordCPU * float64(perMapRecords),
+		SerCPU:          SerCPUPerByte * float64(perMapBytes),
+		ShuffleOutBytes: perMapBytes, // sorted runs are the same size as input
+	}
+	if s.InMemoryInput {
+		mapStage.InputFromMem = true
+		mapStage.InputBytesPerTask = perMapBytes
+		mapStage.DeserCPU = 0 // already deserialized (§6.3)
+	} else {
+		f, err := env.createInputReplicated("/sort/"+name, s.TotalBytes, maps, s.InputReplication)
+		if err != nil {
+			return nil, err
+		}
+		mapStage.InputBlocks = f.Blocks
+	}
+
+	perReduceBytes := s.TotalBytes / int64(reduces)
+	perReduceRecords := records / int64(reduces)
+	reduceStage := &task.StageSpec{
+		ID:          1,
+		Name:        name + "/reduce",
+		NumTasks:    reduces,
+		ParentIDs:   []int{0},
+		DeserCPU:    DeserCPUPerByte * float64(perReduceBytes),
+		OpCPU:       SortReducePerRecordCPU * float64(perReduceRecords),
+		SerCPU:      SerCPUPerByte * float64(perReduceBytes),
+		OutputBytes: perReduceBytes, // sorted result back to HDFS
+	}
+	return &task.JobSpec{Name: name, Stages: []*task.StageSpec{mapStage, reduceStage}}, nil
+}

@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// WordCount is the running example of Figs. 1 and 4: read text from HDFS,
+// split into words, count occurrences. It is the canonical map/reduce shape:
+// a map stage reading blocks and writing shuffle data, and a reduce stage
+// combining counts and writing results.
+type WordCount struct {
+	Name       string
+	TotalBytes int64
+	// ShuffleFraction is shuffle volume relative to input; word-count
+	// pre-aggregation (map-side combining) shrinks it. Default 0.3.
+	ShuffleFraction float64
+	// OutputFraction is result volume relative to input; default 0.05.
+	OutputFraction float64
+	ReduceTasks    int
+}
+
+// Build materializes the word-count job in env.
+func (w WordCount) Build(env *Env) (*task.JobSpec, error) {
+	if w.TotalBytes <= 0 {
+		return nil, fmt.Errorf("workloads: word count needs input bytes, got %d", w.TotalBytes)
+	}
+	name := w.Name
+	if name == "" {
+		name = "wordcount"
+	}
+	sf := w.ShuffleFraction
+	if sf <= 0 {
+		sf = 0.3
+	}
+	of := w.OutputFraction
+	if of <= 0 {
+		of = 0.05
+	}
+	blocks := int(w.TotalBytes / (128 << 20))
+	if blocks < env.Cluster.Size() {
+		blocks = env.Cluster.Size()
+	}
+	f, err := env.createInput("/wordcount/"+name, w.TotalBytes, blocks)
+	if err != nil {
+		return nil, err
+	}
+	perMap := w.TotalBytes / int64(blocks)
+	reduces := w.ReduceTasks
+	if reduces <= 0 {
+		reduces = 2 * env.Cluster.TotalCores()
+	}
+	shuffleTotal := int64(float64(w.TotalBytes) * sf)
+	outputTotal := int64(float64(w.TotalBytes) * of)
+	mapStage := &task.StageSpec{
+		ID:          0,
+		Name:        name + "/map",
+		NumTasks:    blocks,
+		InputBlocks: f.Blocks,
+		DeserCPU:    DeserCPUPerByte * float64(perMap),
+		// Tokenizing and emitting (word, 1) pairs is string-heavy.
+		OpCPU:           30e-9 * float64(perMap),
+		SerCPU:          SerCPUPerByte * float64(shuffleTotal/int64(blocks)),
+		ShuffleOutBytes: shuffleTotal / int64(blocks),
+	}
+	reduceStage := &task.StageSpec{
+		ID:          1,
+		Name:        name + "/reduce",
+		NumTasks:    reduces,
+		ParentIDs:   []int{0},
+		DeserCPU:    DeserCPUPerByte * float64(shuffleTotal/int64(reduces)),
+		OpCPU:       15e-9 * float64(shuffleTotal/int64(reduces)),
+		SerCPU:      SerCPUPerByte * float64(outputTotal/int64(reduces)),
+		OutputBytes: outputTotal / int64(reduces),
+	}
+	return &task.JobSpec{Name: name, Stages: []*task.StageSpec{mapStage, reduceStage}}, nil
+}

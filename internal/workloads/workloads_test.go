@@ -1,0 +1,225 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/task"
+)
+
+func env5x2HDD(t *testing.T) *Env {
+	t.Helper()
+	c := cluster.MustNew(5, cluster.M2_4XLarge())
+	return MustEnv(c)
+}
+
+func TestSortBuildStructure(t *testing.T) {
+	env := env5x2HDD(t)
+	job, err := Sort{TotalBytes: 10e9, ValuesPerKey: 10}.Build(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Stages) != 2 {
+		t.Fatalf("sort has %d stages, want 2", len(job.Stages))
+	}
+	m, r := job.Stages[0], job.Stages[1]
+	if m.InputBlocks == nil || m.ShuffleOutBytes == 0 {
+		t.Fatal("map stage must read blocks and write shuffle data")
+	}
+	if !r.HasShuffleInput() || r.OutputBytes == 0 {
+		t.Fatal("reduce stage must read shuffle data and write output")
+	}
+	// Conservation: shuffle out across maps == total bytes (±rounding).
+	totalShuffle := int64(m.NumTasks) * m.ShuffleOutBytes
+	if totalShuffle < 9e9 || totalShuffle > 10e9+1 {
+		t.Fatalf("total shuffle = %d, want ≈1e10", totalShuffle)
+	}
+}
+
+func TestSortCPUScalesWithRecordCount(t *testing.T) {
+	env := env5x2HDD(t)
+	small, _ := Sort{Name: "s1", TotalBytes: 10e9, ValuesPerKey: 1}.Build(env)
+	big, _ := Sort{Name: "s50", TotalBytes: 10e9, ValuesPerKey: 50}.Build(env)
+	// Same bytes, more records with small values ⇒ more CPU (§6.2).
+	if small.Stages[0].TotalCPU() <= big.Stages[0].TotalCPU() {
+		t.Fatalf("1-long sort CPU %v ≤ 50-long sort CPU %v; record-count scaling broken",
+			small.Stages[0].TotalCPU(), big.Stages[0].TotalCPU())
+	}
+	// I/O volumes identical.
+	if small.Stages[0].ShuffleOutBytes*int64(small.Stages[0].NumTasks) !=
+		big.Stages[0].ShuffleOutBytes*int64(big.Stages[0].NumTasks) {
+		t.Fatal("value size changed I/O volume; it must only change CPU")
+	}
+}
+
+func TestSortInMemoryInput(t *testing.T) {
+	env := env5x2HDD(t)
+	job, err := Sort{TotalBytes: 10e9, ValuesPerKey: 10, InMemoryInput: true}.Build(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := job.Stages[0]
+	if !m.InputFromMem || m.InputBlocks != nil {
+		t.Fatal("in-memory sort should not read blocks")
+	}
+	if m.DeserCPU != 0 {
+		t.Fatalf("in-memory input should have no deser CPU, got %v", m.DeserCPU)
+	}
+}
+
+func TestSortErrors(t *testing.T) {
+	env := env5x2HDD(t)
+	if _, err := (Sort{TotalBytes: 0, ValuesPerKey: 1}).Build(env); err == nil {
+		t.Fatal("zero-byte sort accepted")
+	}
+}
+
+func TestBDBAllQueriesBuild(t *testing.T) {
+	env := env5x2HDD(t)
+	for _, q := range BDBQueryNames() {
+		job, err := BDBQuery(q, env)
+		if err != nil {
+			t.Fatalf("q%s: %v", q, err)
+		}
+		if err := job.Validate(); err != nil {
+			t.Fatalf("q%s invalid: %v", q, err)
+		}
+	}
+	if _, err := BDBQuery("9z", env); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}
+
+func TestBDBQueryShapes(t *testing.T) {
+	env := env5x2HDD(t)
+	q1a, _ := BDBQuery("1a", env)
+	if len(q1a.Stages) != 1 {
+		t.Fatalf("q1a has %d stages, want 1 (pure scan)", len(q1a.Stages))
+	}
+	q2c, _ := BDBQuery("2c", env)
+	if len(q2c.Stages) != 2 {
+		t.Fatalf("q2c has %d stages, want 2", len(q2c.Stages))
+	}
+	q3c, _ := BDBQuery("3c", env)
+	if len(q3c.Stages) != 3 || len(q3c.Stages[2].ParentIDs) != 2 {
+		t.Fatal("q3c should be a 3-stage join with two parents")
+	}
+	// q1 variants differ only in output size.
+	q1b, _ := BDBQuery("1b", env)
+	q1c, _ := BDBQuery("1c", env)
+	outA := q1a.Stages[0].OutputBytes
+	outB := q1b.Stages[0].OutputBytes
+	outC := q1c.Stages[0].OutputBytes
+	if !(outA < outB && outB < outC) {
+		t.Fatalf("q1 output sizes %d, %d, %d not increasing", outA, outB, outC)
+	}
+}
+
+func TestBDBQ2MapIsCPUBound(t *testing.T) {
+	// Fig. 9's premise: q2c's scan stage should demand more CPU time than
+	// disk time on the paper's 5×2-HDD cluster.
+	env := env5x2HDD(t)
+	job, _ := BDBQuery("2c", env)
+	scan := job.Stages[0]
+	cpuIdeal := scan.TotalCPU() / float64(env.Cluster.TotalCores())
+	diskBytes := float64(uservisitsBytes) + float64(scan.ShuffleOutBytes*int64(scan.NumTasks))
+	diskIdeal := diskBytes / env.Cluster.TotalDiskBW()
+	if cpuIdeal <= diskIdeal {
+		t.Fatalf("q2c scan: cpu ideal %v ≤ disk ideal %v; should be CPU-bound", cpuIdeal, diskIdeal)
+	}
+}
+
+func TestMLBuild(t *testing.T) {
+	c := cluster.MustNew(15, cluster.I2_2XLarge(2))
+	env := MustEnv(c)
+	job, err := LeastSquares{}.Build(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Stages) != 6 {
+		t.Fatalf("ML job has %d stages, want 6", len(job.Stages))
+	}
+	for i, s := range job.Stages {
+		if !s.ShuffleInMemory {
+			t.Fatalf("stage %d shuffle not in memory; ML workload avoids disk", i)
+		}
+		if s.OutputBytes != 0 {
+			t.Fatalf("stage %d writes output; ML workload avoids disk", i)
+		}
+		if i > 0 && len(s.ParentIDs) != 1 {
+			t.Fatalf("stage %d should chain from previous", i)
+		}
+	}
+	if _, err := (LeastSquares{ColsPerBlock: 99999}).Build(env); err == nil {
+		t.Fatal("oversized column block accepted")
+	}
+}
+
+func TestReadComputeBuild(t *testing.T) {
+	c := cluster.MustNew(20, cluster.M2_4XLarge())
+	env := MustEnv(c)
+	for _, n := range []int{160, 480, 1920} {
+		job, err := ReadCompute{TotalBytes: 400e9, NumTasks: n}.Build(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Stages[0].NumTasks != n {
+			t.Fatalf("NumTasks = %d, want %d", job.Stages[0].NumTasks, n)
+		}
+		if len(job.Stages[0].InputBlocks) != n {
+			t.Fatalf("blocks = %d, want %d (repartitioned input)", len(job.Stages[0].InputBlocks), n)
+		}
+	}
+	if _, err := (ReadCompute{TotalBytes: 1, NumTasks: 0}).Build(env); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+}
+
+func TestWordCountBuild(t *testing.T) {
+	env := env5x2HDD(t)
+	job, err := WordCount{TotalBytes: 2e9}.Build(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Stages) != 2 {
+		t.Fatalf("word count has %d stages, want 2", len(job.Stages))
+	}
+	if _, err := (WordCount{}).Build(env); err == nil {
+		t.Fatal("zero-byte word count accepted")
+	}
+}
+
+func TestRecordBytes(t *testing.T) {
+	if RecordBytes(10) != 88 || RecordBytes(1) != 16 {
+		t.Fatalf("RecordBytes wrong: %d, %d", RecordBytes(10), RecordBytes(1))
+	}
+}
+
+func TestCreateInputTiling(t *testing.T) {
+	env := env5x2HDD(t)
+	f, err := env.createInput("/tile", 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, b := range f.Blocks {
+		sum += b.Bytes
+	}
+	if sum != 1000 {
+		t.Fatalf("blocks sum to %d, want 1000", sum)
+	}
+	if len(f.Blocks) != 7 {
+		t.Fatalf("%d blocks, want 7", len(f.Blocks))
+	}
+}
+
+var _ = task.JobSpec{} // keep the task import for godoc references

