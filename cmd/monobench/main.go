@@ -45,13 +45,14 @@ var experiments = map[string]func() ([]printer, error){
 	"fig18":     wrap1(figFig18),
 	"ablations": figAblations,
 	"failure":   figFailure,
+	"chaos":     figChaos,
 }
 
 // order lists experiments in paper order for `monobench all`.
 var order = []string{
 	"fig2", "sort", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig11", "fig12", "sec63", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"ablations", "failure",
+	"ablations", "failure", "chaos",
 }
 
 // csvDir, when set, receives each experiment's data as CSV files.

@@ -92,3 +92,11 @@ func figFailure() ([]printer, error) {
 	}
 	return []printer{r}, nil
 }
+
+func figChaos() ([]printer, error) {
+	r, err := figures.Chaos(24)
+	if err != nil {
+		return nil, err
+	}
+	return []printer{r}, nil
+}

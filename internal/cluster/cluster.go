@@ -189,6 +189,21 @@ func MustNew(n int, spec MachineSpec) *Cluster {
 	return c
 }
 
+// SetMachineSpeed rescales machine m's CPU, disks, and NIC to factor times
+// their configured rates from the current virtual time onward; factor 1
+// restores the machine. Unlike MachineSpec.Degraded (fixed at construction)
+// this is the dynamic straggler knob fault injection uses: a machine can slow
+// down mid-job and heal later, and every device model catches up in-flight
+// work at the old rate before applying the new one.
+func (c *Cluster) SetMachineSpeed(m int, factor float64) {
+	mach := c.Machines[m]
+	mach.CPU.SetSpeedFactor(factor)
+	for _, d := range mach.Disks {
+		d.SetSpeedFactor(factor)
+	}
+	c.Fabric.SetLinkSpeed(m, factor)
+}
+
 // Spec returns the per-machine specification.
 func (c *Cluster) Spec() MachineSpec { return c.spec }
 

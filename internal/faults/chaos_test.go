@@ -1,0 +1,178 @@
+// Chaos harness: real monospark jobs on real data under seeded random fault
+// plans. For every seed the job must either complete with correct, fully
+// sorted output or abort with a descriptive error — never hang or panic —
+// and running the same seed twice must produce a bit-identical outcome.
+package faults_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/monospark"
+)
+
+const (
+	chaosSeeds   = 24 // distinct fault plans per executor mode
+	chaosRecords = 6000
+)
+
+// chaosInput is a deterministic shuffled keyspace whose sort is verifiable:
+// sorted order is exactly ["00000000", "00000001", ...].
+func chaosInput() []any {
+	rng := rand.New(rand.NewSource(7))
+	recs := make([]any, chaosRecords)
+	for i, p := range rng.Perm(chaosRecords) {
+		recs[i] = monospark.Pair{Key: fmt.Sprintf("%08d", p), Value: 1}
+	}
+	return recs
+}
+
+// outcome folds everything a run exposes into a comparable value.
+type outcome struct {
+	completed bool
+	errStr    string
+	faults    int
+	hash      uint64
+}
+
+// chaosRun executes one seeded chaos run and folds the result. It fails the
+// test on contract violations (wrong output, undescriptive abort) but treats
+// a clean abort as a legitimate outcome.
+func chaosRun(t *testing.T, seed int64, mode monospark.Mode) outcome {
+	t.Helper()
+	ctx, err := monospark.New(monospark.Config{
+		Machines: 4,
+		Mode:     mode,
+		// Stretch per-record compute so the job spans tens of virtual seconds
+		// and overlaps the fault horizon; virtual time costs no wall time.
+		CPUCostPerRecord: 0.1,
+		Chaos: &monospark.ChaosConfig{
+			Seed: seed,
+			Random: faults.PlanConfig{
+				Horizon:           40,
+				Crashes:           1,
+				Stragglers:        1,
+				DiskErrorWindows:  1,
+				FlakyFetchWindows: 1,
+				TaskKills:         1,
+			},
+			// Above any healthy attempt's runtime: the timeout bounds the
+			// whole attempt, not just its fetch phase.
+			FetchRetryTimeout: 60,
+		},
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	ds, err := ctx.Parallelize(chaosInput(), 32)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	recs, _, err := ds.SortByKey().Collect()
+
+	out := outcome{faults: len(ctx.FaultEvents())}
+	h := fnv.New64a()
+	for _, f := range ctx.FaultEvents() {
+		fmt.Fprintf(h, "%v|", f)
+	}
+	if err != nil {
+		// Abort path: the error must describe what went wrong.
+		msg := err.Error()
+		if !strings.Contains(msg, "jobsched") && !strings.Contains(msg, "stage") {
+			t.Errorf("seed %d: abort error %q names neither the scheduler nor a stage", seed, msg)
+		}
+		out.errStr = msg
+		fmt.Fprintf(h, "err:%s", msg)
+		out.hash = h.Sum64()
+		return out
+	}
+	out.completed = true
+	if len(recs) != chaosRecords {
+		t.Errorf("seed %d: %d output records, want %d", seed, len(recs), chaosRecords)
+	}
+	for i, r := range recs {
+		p, ok := r.(monospark.Pair)
+		if !ok || p.Key != fmt.Sprintf("%08d", i) {
+			t.Errorf("seed %d: output record %d is %v, want key %08d", seed, i, r, i)
+			break
+		}
+		fmt.Fprintf(h, "%v|", r)
+	}
+	out.hash = h.Sum64()
+	return out
+}
+
+func TestChaosSeedsCompleteOrAbortReproducibly(t *testing.T) {
+	for _, mode := range []monospark.Mode{monospark.Monotasks, monospark.Spark} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			completed := 0
+			for seed := int64(1); seed <= chaosSeeds; seed++ {
+				first := chaosRun(t, seed, mode)
+				second := chaosRun(t, seed, mode)
+				if first != second {
+					t.Errorf("seed %d: two runs diverged:\n first: %+v\nsecond: %+v", seed, first, second)
+				}
+				if first.faults == 0 {
+					t.Errorf("seed %d: no faults were injected during the run", seed)
+				}
+				if first.completed {
+					completed++
+				}
+			}
+			// The plan mix is survivable (one crash on four machines, transient
+			// windows); most seeds should complete, and at least one must, or
+			// the harness is only exercising the abort path.
+			if completed == 0 {
+				t.Fatalf("0/%d seeds completed — fault mix too harsh to test recovery", chaosSeeds)
+			}
+			t.Logf("%s: %d/%d seeds completed (rest aborted cleanly)", mode, completed, chaosSeeds)
+		})
+	}
+}
+
+func TestChaosFaultsAppearInChromeTrace(t *testing.T) {
+	ctx, err := monospark.New(monospark.Config{
+		Machines:         4,
+		CPUCostPerRecord: 0.1,
+		Chaos: &monospark.ChaosConfig{
+			Seed: 3,
+			Random: faults.PlanConfig{
+				Horizon: 40, Crashes: 1, Stragglers: 1,
+				DiskErrorWindows: 1, FlakyFetchWindows: 1, TaskKills: 1,
+			},
+			FetchRetryTimeout: 60,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ctx.Parallelize(chaosInput(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jr, err := ds.SortByKey().Collect()
+	if err != nil {
+		t.Skipf("seed 3 aborted (%v); trace export needs a completed run", err)
+	}
+	if len(jr.FaultEvents()) == 0 {
+		t.Fatal("run recorded no fault events to export")
+	}
+	var b strings.Builder
+	if err := jr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"ph":"i"`) {
+		t.Fatal("trace has no instant events for the injected faults")
+	}
+	for _, needle := range []string{"machine-crash", "fault"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("trace does not mention %q", needle)
+		}
+	}
+}

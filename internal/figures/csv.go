@@ -153,11 +153,35 @@ func (r *AblationResult) CSV() *CSVTable {
 	return t
 }
 
-// CSV renders the failure experiment.
+// CSV renders the failure matrix.
 func (r *FailureResult) CSV() *CSVTable {
-	t := &CSVTable{Name: "failure", Header: []string{"system", "clean_s", "with_failure_s"}}
+	t := &CSVTable{Name: "failure", Header: []string{
+		"system", "phase", "replication", "speculation", "clean_s", "with_failure_s", "outcome"}}
 	for _, row := range r.Rows {
-		t.Rows = append(t.Rows, []string{row.System, f1(float64(row.Clean)), f1(float64(row.WithFailure))})
+		phase := row.Phase
+		if phase == "" {
+			phase = "reduce"
+		}
+		repl := row.Replication
+		if repl == 0 {
+			repl = 2
+		}
+		t.Rows = append(t.Rows, []string{
+			row.System, phase, fmt.Sprintf("%d", repl), fmt.Sprintf("%v", row.Speculation),
+			f1(float64(row.Clean)), f1(float64(row.WithFailure)), row.Outcome})
+	}
+	return t
+}
+
+// CSV renders the chaos harness verdicts.
+func (r *ChaosResult) CSV() *CSVTable {
+	t := &CSVTable{Name: "chaos", Header: []string{
+		"seed", "mode", "duration_s", "faults", "correct", "reproducible", "outcome"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Seed), row.Mode, f1(float64(row.Duration)),
+			fmt.Sprintf("%d", row.Faults), fmt.Sprintf("%v", row.Correct),
+			fmt.Sprintf("%v", row.Reproducible), row.Outcome})
 	}
 	return t
 }

@@ -1,93 +1,166 @@
 package figures
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/cluster"
+	"repro/internal/jobsched"
 	"repro/internal/run"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/workloads"
 )
 
-// FailureResult is the fault-tolerance extension experiment: one worker
-// fail-stops mid-job, the driver re-executes its in-flight tasks and
-// regenerates its lost shuffle outputs (Spark's FetchFailure → parent-stage
-// resubmission), and the job still completes — at a measurable cost. The
-// paper's frameworks all have this machinery (§2.1's bulk-synchronous
-// model); the experiment quantifies it under both executors.
+// FailureResult is the fault-tolerance extension experiment, run as a
+// matrix: one worker fail-stops during the map stage or during the reduce
+// stage, over replicated or unreplicated input, with speculation off or on,
+// under both executors. Recoverable combinations complete at a measurable
+// overhead (Spark's FetchFailure → parent-stage resubmission); the
+// unreplicated-input map-failure combinations abort with a descriptive
+// error — a single-replica DFS cannot survive losing an input block's only
+// home. The paper's frameworks all carry this machinery (§2.1's
+// bulk-synchronous model); the experiment quantifies it.
 type FailureResult struct {
 	Rows []FailureRow
 }
 
-// FailureRow is one system's clean-vs-failure comparison.
+// FailureRow is one (system, phase, replication, speculation) cell.
 type FailureRow struct {
 	System      string
-	Clean       sim.Duration
+	Phase       string // stage the failure lands in: "map" or "reduce"
+	Replication int    // input replication factor
+	Speculation bool
+	Clean       sim.Duration // same configuration without the failure
 	WithFailure sim.Duration
+	Outcome     string // "completed", or the abort reason
 }
 
 // Overhead is the failure run's slowdown relative to the clean run.
 func (r FailureRow) Overhead() float64 { return float64(r.WithFailure)/float64(r.Clean) - 1 }
 
-// Failure runs a replicated-input sort twice per system: once cleanly and
-// once with a machine failing during the reduce stage.
+// Completed reports whether the failure run finished despite the fault.
+func (r FailureRow) Completed() bool { return r.Outcome == "completed" }
+
+const (
+	failureMachines  = 5
+	failureMachineID = 4 // the worker that fail-stops
+	// Failure phase positions as fractions of the clean runtime: early
+	// enough to land in the map stage, and past the map/reduce boundary.
+	mapFailFrac    = 0.15
+	reduceFailFrac = 0.60
+)
+
+// failureWorkload is the experiment's sort, sized to keep the 24-run matrix
+// quick while still spanning a multi-second map and reduce.
+func failureWorkload(replication int) workloads.Sort {
+	return workloads.Sort{TotalBytes: 20 * units.GB, ValuesPerKey: 25, InputReplication: replication}
+}
+
+// failureRun executes one cell: the sort under mode with the given input
+// replication and speculation setting, failing machine failureMachineID at
+// failAt (no failure when failAt <= 0). It returns the job duration and the
+// outcome string.
+func failureRun(mode run.Mode, replication int, speculation bool, failAt sim.Time) (sim.Duration, string, error) {
+	c, err := cluster.New(failureMachines, cluster.M2_4XLarge())
+	if err != nil {
+		return 0, "", err
+	}
+	env, err := workloads.NewEnv(c)
+	if err != nil {
+		return 0, "", err
+	}
+	job, err := failureWorkload(replication).Build(env)
+	if err != nil {
+		return 0, "", err
+	}
+	d, err := run.Driver(c, env.FS, run.Options{Mode: mode, Sched: jobsched.Config{Speculation: speculation}})
+	if err != nil {
+		return 0, "", err
+	}
+	h, err := d.Submit(job)
+	if err != nil {
+		return 0, "", err
+	}
+	if failAt > 0 {
+		var failErr error
+		c.Engine.At(failAt, func() { failErr = d.FailMachine(failureMachineID) })
+		d.Run()
+		if failErr != nil {
+			return 0, "", failErr
+		}
+	} else {
+		d.Run()
+	}
+	outcome := "completed"
+	if err := h.Err(); err != nil {
+		outcome = fmt.Sprintf("aborted: %v", err)
+	}
+	return h.Metrics.Duration(), outcome, nil
+}
+
+// Failure runs the full matrix: {spark, monotasks} × {map, reduce failure}
+// × {replication 1, 2} × {speculation off, on}, each against its own clean
+// baseline.
 func Failure() (*FailureResult, error) {
-	sortW := workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: 25, InputReplication: 2}
 	out := &FailureResult{}
 	for _, mode := range []run.Mode{run.Spark, run.Monotasks} {
-		times := [2]sim.Duration{}
-		for i, fail := range []bool{false, true} {
-			c, err := cluster.New(5, cluster.M2_4XLarge())
-			if err != nil {
-				return nil, err
-			}
-			env, err := workloads.NewEnv(c)
-			if err != nil {
-				return nil, err
-			}
-			job, err := sortW.Build(env)
-			if err != nil {
-				return nil, err
-			}
-			d, err := run.Driver(c, env.FS, run.Options{Mode: mode})
-			if err != nil {
-				return nil, err
-			}
-			h, err := d.Submit(job)
-			if err != nil {
-				return nil, err
-			}
-			if fail {
-				// Clean-run stage boundaries put the reduce mid-flight at
-				// ~60% of the clean runtime.
-				failAt := times[0] * 6 / 10
-				var failErr error
-				c.Engine.At(failAt, func() { failErr = d.FailMachine(4) })
-				d.Run()
-				if failErr != nil {
-					return nil, failErr
+		for _, replication := range []int{1, 2} {
+			for _, speculation := range []bool{false, true} {
+				clean, cleanOutcome, err := failureRun(mode, replication, speculation, 0)
+				if err != nil {
+					return nil, err
 				}
-			} else {
-				d.Run()
+				if cleanOutcome != "completed" {
+					return nil, fmt.Errorf("figures: clean %v run did not complete: %s", mode, cleanOutcome)
+				}
+				for _, phase := range []struct {
+					name string
+					frac float64
+				}{{"map", mapFailFrac}, {"reduce", reduceFailFrac}} {
+					dur, outcome, err := failureRun(mode, replication, speculation,
+						sim.Time(float64(clean)*phase.frac))
+					if err != nil {
+						return nil, err
+					}
+					out.Rows = append(out.Rows, FailureRow{
+						System:      mode.String(),
+						Phase:       phase.name,
+						Replication: replication,
+						Speculation: speculation,
+						Clean:       clean,
+						WithFailure: dur,
+						Outcome:     outcome,
+					})
+				}
 			}
-			times[i] = h.Metrics.Duration()
 		}
-		out.Rows = append(out.Rows, FailureRow{
-			System:      mode.String(),
-			Clean:       times[0],
-			WithFailure: times[1],
-		})
 	}
 	return out, nil
 }
 
-// Fprint renders the comparison.
+// Fprint renders the matrix.
 func (r *FailureResult) Fprint(w io.Writer) {
-	fprintf(w, "Extension: fail-stop of 1 of 5 workers mid-reduce (sort, replicated input)\n")
-	fprintf(w, "%-12s %10s %13s %10s\n", "system", "clean(s)", "w/ failure(s)", "overhead")
+	fprintf(w, "Extension: fail-stop of 1 of %d workers (sort, 20 GB), by phase × replication × speculation\n", failureMachines)
+	fprintf(w, "%-12s %-7s %5s %5s %9s %13s %9s  %s\n",
+		"system", "phase", "repl", "spec", "clean(s)", "w/ failure(s)", "overhead", "outcome")
 	for _, row := range r.Rows {
-		fprintf(w, "%-12s %10.1f %13.1f %9.0f%%\n",
-			row.System, float64(row.Clean), float64(row.WithFailure), row.Overhead()*100)
+		spec := "off"
+		if row.Speculation {
+			spec = "on"
+		}
+		overhead := "-"
+		outcome := row.Outcome
+		if row.Completed() {
+			overhead = fprintfPct(row.Overhead())
+		} else if len(outcome) > 60 {
+			outcome = outcome[:57] + "..."
+		}
+		fprintf(w, "%-12s %-7s %5d %5s %9.1f %13.1f %9s  %s\n",
+			row.System, row.Phase, row.Replication, spec,
+			float64(row.Clean), float64(row.WithFailure), overhead, outcome)
 	}
 }
+
+// fprintfPct renders a ratio as a percentage string.
+func fprintfPct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

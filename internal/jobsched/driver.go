@@ -7,10 +7,18 @@
 // pipelined executor, cores + disk concurrency + network concurrency + 1
 // for monotasks — which is exactly the paper's point about where concurrency
 // control should live.
+//
+// Beyond placement, the driver owns the resilience policies real frameworks
+// layer on the bulk-synchronous model (§2.1): bounded per-task retry budgets,
+// per-machine failure counting with timed exclusion, machine crash and
+// recovery, and fetch retry timeouts. A job either completes or aborts with
+// a descriptive error on its JobHandle — the driver never panics on a
+// failure path.
 package jobsched
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/dfs"
@@ -27,13 +35,24 @@ type JobHandle struct {
 	stages    []*stageState
 	remaining int
 	done      bool
+	failed    bool
+	err       error
 	// base offsets this job's stage IDs in the shared shuffle tracker so
 	// concurrent jobs' outputs cannot collide.
 	base int
 }
 
-// Done reports whether every stage has completed.
+// Done reports whether every stage has completed successfully.
 func (h *JobHandle) Done() bool { return h.done }
+
+// Failed reports whether the job was aborted.
+func (h *JobHandle) Failed() bool { return h.failed }
+
+// Err returns the abort reason for a failed job, nil otherwise.
+func (h *JobHandle) Err() error { return h.err }
+
+// finished reports whether the job needs no further scheduling.
+func (h *JobHandle) finished() bool { return h.done || h.failed }
 
 // attempt is one execution of one task index (speculation and failure
 // recovery can create several per index).
@@ -41,8 +60,8 @@ type attempt struct {
 	machine int
 	start   sim.Time
 	// retired attempts no longer count: they lost a race, their machine
-	// died, or their input was invalidated. Their eventual completion
-	// callbacks are ignored.
+	// died, their fetch timed out, or their input was invalidated. Their
+	// eventual completion callbacks are ignored.
 	retired bool
 }
 
@@ -64,6 +83,7 @@ type stageState struct {
 	attempts  map[int][]*attempt
 	doneTasks []bool
 	durations []float64 // completed-attempt durations, for speculation
+	failures  []int     // failed attempts per task, against MaxTaskFailures
 }
 
 func (s *stageState) runnable() bool {
@@ -101,6 +121,20 @@ type Driver struct {
 	dead    []bool
 	cfg     Config
 
+	// inflight counts launch callbacks not yet fired per machine —
+	// including retired "zombie" attempts the executor is still simulating.
+	// The invariant free[w] = MaxConcurrentTasks(w) − inflight[w] (for live,
+	// non-drained machines) is what lets RecoverMachine re-register exactly
+	// the capacity the zombies are not holding.
+	inflight []int
+
+	// Exclusion (Spark's blacklisting): a machine accumulating failures is
+	// barred from new assignments until its backoff expires.
+	excluded        []bool
+	excludeUntil    []sim.Time
+	excludeCount    []int // times excluded, for exponential backoff
+	machineFailures []int // failures since last reset
+
 	jobs      []*JobHandle
 	jobCursor int
 	nextBase  int
@@ -124,9 +158,18 @@ func NewWithConfig(c *cluster.Cluster, fs *dfs.FS, execs []task.Executor, cfg Co
 		}
 		d.free = append(d.free, e.MaxConcurrentTasks())
 	}
-	d.dead = make([]bool, len(execs))
+	n := len(execs)
+	d.dead = make([]bool, n)
+	d.inflight = make([]int, n)
+	d.excluded = make([]bool, n)
+	d.excludeUntil = make([]sim.Time, n)
+	d.excludeCount = make([]int, n)
+	d.machineFailures = make([]int, n)
 	return d, nil
 }
+
+// available reports whether machine w may receive new tasks.
+func (d *Driver) available(w int) bool { return !d.dead[w] && !d.excluded[w] }
 
 // Submit queues a job; its first stages begin at the next scheduling pass.
 // Call Run (or drive the cluster engine) afterwards.
@@ -150,6 +193,7 @@ func (d *Driver) Submit(spec *task.JobSpec) (*JobHandle, error) {
 			pending:   make([]int, 0, ss.NumTasks),
 			attempts:  make(map[int][]*attempt),
 			doneTasks: make([]bool, ss.NumTasks),
+			failures:  make([]int, ss.NumTasks),
 		}
 		st.metrics.Tasks = make([]*task.TaskMetrics, ss.NumTasks)
 		for i := 0; i < ss.NumTasks; i++ {
@@ -169,43 +213,62 @@ func (d *Driver) Submit(spec *task.JobSpec) (*JobHandle, error) {
 }
 
 // Run drives the simulation until all submitted jobs finish and returns
-// their metrics in submission order.
+// their metrics in submission order. Jobs that aborted (retry budget
+// exhausted, unrecoverable data loss) or stalled carry their reason on
+// JobHandle.Err; Run never panics on a failure path.
 func (d *Driver) Run() []*task.JobMetrics {
 	d.cluster.Engine.Run()
 	out := make([]*task.JobMetrics, 0, len(d.jobs))
 	for _, h := range d.jobs {
-		if !h.done {
-			panic(fmt.Sprintf("jobsched: engine drained but job %q incomplete (deadlock in task DAG?)", h.Spec.Name))
+		if !h.done && !h.failed {
+			// The engine drained with work outstanding: every machine that
+			// could host the remaining tasks is gone, or the DAG deadlocked.
+			d.abortJob(h, fmt.Errorf("jobsched: job %q stalled with %d stages incomplete (all capable machines failed, or the task DAG deadlocked)", h.Spec.Name, h.remaining))
 		}
 		out = append(out, h.Metrics)
 	}
 	return out
 }
 
+// Wait runs the simulation to completion and returns the first submitted
+// job's abort reason, nil if every job completed. Per-job outcomes remain
+// on each JobHandle (Done / Err).
+func (d *Driver) Wait() error {
+	d.Run()
+	for _, h := range d.jobs {
+		if h.err != nil {
+			return h.err
+		}
+	}
+	return nil
+}
+
 // schedule fills free slots one task per worker per pass (round robin), so
 // a stage smaller than the cluster's total concurrency still spreads across
 // machines instead of piling onto the lowest-numbered ones. It is called on
 // submission and on every task completion. When no regular work fits, the
-// speculation policy may launch backup attempts.
+// speculation policy may launch backup attempts. Dead and excluded machines
+// receive nothing.
 func (d *Driver) schedule() {
 	for {
 		progress := false
 		for w := range d.execs {
-			if d.dead[w] || d.free[w] == 0 {
+			if !d.available(w) || d.free[w] == 0 {
 				continue
 			}
 			st, idx := d.pickTask(w)
 			if st == nil {
 				continue
 			}
-			d.launch(st, idx, w)
-			progress = true
+			if d.launch(st, idx, w) {
+				progress = true
+			}
 		}
 		if progress {
 			continue
 		}
 		for w := range d.execs {
-			if d.dead[w] || d.free[w] == 0 {
+			if !d.available(w) || d.free[w] == 0 {
 				continue
 			}
 			if d.maybeSpeculate(w) {
@@ -226,6 +289,9 @@ func (d *Driver) pickTask(w int) (*stageState, int) {
 	n := len(d.jobs)
 	for off := 0; off < n; off++ {
 		h := d.jobs[(d.jobCursor+off)%n]
+		if h.finished() {
+			continue
+		}
 		for _, st := range h.stages {
 			if !st.runnable() {
 				continue
@@ -263,17 +329,20 @@ func (d *Driver) pickFromStage(st *stageState, w int) (int, bool) {
 	return 0, false
 }
 
-// hasFreeHome reports whether any replica's machine has an open slot.
+// hasFreeHome reports whether any replica's machine has an open slot it
+// could be assigned work on.
 func (d *Driver) hasFreeHome(replicas []dfs.Location) bool {
 	for _, r := range replicas {
-		if !d.dead[r.Machine] && d.free[r.Machine] > 0 {
+		if d.available(r.Machine) && d.free[r.Machine] > 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// liveReplica returns a replica of b on a live machine.
+// liveReplica returns a replica of b on a live machine. Excluded machines
+// qualify: exclusion bars task assignment, not data access — their disks
+// still serve reads.
 func (d *Driver) liveReplica(b *dfs.Block) (dfs.Location, bool) {
 	for _, r := range b.Replicas {
 		if !d.dead[r.Machine] {
@@ -283,16 +352,24 @@ func (d *Driver) liveReplica(b *dfs.Block) (dfs.Location, bool) {
 	return dfs.Location{}, false
 }
 
-// launch takes the pending task at position pos of st and runs it on w.
-func (d *Driver) launch(st *stageState, pos, w int) {
+// launch takes the pending task at position pos of st and runs it on w,
+// reporting whether an attempt actually started.
+func (d *Driver) launch(st *stageState, pos, w int) bool {
 	ti := st.pending[pos]
 	st.pending = append(st.pending[:pos], st.pending[pos+1:]...)
-	d.launchAttempt(st, ti, w)
+	return d.launchAttempt(st, ti, w)
 }
 
 // launchAttempt starts one attempt of task ti on worker w (first run,
-// failure retry, or speculative backup).
-func (d *Driver) launchAttempt(st *stageState, ti, w int) {
+// failure retry, or speculative backup). A task that cannot be resolved —
+// every replica of its input block is on a failed machine — aborts the job
+// instead of launching.
+func (d *Driver) launchAttempt(st *stageState, ti, w int) bool {
+	t, err := d.resolve(st, ti, w)
+	if err != nil {
+		d.abortJob(st.job, fmt.Errorf("jobsched: job %q: resolving task %d of stage %q: %w", st.job.Spec.Name, ti, st.spec.Name, err))
+		return false
+	}
 	att := &attempt{machine: w, start: d.cluster.Engine.Now()}
 	st.attempts[ti] = append(st.attempts[ti], att)
 	st.running++
@@ -300,23 +377,29 @@ func (d *Driver) launchAttempt(st *stageState, ti, w int) {
 		st.started = true
 		st.metrics.Start = d.cluster.Engine.Now()
 	}
-	t, err := d.resolve(st, ti, w)
-	if err != nil {
-		panic(fmt.Sprintf("jobsched: resolving task %d of stage %q: %v", ti, st.spec.Name, err))
-	}
 	d.free[w]--
+	d.inflight[w]++
 	d.execs[w].Launch(t, func(m *task.TaskMetrics) {
+		d.inflight[w]--
 		if att.retired {
-			// The machine failed or the attempt's input was invalidated;
-			// accounting was already unwound. Dead machines' slots stay zero.
+			// The machine failed, the fetch timed out, or the attempt's input
+			// was invalidated; accounting was already unwound. The executor
+			// slot the zombie held opens up now. Dead machines' slots stay
+			// zero until recovery.
 			if !d.dead[w] {
 				d.free[w]++
 			}
+			d.schedule()
 			return
 		}
 		att.retired = true
 		d.free[w]++
 		st.running--
+		if m.Failed {
+			d.handleAttemptFailure(st, ti, w, m.FailReason)
+			d.schedule()
+			return
+		}
 		if st.doneTasks[ti] {
 			// A competing speculative attempt already won.
 			d.schedule()
@@ -334,6 +417,10 @@ func (d *Driver) launchAttempt(st *stageState, ti, w int) {
 		}
 		d.schedule()
 	})
+	if d.cfg.FetchRetryTimeout > 0 && (len(t.Fetches) > 0 || t.RemoteRead != nil) {
+		d.armFetchTimeout(st, ti, att, w)
+	}
+	return true
 }
 
 // stageBase namespaces stage IDs per job in the shared shuffle tracker.
@@ -356,6 +443,31 @@ func (d *Driver) finishStage(st *stageState) {
 		h.done = true
 		h.Metrics.End = d.cluster.Engine.Now()
 	}
+}
+
+// abortJob fails h with err: live attempts are retired (their executors
+// finish simulating them as zombies, releasing slots on completion), queued
+// work is dropped, and the error is surfaced through JobHandle.Err and
+// Driver.Wait. Other jobs sharing the driver continue unaffected.
+func (d *Driver) abortJob(h *JobHandle, err error) {
+	if h.finished() {
+		return
+	}
+	h.failed = true
+	h.err = err
+	h.Metrics.End = d.cluster.Engine.Now()
+	for _, st := range h.stages {
+		st.pending = st.pending[:0]
+		for _, atts := range st.attempts {
+			for _, a := range atts {
+				if !a.retired {
+					a.retired = true
+					st.running--
+				}
+			}
+		}
+	}
+	d.schedule()
 }
 
 // resolve turns (stage, index) into a concrete Task for machine w.
@@ -393,4 +505,14 @@ func (d *Driver) resolve(st *stageState, ti, w int) (*task.Task, error) {
 		t.Fetches = fetches
 	}
 	return t, nil
+}
+
+// requeue returns ti to st's pending queue unless it already has a live
+// attempt, a winning attempt, or is queued.
+func (d *Driver) requeue(st *stageState, ti int) {
+	if st.doneTasks[ti] || st.inPending(ti) || st.hasLiveAttempt(ti) {
+		return
+	}
+	st.pending = append(st.pending, ti)
+	sort.Ints(st.pending)
 }

@@ -21,6 +21,28 @@ type Config struct {
 	// SpeculationMinFraction is the completed fraction of the stage
 	// required before any speculation. Default 0.75.
 	SpeculationMinFraction float64
+
+	// MaxTaskFailures bounds how many attempts of a single task may fail —
+	// transient executor faults, injected kills, fetch timeouts; attempts
+	// lost to a machine crash are not charged — before the job aborts with
+	// an error on its JobHandle (Spark's spark.task.maxFailures). Default 4.
+	MaxTaskFailures int
+	// ExcludeAfterFailures is the per-machine failed-attempt count at which
+	// the machine is excluded from new task assignments (Spark's executor
+	// blacklisting / health tracker). The count resets on re-admission and
+	// on recovery. Default 3; set to -1 to disable exclusion.
+	ExcludeAfterFailures int
+	// ExcludeBackoff is the first exclusion's length in virtual seconds;
+	// each consecutive exclusion of the same machine doubles the backoff
+	// (capped at 64× the base). Default 30.
+	ExcludeBackoff sim.Duration
+	// FetchRetryTimeout, when positive, bounds how long an attempt with
+	// remote input (shuffle fetches or a non-local block read) may run
+	// before the driver abandons it and retries the task elsewhere,
+	// charging a failure to the attempt's machine. Zero disables the
+	// timeout: the simulated network never loses data, so timeouts only
+	// matter under injected faults.
+	FetchRetryTimeout sim.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -29,6 +51,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpeculationMinFraction <= 0 {
 		c.SpeculationMinFraction = 0.75
+	}
+	if c.MaxTaskFailures <= 0 {
+		c.MaxTaskFailures = 4
+	}
+	if c.ExcludeAfterFailures == 0 {
+		c.ExcludeAfterFailures = 3
+	}
+	if c.ExcludeBackoff <= 0 {
+		c.ExcludeBackoff = 30
 	}
 	return c
 }
@@ -43,9 +74,11 @@ func (c Config) withDefaults() Config {
 //   - reduce tasks that were mid-fetch from m are re-queued (their fetch
 //     would have failed).
 //
-// Input blocks whose only replica lived on m are lost for good: resolving a
-// task for such a block panics with a descriptive message, as a single-
-// replica DFS must. Schedule failures after the input stage, or replicate.
+// Input blocks whose only replica lived on m are lost for good: a job that
+// still needs such a block aborts with a descriptive error on its JobHandle
+// (never a panic), as a single-replica DFS must. Schedule failures after the
+// input stage, replicate, or accept the abort. A failed machine may later
+// rejoin via RecoverMachine.
 func (d *Driver) FailMachine(m int) error {
 	if m < 0 || m >= len(d.execs) {
 		return fmt.Errorf("jobsched: no machine %d", m)
@@ -55,8 +88,11 @@ func (d *Driver) FailMachine(m int) error {
 	}
 	d.dead[m] = true
 	d.free[m] = 0
+	// Death supersedes exclusion; recovery starts with a clean record.
+	d.excluded[m] = false
+	d.machineFailures[m] = 0
 	for _, h := range d.jobs {
-		if h.done {
+		if h.finished() {
 			continue
 		}
 		for _, st := range h.stages {
@@ -166,9 +202,9 @@ func (d *Driver) reopenStage(h *JobHandle, st *stageState, lost []int) {
 				}
 				a.retired = true
 				child.running--
-				if !d.dead[a.machine] {
-					d.free[a.machine]++
-				}
+				// The slot is NOT freed here: the executor is still simulating
+				// the abandoned attempt, and its completion callback releases
+				// the slot exactly once (free = capacity − inflight).
 				if !child.doneTasks[ti] && !child.inPending(ti) && !child.hasLiveAttempt(ti) {
 					child.pending = append(child.pending, ti)
 				}
@@ -186,7 +222,7 @@ func (d *Driver) maybeSpeculate(w int) bool {
 	}
 	now := d.cluster.Engine.Now()
 	for _, h := range d.jobs {
-		if h.done {
+		if h.finished() {
 			continue
 		}
 		for _, st := range h.stages {
@@ -194,8 +230,7 @@ func (d *Driver) maybeSpeculate(w int) bool {
 			if !ok {
 				continue
 			}
-			d.launchAttempt(st, ti, w)
-			return true
+			return d.launchAttempt(st, ti, w)
 		}
 	}
 	return false

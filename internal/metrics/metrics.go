@@ -173,3 +173,25 @@ func (u MeasuredUsage) Add(v MeasuredUsage) MeasuredUsage {
 	u.NetBytes += v.NetBytes
 	return u
 }
+
+// EventMark annotates a point on the cluster timeline — a fault injection, a
+// machine recovery, a policy decision — so utilization plots and traces can
+// show *why* a utilization series changed shape (a crash looks identical to
+// a workload phase change without the mark). internal/faults produces these
+// from its injection log.
+type EventMark struct {
+	At      sim.Time
+	Label   string
+	Machine int // -1 for cluster-wide marks
+}
+
+// MarksInWindow filters marks to [t0, t1), preserving order.
+func MarksInWindow(marks []EventMark, t0, t1 sim.Time) []EventMark {
+	var out []EventMark
+	for _, m := range marks {
+		if m.At >= t0 && m.At < t1 {
+			out = append(out, m)
+		}
+	}
+	return out
+}

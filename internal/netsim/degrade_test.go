@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// SetLinkSpeed is fault injection's NIC-degradation knob: it rescales one
+// machine's ingress and egress mid-run and must stretch in-flight flows
+// exactly, then heal when restored to 1.
+
+func TestSetLinkSpeedMidFlow(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, 2, 100e6)
+	var done sim.Time
+	f.Transfer(0, 1, 200e6, func() { done = eng.Now() })
+	// 1 s at 100 MB/s moves 100 MB; the rest at 50 MB/s takes 2 s more.
+	eng.At(1, func() { f.SetLinkSpeed(0, 0.5) })
+	eng.Run()
+	if !almostEqual(float64(done), 3.0) {
+		t.Fatalf("degraded flow finished at %v, want 3.0", done)
+	}
+}
+
+func TestSetLinkSpeedRestores(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, 2, 100e6)
+	var done sim.Time
+	f.Transfer(0, 1, 300e6, func() { done = eng.Now() })
+	eng.At(1, func() { f.SetLinkSpeed(1, 0.5) }) // degrade the receiver
+	eng.At(3, func() { f.SetLinkSpeed(1, 1) })
+	eng.Run()
+	// 100 MB + 100 MB (at half) + 100 MB.
+	if !almostEqual(float64(done), 4.0) {
+		t.Fatalf("degrade-then-heal flow finished at %v, want 4.0", done)
+	}
+}
+
+func TestSetLinkSpeedOnlyAffectsThatMachine(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, 4, 100e6)
+	var slow, fast sim.Time
+	f.SetLinkSpeed(0, 0.5)
+	f.Transfer(0, 1, 100e6, func() { slow = eng.Now() })
+	f.Transfer(2, 3, 100e6, func() { fast = eng.Now() })
+	eng.Run()
+	if !almostEqual(float64(slow), 2.0) {
+		t.Fatalf("flow from degraded machine finished at %v, want 2.0", slow)
+	}
+	if !almostEqual(float64(fast), 1.0) {
+		t.Fatalf("flow on untouched machines finished at %v, want 1.0", fast)
+	}
+}

@@ -22,6 +22,10 @@ type NIC struct {
 	id        int
 	egressBW  float64
 	ingressBW float64
+	// base capacities, so dynamic degradation factors compose from the
+	// configured rates rather than compounding.
+	baseEgressBW  float64
+	baseIngressBW float64
 
 	// UtilOut and UtilIn track the utilization (0..1) of the egress and
 	// ingress directions.
@@ -94,7 +98,7 @@ func NewFabricBW(eng *sim.Engine, linkBWs []float64) *Fabric {
 		if bw <= 0 {
 			panic("netsim: fabric needs positive bandwidth")
 		}
-		f.nics = append(f.nics, &NIC{id: i, egressBW: bw, ingressBW: bw})
+		f.nics = append(f.nics, &NIC{id: i, egressBW: bw, ingressBW: bw, baseEgressBW: bw, baseIngressBW: bw})
 	}
 	return f
 }
@@ -130,6 +134,24 @@ func (f *Fabric) Transfer(src, dst int, bytes int64, done func()) *Flow {
 	dstNIC.BytesInCum.Set(now, float64(dstNIC.bytesIn))
 	f.rerate()
 	return fl
+}
+
+// SetLinkSpeed rescales machine i's NIC to factor times its configured
+// full-duplex bandwidth from the current virtual time onward (1 restores
+// it). In-flight flows are drained at the old rates first, then every flow's
+// max-min fair share is recomputed — the dynamic NIC-degradation knob.
+func (f *Fabric) SetLinkSpeed(i int, factor float64) {
+	if i < 0 || i >= len(f.nics) {
+		panic("netsim: SetLinkSpeed machine out of range")
+	}
+	if factor <= 0 {
+		panic("netsim: link speed factor must be positive")
+	}
+	f.advance()
+	n := f.nics[i]
+	n.egressBW = n.baseEgressBW * factor
+	n.ingressBW = n.baseIngressBW * factor
+	f.rerate()
 }
 
 // Cancel abandons an in-flight flow.

@@ -36,6 +36,10 @@ type Options struct {
 	// FetchWindow is how many chunk fetches a reduce task keeps in flight.
 	// Default 2 (Spark's maxSizeInFlight spirit).
 	FetchWindow int
+	// Faults, when set, is consulted once per launched attempt; attempts it
+	// fails occupy their slot briefly and complete with TaskMetrics.Failed,
+	// exercising the driver's retry and exclusion policies (internal/faults).
+	Faults task.FaultInjector
 }
 
 func (o Options) withDefaults(m *cluster.Machine) Options {
@@ -108,6 +112,23 @@ func (w *Worker) MaxConcurrentTasks() int { return w.opts.TasksPerMachine }
 func (w *Worker) Launch(t *task.Task, done func(*task.TaskMetrics)) {
 	if t.Machine != w.machine.ID {
 		panic(fmt.Sprintf("pipeexec: task for machine %d launched on %d", t.Machine, w.machine.ID))
+	}
+	if w.opts.Faults != nil {
+		if reason, after, failed := w.opts.Faults.AttemptFault(t, w.eng.Now()); failed {
+			tm := &task.TaskMetrics{
+				StageID:    t.Stage.ID,
+				Index:      t.Index,
+				Machine:    t.Machine,
+				Start:      w.eng.Now(),
+				Failed:     true,
+				FailReason: reason,
+			}
+			w.eng.After(after, func() {
+				tm.End = w.eng.Now()
+				done(tm)
+			})
+			return
+		}
 	}
 	rt := &runningTask{
 		w: w,

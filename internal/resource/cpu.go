@@ -59,6 +59,12 @@ func (c *CPU) Run(coreSeconds float64, done func()) *Job {
 	return c.srv.Add(coreSeconds, done)
 }
 
+// SetSpeedFactor rescales the processor to factor times its configured rate
+// from the current virtual time onward (1 restores it) — the dynamic
+// straggler knob: unlike NewCPUWithSpeed it can change mid-run, which fault
+// injection uses to degrade and heal machines.
+func (c *CPU) SetSpeedFactor(factor float64) { c.srv.setSpeed(factor) }
+
 // Cancel abandons an in-flight job.
 func (c *CPU) Cancel(j *Job) { c.srv.Remove(j) }
 

@@ -1,0 +1,64 @@
+package resource
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Dynamic speed-factor changes are the substrate for fault injection's
+// stragglers and failing devices: a factor of f mid-run must stretch the
+// remaining work by exactly 1/f, and restoring to 1 must heal cleanly.
+
+func TestDiskSetSpeedFactorMidTransfer(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, noSeekHDD(100e6, 0.35))
+	var done sim.Time
+	d.Read(200e6, func() { done = eng.Now() })
+	// First second at full speed covers 100 MB; the remaining 100 MB at
+	// half speed takes 2 s more.
+	eng.At(1, func() { d.SetSpeedFactor(0.5) })
+	eng.Run()
+	if !almostEqual(float64(done), 3.0) {
+		t.Fatalf("degraded read finished at %v, want 3.0", done)
+	}
+}
+
+func TestDiskSpeedFactorRestores(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, noSeekHDD(100e6, 0.35))
+	var done sim.Time
+	d.Read(300e6, func() { done = eng.Now() })
+	// 1 s full speed (100 MB) + 2 s at half (100 MB) + 1 s healed (100 MB).
+	eng.At(1, func() { d.SetSpeedFactor(0.5) })
+	eng.At(3, func() { d.SetSpeedFactor(1) })
+	eng.Run()
+	if !almostEqual(float64(done), 4.0) {
+		t.Fatalf("degrade-then-heal read finished at %v, want 4.0", done)
+	}
+}
+
+func TestCPUSetSpeedFactorMidJob(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCPU(eng, 1)
+	var done sim.Time
+	c.Run(2, func() { done = eng.Now() })
+	// 1 core-second done at full rate, the second one at quarter rate.
+	eng.At(1, func() { c.SetSpeedFactor(0.25) })
+	eng.Run()
+	if !almostEqual(float64(done), 5.0) {
+		t.Fatalf("degraded compute finished at %v, want 5.0", done)
+	}
+}
+
+func TestCPUSpeedFactorAffectsNewJobs(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCPU(eng, 2)
+	c.SetSpeedFactor(0.5)
+	var done sim.Time
+	c.Run(1, func() { done = eng.Now() })
+	eng.Run()
+	if !almostEqual(float64(done), 2.0) {
+		t.Fatalf("compute on pre-degraded CPU finished at %v, want 2.0", done)
+	}
+}

@@ -182,6 +182,12 @@ func (d *Disk) countWrite(bytes int64) {
 	d.WriteCum.Set(d.eng.Now(), float64(d.bytesWritten))
 }
 
+// SetSpeedFactor rescales the drive to factor times its configured bandwidth
+// from the current virtual time onward (1 restores it). Fault injection uses
+// it to model a degraded drive — remapped sectors, a failing controller —
+// without changing the spec the performance model reads.
+func (d *Disk) SetSpeedFactor(factor float64) { d.srv.setSpeed(factor) }
+
 // Cancel abandons an in-flight request.
 func (d *Disk) Cancel(j *Job) { d.srv.Remove(j) }
 

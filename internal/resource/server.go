@@ -39,6 +39,7 @@ func (j *Job) Remaining() float64 { return j.remaining }
 type server struct {
 	eng        *sim.Engine
 	aggregate  AggregateFunc
+	speed      float64 // dynamic degradation factor, 1 = nominal
 	jobs       map[*Job]struct{}
 	classCount [2]int
 	nextSeq    uint64
@@ -53,9 +54,23 @@ func newServer(eng *sim.Engine, aggregate AggregateFunc, onCount func(k int)) *s
 	return &server{
 		eng:       eng,
 		aggregate: aggregate,
+		speed:     1,
 		jobs:      make(map[*Job]struct{}),
 		onCount:   onCount,
 	}
+}
+
+// setSpeed rescales the server's aggregate rate by factor (relative to its
+// configured AggregateFunc) from the current virtual time onward. In-service
+// jobs are caught up at the old rate first, so a mid-job change is exact —
+// the dynamic-degradation knob fault injection uses.
+func (s *server) setSpeed(factor float64) {
+	if factor <= 0 {
+		panic("resource: speed factor must be positive")
+	}
+	s.advance()
+	s.speed = factor
+	s.reschedule()
 }
 
 // Add places work units of demand in service as a class-0 (reader) job;
@@ -105,7 +120,7 @@ func (s *server) perJobRate() float64 {
 	if k == 0 {
 		return 0
 	}
-	return s.aggregate(s.classCount[0], s.classCount[1]) / float64(k)
+	return s.speed * s.aggregate(s.classCount[0], s.classCount[1]) / float64(k)
 }
 
 // advance deducts the work completed since the last update from every

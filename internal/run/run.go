@@ -52,6 +52,11 @@ type Options struct {
 	// Mono and Pipe tune the respective executors further.
 	Mono core.Options
 	Pipe pipeexec.Options
+	// Faults, when set, is installed into whichever executor the mode
+	// selects (shorthand for setting Mono.Faults / Pipe.Faults).
+	Faults task.FaultInjector
+	// Sched configures the driver's resilience and speculation policies.
+	Sched jobsched.Config
 }
 
 // Executors builds one executor per machine of c in the requested mode.
@@ -59,12 +64,19 @@ func Executors(c *cluster.Cluster, o Options) []task.Executor {
 	execs := make([]task.Executor, c.Size())
 	switch o.Mode {
 	case Monotasks:
-		g := core.NewGroup(c, o.Mono)
+		mo := o.Mono
+		if o.Faults != nil {
+			mo.Faults = o.Faults
+		}
+		g := core.NewGroup(c, mo)
 		for i, w := range g.Workers {
 			execs[i] = w
 		}
 	default:
 		po := o.Pipe
+		if o.Faults != nil {
+			po.Faults = o.Faults
+		}
 		if o.TasksPerMachine > 0 {
 			po.TasksPerMachine = o.TasksPerMachine
 		}
@@ -84,7 +96,7 @@ func Executors(c *cluster.Cluster, o Options) []task.Executor {
 
 // Driver builds a ready driver over c in the requested mode.
 func Driver(c *cluster.Cluster, fs *dfs.FS, o Options) (*jobsched.Driver, error) {
-	return jobsched.New(c, fs, Executors(c, o))
+	return jobsched.NewWithConfig(c, fs, Executors(c, o), o.Sched)
 }
 
 // DriverWith builds a driver over pre-built executors (callers that need to

@@ -234,7 +234,11 @@ func (m *MonotaskMetric) Duration() sim.Duration { return m.End - m.Start }
 // QueueDelay is the time spent waiting for the resource.
 func (m *MonotaskMetric) QueueDelay() sim.Duration { return m.Start - m.Queued }
 
-// TaskMetrics records one multitask's execution.
+// TaskMetrics records one multitask's execution — or its failure: a
+// transient executor-side fault (injected disk I/O error, flaky shuffle
+// fetch, killed process) reports Failed with a reason, and the driver
+// charges the attempt against the task's retry budget and the machine's
+// exclusion counter.
 type TaskMetrics struct {
 	StageID   int
 	Index     int
@@ -242,6 +246,9 @@ type TaskMetrics struct {
 	Start     sim.Time
 	End       sim.Time
 	Monotasks []MonotaskMetric
+
+	Failed     bool
+	FailReason string
 }
 
 // Duration is the task's wall-clock span.

@@ -76,16 +76,27 @@ func WriteJSONL(w io.Writer, jm *task.JobMetrics) error {
 	return nil
 }
 
-// chromeEvent is one complete ("X" phase) event in the Chrome trace-event
-// format. Timestamps and durations are microseconds.
+// Mark is a point annotation on the trace timeline — typically a fault
+// injection or recovery (internal/faults.Record converts to this shape).
+// Machine -1 draws the mark at global scope instead of on one machine.
+type Mark struct {
+	At      float64 // virtual seconds
+	Label   string
+	Machine int
+}
+
+// chromeEvent is one event in the Chrome trace-event format: complete ("X")
+// spans for monotasks, instant ("i") events for fault marks. Timestamps and
+// durations are microseconds.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur"`
+	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
-	Tid  string         `json:"tid"`
+	Tid  string         `json:"tid,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope: g, p, t
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -102,6 +113,14 @@ type chromeMeta struct {
 // machine, one thread lane per resource. Queue time is shown as a separate
 // dimmer event preceding each monotask's service time.
 func WriteChromeTrace(w io.Writer, jm *task.JobMetrics) error {
+	return WriteChromeTraceEvents(w, jm, nil)
+}
+
+// WriteChromeTraceEvents is WriteChromeTrace plus instant-event marks:
+// each Mark renders as an "i"-phase event (machine-scoped, or global when
+// Machine is -1), so injected faults are visible in the same viewer as the
+// monotask lanes they disrupted.
+func WriteChromeTraceEvents(w io.Writer, jm *task.JobMetrics, marks []Mark) error {
 	var events []any
 	machines := map[int]bool{}
 	for _, r := range Records(jm) {
@@ -121,6 +140,21 @@ func WriteChromeTrace(w io.Writer, jm *task.JobMetrics) error {
 			Pid: r.Machine, Tid: lane,
 			Args: map[string]any{"bytes": r.Bytes, "stage": r.Stage},
 		})
+	}
+	for _, mk := range marks {
+		ev := chromeEvent{
+			Name: mk.Label, Cat: "fault", Ph: "i",
+			Ts: mk.At * 1e6,
+		}
+		if mk.Machine >= 0 {
+			ev.Pid = mk.Machine
+			ev.Tid = "faults"
+			ev.S = "p"
+			machines[mk.Machine] = true
+		} else {
+			ev.S = "g"
+		}
+		events = append(events, ev)
 	}
 	for m := range machines {
 		events = append(events, chromeMeta{

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/task"
 	"repro/internal/trace"
@@ -117,10 +118,11 @@ func (d *Dataset) runAction(action string, writesOutput bool) ([]*stagePlan, *Jo
 		return nil, nil, err
 	}
 	run := &JobRun{
-		Name:    name,
-		Mode:    c.cfg.Mode,
-		metrics: jm,
-		res:     model.ClusterResources(c.cluster),
+		Name:     name,
+		Mode:     c.cfg.Mode,
+		metrics:  jm,
+		faultLog: c.FaultEvents(),
+		res:      model.ClusterResources(c.cluster),
 	}
 	return stages, run, nil
 }
@@ -135,6 +137,17 @@ type JobRun struct {
 
 	metrics *task.JobMetrics
 	res     model.Resources
+	// faultLog snapshots the Context's injected faults up to this run's end
+	// (empty without Config.Chaos).
+	faultLog []faults.Record
+}
+
+// FaultEvents returns the faults injected up to the end of this run, in
+// injection order. Empty unless the Context was built with Config.Chaos.
+func (r *JobRun) FaultEvents() []FaultRecord {
+	out := make([]FaultRecord, len(r.faultLog))
+	copy(out, r.faultLog)
+	return out
 }
 
 // Duration is the job's simulated wall-clock time.
@@ -230,7 +243,15 @@ func (r *JobRun) WriteChromeTrace(w io.Writer) error {
 	if r.Mode != Monotasks {
 		return fmt.Errorf("monospark: %v runs have no monotask records to trace", r.Mode)
 	}
-	return trace.WriteChromeTrace(w, r.metrics)
+	marks := make([]trace.Mark, 0, len(r.faultLog))
+	for _, f := range r.faultLog {
+		marks = append(marks, trace.Mark{
+			At:      float64(f.At),
+			Label:   fmt.Sprintf("%v: %s", f.Kind, f.Detail),
+			Machine: f.Machine,
+		})
+	}
+	return trace.WriteChromeTraceEvents(w, r.metrics, marks)
 }
 
 // Prediction is the answer to a what-if question about this run.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dfs"
+	"repro/internal/faults"
 	"repro/internal/run"
 	"repro/internal/task"
 )
@@ -19,6 +20,7 @@ type Context struct {
 	cluster  *cluster.Cluster
 	fs       *dfs.FS
 	execs    []task.Executor
+	injector *faults.Injector
 	jobSeq   int
 	fileSeq  int
 	datasets int
@@ -47,12 +49,20 @@ func New(cfg Config) (*Context, error) {
 		return nil, err
 	}
 	ctx := &Context{cfg: cfg, cluster: c, fs: fs}
+	if cfg.Chaos != nil {
+		if err := ctx.initChaos(); err != nil {
+			return nil, err
+		}
+	}
 	ctx.execs = run.Executors(c, ctx.runOptions())
 	return ctx, nil
 }
 
 func (c *Context) runOptions() run.Options {
 	o := run.Options{TasksPerMachine: c.cfg.TasksPerMachine}
+	if c.injector != nil {
+		o.Faults = c.injector
+	}
 	switch c.cfg.Mode {
 	case Spark:
 		o.Mode = run.Spark

@@ -377,16 +377,26 @@ func (c *Context) toJobSpec(name string, stages []*stagePlan) (*task.JobSpec, er
 	return job, nil
 }
 
-// runJob simulates the job and returns its metrics.
+// runJob simulates the job and returns its metrics. Under chaos the job may
+// abort (retry budget exhausted, unrecoverable data loss); the driver's
+// descriptive error is returned instead of a result.
 func (c *Context) runJob(spec *task.JobSpec) (*task.JobMetrics, error) {
-	d, err := jobsched.NewWithConfig(c.cluster, c.fs, c.execs,
-		jobsched.Config{Speculation: c.cfg.Speculation})
+	d, err := jobsched.NewWithConfig(c.cluster, c.fs, c.execs, c.driverConfig())
 	if err != nil {
 		return nil, err
 	}
-	if _, err := d.Submit(spec); err != nil {
+	if c.injector != nil {
+		// The injector outlives per-job drivers: point it at this one and
+		// replay machines that are currently down into its dead set.
+		c.injector.Bind(d)
+	}
+	h, err := d.Submit(spec)
+	if err != nil {
 		return nil, err
 	}
 	ms := d.Run()
+	if err := h.Err(); err != nil {
+		return nil, err
+	}
 	return ms[0], nil
 }

@@ -127,6 +127,10 @@ type Config struct {
 	// speed); a 0.5 entry models a degraded straggler node. Missing entries
 	// default to 1. Must not exceed Machines in length.
 	MachineSpeeds []float64
+	// Chaos, when set, enables deterministic fault injection (crashes,
+	// recoveries, degraded devices, transient task failures) for every job
+	// run on the Context. See ChaosConfig.
+	Chaos *ChaosConfig
 }
 
 func (c Config) withDefaults() Config {
