@@ -46,22 +46,37 @@ var experiments = map[string]func() ([]printer, error){
 	"ablations": figAblations,
 	"failure":   figFailure,
 	"chaos":     figChaos,
+	"multijob":  wrap1(figMultijob),
 }
 
 // order lists experiments in paper order for `monobench all`.
 var order = []string{
 	"fig2", "sort", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig11", "fig12", "sec63", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"ablations", "failure", "chaos",
+	"ablations", "failure", "chaos", "multijob",
 }
 
 // csvDir, when set, receives each experiment's data as CSV files.
 var csvDir = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 
+// smoke shrinks experiments that support it (multijob) to CI size.
+var smoke = flag.Bool("smoke", false, "run a reduced, CI-sized version of experiments that support it")
+
 func main() {
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
+	// Accept --smoke after the experiment names too (flag stops parsing at
+	// the first non-flag argument).
+	kept := args[:0]
+	for _, a := range args {
+		if a == "--smoke" || a == "-smoke" {
+			*smoke = true
+			continue
+		}
+		kept = append(kept, a)
+	}
+	args = kept
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)

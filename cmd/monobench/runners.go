@@ -100,3 +100,5 @@ func figChaos() ([]printer, error) {
 	}
 	return []printer{r}, nil
 }
+
+func figMultijob() (*figures.MultijobResult, error) { return figures.Multijob(*smoke) }

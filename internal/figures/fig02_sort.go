@@ -110,7 +110,9 @@ func (r *Fig02Result) Fprint(w io.Writer) {
 
 // SortResult is the §5.2 headline sort comparison.
 type SortResult struct {
-	Rows []SortRow
+	TotalBytes int64
+	Machines   int
+	Rows       []SortRow
 }
 
 // SortRow is one system's sort timing.
@@ -124,10 +126,17 @@ type SortRow struct {
 // Sort600GB runs the 600 GB sort on 20 two-HDD workers under both systems
 // (§5.2: Spark 88 min = 36 map + 52 reduce; MonoSpark 57 min = 22 + 35).
 func Sort600GB() (*SortResult, error) {
-	out := &SortResult{}
+	return SortSized(600*units.GB, 20)
+}
+
+// SortSized runs the §5.2 sort at an arbitrary scale under both systems —
+// the 600 GB figure uses it directly, and the golden-output determinism test
+// runs a small instance of the same code path.
+func SortSized(totalBytes int64, machines int) (*SortResult, error) {
+	out := &SortResult{TotalBytes: totalBytes, Machines: machines}
 	for _, mode := range []run.Mode{run.Spark, run.Monotasks} {
-		res, err := execute(20, cluster.M2_4XLarge(), run.Options{Mode: mode},
-			workloads.Sort{TotalBytes: 600 * units.GB, ValuesPerKey: 10}.Build)
+		res, err := execute(machines, cluster.M2_4XLarge(), run.Options{Mode: mode},
+			workloads.Sort{TotalBytes: totalBytes, ValuesPerKey: 10}.Build)
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +158,8 @@ func (r *SortResult) Speedup() float64 {
 
 // Fprint renders the table.
 func (r *SortResult) Fprint(w io.Writer) {
-	fprintf(w, "Sort (§5.2): 600 GB, 20 workers × (8 cores, 2 HDD)\n")
+	fprintf(w, "Sort (§5.2): %s, %d workers × (8 cores, 2 HDD)\n",
+		units.FormatBytes(r.TotalBytes), r.Machines)
 	fprintf(w, "%-12s %-10s %-10s %-10s\n", "system", "job", "map", "reduce")
 	for _, row := range r.Rows {
 		fprintf(w, "%-12s %-10s %-10s %-10s\n", row.System,

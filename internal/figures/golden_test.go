@@ -1,0 +1,94 @@
+package figures
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/run"
+	"repro/internal/task"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden determinism file")
+
+// goldenOutput renders a small sort (both systems) and one big data benchmark
+// query through the same code paths the paper figures use, at full float
+// precision so any drift in the simulation shows up byte-for-byte.
+func goldenOutput(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+
+	sr, err := SortSized(16*units.GB, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Fprint(&buf)
+	for _, row := range sr.Rows {
+		fmt.Fprintf(&buf, "%s job=%.9f map=%.9f reduce=%.9f\n",
+			row.System, float64(row.Job), float64(row.Map), float64(row.Reduce))
+	}
+
+	q := workloads.BDBQueryNames()[0]
+	res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks},
+		func(env *workloads.Env) (*task.JobSpec, error) { return workloads.BDBQuery(q, env) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Jobs[0]
+	fmt.Fprintf(&buf, "bdb q%s monotasks job=%.9f\n", q, float64(j.Duration()))
+	for _, st := range j.Stages {
+		fmt.Fprintf(&buf, "  %s start=%.9f end=%.9f\n", st.Spec.Name, float64(st.Start), float64(st.End))
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenDeterminism is the regression gate for the repo's central
+// determinism claim: the same experiment must produce byte-identical output
+// twice in one process, and byte-identical output to the checked-in golden
+// file across processes, machines, and (under -race) goroutine schedules.
+// Regenerate the file with: go test ./internal/figures -run Golden -update
+func TestGoldenDeterminism(t *testing.T) {
+	a := goldenOutput(t)
+	b := goldenOutput(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-process replay differs:\nfirst:\n%s\nsecond:\n%s", firstDiffLine(a, b), firstDiffLine(b, a))
+	}
+
+	golden := filepath.Join("testdata", "golden_determinism.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(a))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Fatalf("output drifted from %s at:\n%s\n(if the change is intentional, rerun with -update)",
+			golden, firstDiffLine(a, want))
+	}
+}
+
+// firstDiffLine reports the first line where got and want disagree.
+func firstDiffLine(got, want []byte) string {
+	g := bytes.Split(got, []byte("\n"))
+	w := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d bytes", len(got), len(want))
+}

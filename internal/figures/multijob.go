@@ -1,0 +1,364 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/jobsched"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// The multijob experiment is the multi-tenant generalization of Fig. 16: an
+// open-loop Poisson stream of mixed CPU-heavy and I/O-heavy sort jobs hits
+// the driver, which runs them concurrently out of weighted fair-share pools.
+// It reports (a) p50/p95/p99 job sojourn time vs offered load for mono vs
+// Spark mode, (b) the slot share each pool actually received vs its weight,
+// and (c) per-job resource attribution error across N concurrent jobs —
+// monotask metrics attribute each job exactly; Spark's slot-share split
+// does not.
+
+// MultijobLatencyRow is one offered-load level of the latency table.
+type MultijobLatencyRow struct {
+	Load                         float64 // offered load ρ = solo time / mean interarrival
+	MonoP50, MonoP95, MonoP99    sim.Duration
+	SparkP50, SparkP95, SparkP99 sim.Duration
+}
+
+// MultijobPoolShare compares one pool's observed slot share with its
+// configured weight share.
+type MultijobPoolShare struct {
+	Pool      string
+	Weight    float64
+	WantShare float64
+	GotShare  float64
+}
+
+// MultijobResult is the experiment's full output.
+type MultijobResult struct {
+	SoloSeconds sim.Duration // one job alone, mono mode (the load calibration)
+	JobsPerLoad int
+	Latency     []MultijobLatencyRow
+
+	// Batch scenario: BatchJobs submitted at t=0 across two weighted pools.
+	BatchJobs     int
+	BatchFinished int
+	Shares        []MultijobPoolShare
+
+	// Attribution error distributions across the batch's concurrent jobs
+	// (relative error of CPU seconds and disk bytes vs solo-run truth).
+	MonoErrors  []float64
+	SparkErrors []float64
+}
+
+// Streams use many small tasks per job: slots are non-preemptive, so the
+// fair-share rebalancing after arrivals and stage barriers happens one task
+// completion at a time — short tasks keep those transients short.
+const (
+	multijobMachines = 4
+	multijobMaps     = 64
+	multijobReduces  = 32
+)
+
+// multijobRun is one completed stream execution.
+type multijobRun struct {
+	Cluster  *cluster.Cluster
+	Handles  []*jobsched.JobHandle
+	Arrivals []workloads.Arrival
+}
+
+// maxEnd is the stream's last job completion time.
+func (r *multijobRun) maxEnd() sim.Time {
+	var end sim.Time
+	for _, h := range r.Handles {
+		if h.Metrics.End > end {
+			end = h.Metrics.End
+		}
+	}
+	return end
+}
+
+// jobMetrics collects the stream's per-job metrics in arrival order.
+func (r *multijobRun) jobMetrics() []*task.JobMetrics {
+	out := make([]*task.JobMetrics, len(r.Handles))
+	for i, h := range r.Handles {
+		out[i] = h.Metrics
+	}
+	return out
+}
+
+// runMultijob materializes the stream on a fresh cluster and executes its
+// arrival schedule. A non-nil sample callback fires every half virtual
+// second while any job is unfinished, with the live driver and the current
+// virtual time — the hook the pool-share measurement watches the scheduler
+// through.
+func runMultijob(o run.Options, m workloads.MultiJob, sample func(*jobsched.Driver, sim.Time)) (*multijobRun, error) {
+	c, err := cluster.New(multijobMachines, cluster.M2_4XLarge())
+	if err != nil {
+		return nil, err
+	}
+	env, err := workloads.NewEnv(c)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := m.Build(env)
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]run.Submission, len(arrivals))
+	for i, a := range arrivals {
+		subs[i] = run.Submission{Spec: a.Spec, At: a.At, Opts: jobsched.SubmitOptions{Pool: a.Pool}}
+	}
+	d, err := run.Driver(c, env.FS, o)
+	if err != nil {
+		return nil, err
+	}
+	handles := make([]*jobsched.JobHandle, len(subs))
+	var submitErr error
+	for i, s := range subs {
+		i, s := i, s
+		c.Engine.At(s.At, func() {
+			h, err := d.SubmitWith(s.Spec, s.Opts)
+			if err != nil && submitErr == nil {
+				submitErr = err
+			}
+			handles[i] = h
+		})
+	}
+	if sample != nil {
+		var tick func()
+		tick = func() {
+			sample(d, c.Engine.Now())
+			for _, h := range handles {
+				if h == nil || !(h.Done() || h.Failed()) {
+					c.Engine.After(0.5, tick)
+					return
+				}
+			}
+		}
+		c.Engine.After(0.5, tick)
+	}
+	d.Run()
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	return &multijobRun{Cluster: c, Handles: handles, Arrivals: arrivals}, nil
+}
+
+// Multijob runs the experiment. Smoke mode shrinks job sizes, counts, and
+// the load sweep so CI can run it on every push.
+func Multijob(smoke bool) (*MultijobResult, error) {
+	jobBytes := int64(6 * units.GB)
+	loads := []float64{0.4, 0.8}
+	jobsPerLoad := 12
+	if smoke {
+		jobBytes = 2 * units.GB
+		loads = []float64{0.6}
+		jobsPerLoad = 8
+	}
+	stream := func(name string, jobs int, meanGap float64, pools []string) workloads.MultiJob {
+		return workloads.MultiJob{
+			Name: name, Jobs: jobs, MeanInterarrival: meanGap, Seed: 7,
+			JobBytes: jobBytes, MapTasks: multijobMaps, ReduceTasks: multijobReduces,
+			Pools: pools,
+		}
+	}
+	out := &MultijobResult{JobsPerLoad: jobsPerLoad}
+
+	// Calibrate: one job alone, mono mode. Offered load ρ means the stream
+	// delivers ρ solo-job-times of work per solo-job-time.
+	solo, err := runMultijob(run.Options{Mode: run.Monotasks}, stream("solo", 1, 0, nil), nil)
+	if err != nil {
+		return nil, err
+	}
+	out.SoloSeconds = solo.Handles[0].Metrics.Duration()
+
+	// Latency vs offered load: the same arrival stream replayed per mode.
+	for _, load := range loads {
+		row := MultijobLatencyRow{Load: load}
+		m := stream(fmt.Sprintf("load%02.0f", load*100), jobsPerLoad, float64(out.SoloSeconds)/load, nil)
+		for _, mode := range []run.Mode{run.Monotasks, run.Spark} {
+			r, err := runMultijob(run.Options{Mode: mode}, m, nil)
+			if err != nil {
+				return nil, err
+			}
+			lat := make([]float64, 0, len(r.Handles))
+			for _, h := range r.Handles {
+				lat = append(lat, float64(h.Metrics.Duration()))
+			}
+			sort.Float64s(lat)
+			p50 := sim.Duration(metrics.Percentile(lat, 50))
+			p95 := sim.Duration(metrics.Percentile(lat, 95))
+			p99 := sim.Duration(metrics.Percentile(lat, 99))
+			if mode == run.Monotasks {
+				row.MonoP50, row.MonoP95, row.MonoP99 = p50, p95, p99
+			} else {
+				row.SparkP50, row.SparkP95, row.SparkP99 = p50, p95, p99
+			}
+		}
+		out.Latency = append(out.Latency, row)
+	}
+
+	// Batch scenario: 8 jobs split across two pools weighted 3:1. Arrivals
+	// are staggered by a small Poisson gap so same-pool jobs sit at
+	// different DAG phases: when one job stalls at its shuffle barrier, its
+	// pool-mates absorb the slots and the pool keeps its weighted share
+	// (with synchronized identical jobs, every job hits the barrier at
+	// once and the pool briefly has nothing runnable).
+	poolCfg := jobsched.Config{Pools: []jobsched.PoolConfig{
+		{Name: "prod", Weight: 3},
+		{Name: "adhoc", Weight: 1},
+	}}
+	out.BatchJobs = 8
+	batchPools := []string{"prod", "adhoc"}
+	batch := stream("batch", out.BatchJobs, float64(out.SoloSeconds)/16, batchPools)
+
+	// Pool shares are sampled live: every half second, record each pool's
+	// running and pending task counts.
+	type poolSample struct {
+		at            sim.Time
+		running, pend map[string]int
+	}
+	var samples []poolSample
+	sampler := func(d *jobsched.Driver, now sim.Time) {
+		s := poolSample{at: now, running: map[string]int{}, pend: map[string]int{}}
+		for _, pc := range poolCfg.Pools {
+			s.running[pc.Name] = d.RunningTasks(pc.Name)
+			s.pend[pc.Name] = d.PendingTasks(pc.Name)
+		}
+		samples = append(samples, s)
+	}
+	mono, err := runMultijob(run.Options{Mode: run.Monotasks, Sched: poolCfg}, batch, sampler)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range mono.Handles {
+		if h.Done() {
+			out.BatchFinished++
+		}
+	}
+
+	// Judge fairness only at instants where the shares are the scheduler's
+	// choice: (a) both pools backlogged (pending > 0 — a pool with nothing
+	// runnable is demand-limited and rightly lends its slots out), and
+	// (b) past a settle point after the last arrival — slots are
+	// non-preemptive, so shares rebalance only as running tasks finish, and
+	// a newly arrived pool reclaims its share one task completion at a time.
+	lastArrival := mono.Arrivals[len(mono.Arrivals)-1].At
+	settle := lastArrival + sim.Time(float64(out.SoloSeconds)/4)
+	poolRunning := map[string]float64{}
+	for _, s := range samples {
+		if s.at < settle {
+			continue
+		}
+		backlogged := true
+		for _, pc := range poolCfg.Pools {
+			if s.pend[pc.Name] == 0 {
+				backlogged = false
+			}
+		}
+		if !backlogged {
+			continue
+		}
+		for _, pc := range poolCfg.Pools {
+			poolRunning[pc.Name] += float64(s.running[pc.Name])
+		}
+	}
+	var weightSum, runningSum float64
+	for _, pc := range poolCfg.Pools {
+		weightSum += pc.Weight
+		runningSum += poolRunning[pc.Name]
+	}
+	for _, pc := range poolCfg.Pools {
+		share := MultijobPoolShare{Pool: pc.Name, Weight: pc.Weight, WantShare: pc.Weight / weightSum}
+		if runningSum > 0 {
+			share.GotShare = poolRunning[pc.Name] / runningSum
+		}
+		out.Shares = append(out.Shares, share)
+	}
+
+	// Attribution ground truth per distinct job profile (the stream
+	// alternates 10v and 50v): a solo mono run's attributed usage. CPU
+	// seconds and disk bytes are placement-independent, so a solo run is a
+	// valid truth for them (Fig. 16's argument); network bytes are not and
+	// are excluded.
+	truth := make([]metrics.MeasuredUsage, 2)
+	for i, vpk := range []int{10, 50} {
+		m := stream(fmt.Sprintf("truth-%dv", vpk), 1, 0, nil)
+		m.ValuesPerKey = []int{vpk}
+		r, err := runMultijob(run.Options{Mode: run.Monotasks}, m, nil)
+		if err != nil {
+			return nil, err
+		}
+		jm := r.Handles[0].Metrics
+		att := model.Attribute([]*task.JobMetrics{jm}, 0, jm.End, model.ClusterResources(r.Cluster))
+		truth[i] = att[0].Usage
+	}
+	addErrs := func(dst *[]float64, got metrics.MeasuredUsage, i int) {
+		tr := truth[i%2]
+		if tr.CPUSeconds > 0 {
+			*dst = append(*dst, math.Abs(got.CPUSeconds-tr.CPUSeconds)/tr.CPUSeconds)
+		}
+		trDisk := float64(tr.DiskReadBytes + tr.DiskWriteBytes)
+		if trDisk > 0 {
+			*dst = append(*dst, math.Abs(float64(got.DiskReadBytes+got.DiskWriteBytes)-trDisk)/trDisk)
+		}
+	}
+
+	// Mono: each job's monotask metrics attribute it exactly, live.
+	monoAtts := model.Attribute(mono.jobMetrics(), 0, mono.maxEnd(), model.ClusterResources(mono.Cluster))
+	for i, a := range monoAtts {
+		addErrs(&out.MonoErrors, a.Usage, i)
+	}
+
+	// Spark: the same batch, attributed by slot share of OS counters.
+	spark, err := runMultijob(run.Options{Mode: run.Spark, Sched: poolCfg}, batch, nil)
+	if err != nil {
+		return nil, err
+	}
+	sparkEnd := spark.maxEnd()
+	total := metrics.Measure(spark.Cluster, 0, sparkEnd)
+	slotSeconds := make([]float64, len(spark.Handles))
+	for i, h := range spark.Handles {
+		slotSeconds[i] = metrics.TaskSecondsInWindow(h.Metrics, 0, sparkEnd)
+	}
+	for i, p := range model.SlotShareAttribution(total, slotSeconds) {
+		addErrs(&out.SparkErrors, p, i)
+	}
+	return out, nil
+}
+
+// Fprint renders the experiment's three tables.
+func (r *MultijobResult) Fprint(w io.Writer) {
+	fprintf(w, "multijob: open-loop Poisson job stream, %d machines\n", multijobMachines)
+	fprintf(w, "solo job time %.1f s; %d jobs per load level\n", float64(r.SoloSeconds), r.JobsPerLoad)
+	fprintf(w, "%-6s %10s %10s %10s %10s %10s %10s\n",
+		"load", "mono p50", "mono p95", "mono p99", "spark p50", "spark p95", "spark p99")
+	for _, row := range r.Latency {
+		fprintf(w, "%-6.2f %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			row.Load,
+			float64(row.MonoP50), float64(row.MonoP95), float64(row.MonoP99),
+			float64(row.SparkP50), float64(row.SparkP95), float64(row.SparkP99))
+	}
+	fprintf(w, "\nfair-share pools: batch of %d concurrent jobs (%d finished)\n",
+		r.BatchJobs, r.BatchFinished)
+	fprintf(w, "%-8s %8s %12s %12s\n", "pool", "weight", "want share", "got share")
+	for _, s := range r.Shares {
+		fprintf(w, "%-8s %8.0f %12.2f %12.2f\n", s.Pool, s.Weight, s.WantShare, s.GotShare)
+	}
+	mm, mp := MedianAndP75(r.MonoErrors)
+	sm, sp := MedianAndP75(r.SparkErrors)
+	fprintf(w, "\nper-job attribution error across %d concurrent jobs\n", r.BatchJobs)
+	fprintf(w, "%-10s %12s %12s\n", "system", "median err%", "p75 err%")
+	fprintf(w, "%-10s %12.1f %12.1f\n", "spark", sm, sp)
+	fprintf(w, "%-10s %12.1f %12.1f\n", "monospark", mm, mp)
+	fprintf(w, "(generalizes Fig. 16: mono attribution stays exact at N jobs)\n")
+}

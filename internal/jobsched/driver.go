@@ -32,11 +32,25 @@ type JobHandle struct {
 	Spec    *task.JobSpec
 	Metrics *task.JobMetrics
 
+	// Pool, Priority, and Deadline echo the SubmitOptions the job was
+	// submitted with; Submitted and AdmittedAt record when it entered the
+	// admission queue and when the pool let it run (equal unless the pool's
+	// concurrency limit made it wait).
+	Pool       string
+	Priority   int
+	Deadline   sim.Time
+	Submitted  sim.Time
+	AdmittedAt sim.Time
+
 	stages    []*stageState
 	remaining int
 	done      bool
 	failed    bool
 	err       error
+	seq       int // global submission order, the dispatch tie-breaker
+	pool      *poolState
+	admitted  bool
+	released  bool
 	// base offsets this job's stage IDs in the shared shuffle tracker so
 	// concurrent jobs' outputs cannot collide.
 	base int
@@ -109,9 +123,12 @@ func (s *stageState) inPending(ti int) bool {
 }
 
 // Driver schedules any number of concurrent jobs over one set of executors.
-// When several jobs have runnable tasks, free slots rotate between them
-// (fair sharing), which is what lets the Fig. 16 attribution experiment run
-// two jobs side by side.
+// Jobs land in named scheduling pools (Config.Pools; a fair-share default
+// pool exists always): each pool has an admission queue and an optional
+// concurrency limit, and free slots are arbitrated between pools by weighted
+// fair sharing, then within a pool by its policy (see pools.go). This is
+// what lets the Fig. 16 attribution experiment — and its N-job multijob
+// generalization — run many jobs side by side.
 type Driver struct {
 	cluster *cluster.Cluster
 	fs      *dfs.FS
@@ -135,9 +152,10 @@ type Driver struct {
 	excludeCount    []int // times excluded, for exponential backoff
 	machineFailures []int // failures since last reset
 
-	jobs      []*JobHandle
-	jobCursor int
-	nextBase  int
+	jobs       []*JobHandle
+	pools      []*poolState
+	poolByName map[string]*poolState
+	nextBase   int
 }
 
 // New builds a driver over one executor per cluster machine, in machine
@@ -165,21 +183,48 @@ func NewWithConfig(c *cluster.Cluster, fs *dfs.FS, execs []task.Executor, cfg Co
 	d.excludeUntil = make([]sim.Time, n)
 	d.excludeCount = make([]int, n)
 	d.machineFailures = make([]int, n)
+	if err := d.initPools(); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 
 // available reports whether machine w may receive new tasks.
 func (d *Driver) available(w int) bool { return !d.dead[w] && !d.excluded[w] }
 
-// Submit queues a job; its first stages begin at the next scheduling pass.
-// Call Run (or drive the cluster engine) afterwards.
+// Submit queues a job in the default pool; its first stages begin at the
+// next scheduling pass. Call Run (or drive the cluster engine) afterwards.
 func (d *Driver) Submit(spec *task.JobSpec) (*JobHandle, error) {
+	return d.SubmitWith(spec, SubmitOptions{})
+}
+
+// SubmitWith queues a job with explicit pool/priority/deadline tags. The job
+// enters its pool's admission queue immediately; it starts running once the
+// pool has admission capacity. Submitting from inside a running simulation
+// (an engine callback at a job's arrival time) is how open-loop workloads
+// model jobs arriving over time.
+func (d *Driver) SubmitWith(spec *task.JobSpec, opts SubmitOptions) (*JobHandle, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	poolName := opts.Pool
+	if poolName == "" {
+		poolName = DefaultPool
+	}
+	pool, ok := d.poolByName[poolName]
+	if !ok {
+		return nil, fmt.Errorf("jobsched: job %q names undeclared pool %q", spec.Name, poolName)
+	}
+	now := d.cluster.Engine.Now()
 	h := &JobHandle{
 		Spec:      spec,
-		Metrics:   &task.JobMetrics{Name: spec.Name, Start: d.cluster.Engine.Now()},
+		Metrics:   &task.JobMetrics{Name: spec.Name, Start: now},
+		Pool:      poolName,
+		Priority:  opts.Priority,
+		Deadline:  opts.Deadline,
+		Submitted: now,
+		seq:       len(d.jobs),
+		pool:      pool,
 		remaining: len(spec.Stages),
 		base:      d.nextBase,
 	}
@@ -208,7 +253,8 @@ func (d *Driver) Submit(spec *task.JobSpec) (*JobHandle, error) {
 		}
 	}
 	d.jobs = append(d.jobs, h)
-	d.schedule()
+	pool.enqueue(h)
+	d.admitFrom(pool)
 	return h, nil
 }
 
@@ -217,14 +263,26 @@ func (d *Driver) Submit(spec *task.JobSpec) (*JobHandle, error) {
 // exhausted, unrecoverable data loss) or stalled carry their reason on
 // JobHandle.Err; Run never panics on a failure path.
 func (d *Driver) Run() []*task.JobMetrics {
-	d.cluster.Engine.Run()
+	for {
+		d.cluster.Engine.Run()
+		// The engine drained. Any unfinished job stalled: every machine that
+		// could host its remaining tasks is gone, or the DAG deadlocked.
+		// Abort one and re-drain — the abort can admit a queued successor
+		// from the stalled job's pool, which schedules fresh events.
+		var stalled *JobHandle
+		for _, h := range d.jobs {
+			if !h.done && !h.failed {
+				stalled = h
+				break
+			}
+		}
+		if stalled == nil {
+			break
+		}
+		d.abortJob(stalled, fmt.Errorf("jobsched: job %q stalled with %d stages incomplete (all capable machines failed, or the task DAG deadlocked)", stalled.Spec.Name, stalled.remaining))
+	}
 	out := make([]*task.JobMetrics, 0, len(d.jobs))
 	for _, h := range d.jobs {
-		if !h.done && !h.failed {
-			// The engine drained with work outstanding: every machine that
-			// could host the remaining tasks is gone, or the DAG deadlocked.
-			d.abortJob(h, fmt.Errorf("jobsched: job %q stalled with %d stages incomplete (all capable machines failed, or the task DAG deadlocked)", h.Spec.Name, h.remaining))
-		}
 		out = append(out, h.Metrics)
 	}
 	return out
@@ -281,26 +339,14 @@ func (d *Driver) schedule() {
 	}
 }
 
-// pickTask chooses the next task for worker w: jobs are scanned round-robin
-// from a rotating cursor for fairness; within a job, stages in DAG order.
+// pickTask chooses the next task for worker w. Pools are tried in weighted
+// fair-share order (smallest running-tasks-over-weight deficit first); the
+// chosen pool's policy picks a job; within a job, stages in DAG order.
 // Locality: an input-stage task whose block lives on w is preferred; a
 // stage's remaining remote tasks are only taken when it has no local ones.
 func (d *Driver) pickTask(w int) (*stageState, int) {
-	n := len(d.jobs)
-	for off := 0; off < n; off++ {
-		h := d.jobs[(d.jobCursor+off)%n]
-		if h.finished() {
-			continue
-		}
-		for _, st := range h.stages {
-			if !st.runnable() {
-				continue
-			}
-			idx, ok := d.pickFromStage(st, w)
-			if !ok {
-				continue
-			}
-			d.jobCursor = (d.jobCursor + off + 1) % n
+	for _, p := range d.poolOrder() {
+		if st, idx, ok := d.pickFromPool(p, w); ok {
 			return st, idx
 		}
 	}
@@ -442,6 +488,7 @@ func (d *Driver) finishStage(st *stageState) {
 	if h.remaining == 0 {
 		h.done = true
 		h.Metrics.End = d.cluster.Engine.Now()
+		d.releaseJob(h)
 	}
 }
 
@@ -467,6 +514,7 @@ func (d *Driver) abortJob(h *JobHandle, err error) {
 			}
 		}
 	}
+	d.releaseJob(h)
 	d.schedule()
 }
 

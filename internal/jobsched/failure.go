@@ -43,6 +43,12 @@ type Config struct {
 	// timeout: the simulated network never loses data, so timeouts only
 	// matter under injected faults.
 	FetchRetryTimeout sim.Duration
+
+	// Pools declares the named scheduling pools jobs are submitted into
+	// (see PoolConfig). A pool named DefaultPool is created automatically
+	// (weight 1, fair-share, unlimited) unless declared here, so the zero
+	// Config behaves exactly like the single-tenant driver.
+	Pools []PoolConfig
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,354 @@
+package jobsched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file is the driver's multi-tenant layer: named scheduling pools with
+// an admission queue in front of each, weighted fair sharing of executor
+// slots between pools, and priority/deadline-aware dispatch within a pool.
+//
+// The paper's multi-job story (§6.4, Fig. 16) is that per-resource monotask
+// accounting attributes contention between concurrent jobs almost exactly;
+// pools are what let a driver actually carry that concurrency: an admission
+// queue accepts any number of jobs at once, per-pool limits bound how many
+// run, and free slots rotate between pools in proportion to their weights
+// instead of draining one job before the next.
+
+// PoolPolicy selects how jobs within one pool compete for the pool's share.
+type PoolPolicy int
+
+const (
+	// FairShare rotates the pool's slots between its active jobs (the job
+	// with the fewest running tasks goes first), so concurrent jobs make
+	// progress together — the scheduling Fig. 16 measures.
+	FairShare PoolPolicy = iota
+	// FIFO serves the pool's active jobs strictly in dispatch order: a job
+	// takes every slot it can use before the next job gets one.
+	FIFO
+)
+
+func (p PoolPolicy) String() string {
+	switch p {
+	case FairShare:
+		return "fair"
+	case FIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// PoolConfig declares one scheduling pool in Config.Pools.
+type PoolConfig struct {
+	Name string
+	// Weight is the pool's fair-share weight relative to other pools'
+	// (default 1): while several pools have runnable work, each receives
+	// executor slots in proportion to its weight.
+	Weight float64
+	// Policy orders jobs within the pool (default FairShare).
+	Policy PoolPolicy
+	// MaxConcurrentJobs caps how many of the pool's jobs run at once;
+	// further submissions wait in the pool's admission queue until a
+	// running job finishes. Zero means unlimited.
+	MaxConcurrentJobs int
+}
+
+func (p PoolConfig) withDefaults() PoolConfig {
+	if p.Weight <= 0 {
+		p.Weight = 1
+	}
+	return p
+}
+
+// DefaultPool is the pool jobs land in when SubmitOptions names none. It is
+// created automatically (unlimited, weight 1, fair-share) unless Config.Pools
+// declares a pool with this name explicitly.
+const DefaultPool = "default"
+
+// SubmitOptions tags one job for the multi-tenant scheduler.
+type SubmitOptions struct {
+	// Pool names the scheduling pool (DefaultPool when empty). Submitting
+	// to an undeclared pool is an error.
+	Pool string
+	// Priority orders jobs within their pool: higher priorities dispatch
+	// first. Within one priority, earlier deadlines go first.
+	Priority int
+	// Deadline is the job's target completion time in virtual seconds;
+	// at equal priority, the job with the earliest deadline dispatches
+	// first (zero = no deadline, sorts after any deadline).
+	Deadline sim.Time
+}
+
+// poolState is one pool's runtime record.
+type poolState struct {
+	cfg   PoolConfig
+	index int
+	// queue holds submitted jobs awaiting admission, in dispatch order.
+	queue []*JobHandle
+	// active holds admitted, unfinished jobs in admission order.
+	active []*JobHandle
+}
+
+// runningTasks counts the pool's live attempts, the quantity weighted fair
+// sharing balances across pools (Spark's FairScheduler comparator).
+func (p *poolState) runningTasks() int {
+	n := 0
+	for _, h := range p.active {
+		for _, st := range h.stages {
+			n += st.running
+		}
+	}
+	return n
+}
+
+// deficit is the pool's normalized load; the pool with the smallest deficit
+// receives the next free slot.
+func (p *poolState) deficit() float64 {
+	return float64(p.runningTasks()) / p.cfg.Weight
+}
+
+// initPools builds the driver's pool table from cfg.Pools, adding the
+// default pool unless it was declared explicitly.
+func (d *Driver) initPools() error {
+	names := make(map[string]bool)
+	for i, pc := range d.cfg.Pools {
+		pc = pc.withDefaults()
+		if pc.Name == "" {
+			return fmt.Errorf("jobsched: pool %d has no name", i)
+		}
+		if names[pc.Name] {
+			return fmt.Errorf("jobsched: duplicate pool %q", pc.Name)
+		}
+		names[pc.Name] = true
+		d.pools = append(d.pools, &poolState{cfg: pc, index: len(d.pools)})
+	}
+	if !names[DefaultPool] {
+		d.pools = append(d.pools, &poolState{
+			cfg:   PoolConfig{Name: DefaultPool, Weight: 1, Policy: FairShare},
+			index: len(d.pools),
+		})
+	}
+	d.poolByName = make(map[string]*poolState, len(d.pools))
+	for _, p := range d.pools {
+		d.poolByName[p.cfg.Name] = p
+	}
+	return nil
+}
+
+// dispatchBefore orders jobs within a pool: priority descending, then
+// deadline ascending (no deadline last), then submission order.
+func dispatchBefore(a, b *JobHandle) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	ad, bd := a.Deadline, b.Deadline
+	if ad == 0 {
+		ad = sim.Forever
+	}
+	if bd == 0 {
+		bd = sim.Forever
+	}
+	if ad != bd {
+		return ad < bd
+	}
+	return a.seq < b.seq
+}
+
+// enqueue inserts h into p's admission queue in dispatch order (stable for
+// equal keys, so equal jobs keep submission order).
+func (p *poolState) enqueue(h *JobHandle) {
+	pos := sort.Search(len(p.queue), func(i int) bool {
+		return dispatchBefore(h, p.queue[i])
+	})
+	p.queue = append(p.queue, nil)
+	copy(p.queue[pos+1:], p.queue[pos:])
+	p.queue[pos] = h
+}
+
+// admitFrom moves jobs from p's admission queue into its active set while
+// the pool has admission capacity.
+func (d *Driver) admitFrom(p *poolState) {
+	admitted := false
+	for len(p.queue) > 0 {
+		if p.cfg.MaxConcurrentJobs > 0 && len(p.active) >= p.cfg.MaxConcurrentJobs {
+			break
+		}
+		h := p.queue[0]
+		copy(p.queue, p.queue[1:])
+		p.queue[len(p.queue)-1] = nil
+		p.queue = p.queue[:len(p.queue)-1]
+		h.admitted = true
+		h.AdmittedAt = d.cluster.Engine.Now()
+		p.active = append(p.active, h)
+		admitted = true
+	}
+	if admitted {
+		d.schedule()
+	}
+}
+
+// releaseJob removes a finished (done or aborted) job from its pool's
+// active set — or its admission queue, if it failed before admission — and
+// admits the next queued job.
+func (d *Driver) releaseJob(h *JobHandle) {
+	p := h.pool
+	if p == nil || h.released {
+		return
+	}
+	h.released = true
+	for i, a := range p.active {
+		if a == h {
+			p.active = append(p.active[:i], p.active[i+1:]...)
+			break
+		}
+	}
+	for i, q := range p.queue {
+		if q == h {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			break
+		}
+	}
+	d.admitFrom(p)
+}
+
+// poolOrder returns pool indices sorted by fair-share deficit (running
+// tasks over weight), ties broken by declaration order — the cross-pool
+// arbitration for each free slot.
+func (d *Driver) poolOrder() []*poolState {
+	order := make([]*poolState, len(d.pools))
+	copy(order, d.pools)
+	deficits := make([]float64, len(d.pools))
+	for _, p := range d.pools {
+		deficits[p.index] = p.deficit()
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return deficits[order[i].index] < deficits[order[j].index]
+	})
+	return order
+}
+
+// pickFromPool chooses a runnable (stage, pending position) of one of p's
+// active jobs for worker w, honouring the pool's policy.
+func (d *Driver) pickFromPool(p *poolState, w int) (*stageState, int, bool) {
+	switch p.cfg.Policy {
+	case FIFO:
+		// Strict dispatch order: drain the first job that has work.
+		jobs := append([]*JobHandle(nil), p.active...)
+		sort.SliceStable(jobs, func(i, j int) bool { return dispatchBefore(jobs[i], jobs[j]) })
+		for _, h := range jobs {
+			if st, idx, ok := d.pickFromJob(h, w); ok {
+				return st, idx, true
+			}
+		}
+	default:
+		// Fair share: the admitted job with the fewest live attempts goes
+		// first; dispatch order breaks ties, so priorities and deadlines
+		// still matter when loads are equal.
+		var best *JobHandle
+		bestRunning := 0
+		var bestSt *stageState
+		bestIdx := 0
+		for _, h := range p.active {
+			st, idx, ok := d.pickFromJob(h, w)
+			if !ok {
+				continue
+			}
+			r := h.runningTasks()
+			if best == nil || r < bestRunning || (r == bestRunning && dispatchBefore(h, best)) {
+				best, bestRunning, bestSt, bestIdx = h, r, st, idx
+			}
+		}
+		if best != nil {
+			return bestSt, bestIdx, true
+		}
+	}
+	return nil, 0, false
+}
+
+// pickFromJob finds h's first runnable stage with a task for w (stages in
+// DAG order, locality honoured by pickFromStage).
+func (d *Driver) pickFromJob(h *JobHandle, w int) (*stageState, int, bool) {
+	if h.finished() {
+		return nil, 0, false
+	}
+	for _, st := range h.stages {
+		if !st.runnable() {
+			continue
+		}
+		if idx, ok := d.pickFromStage(st, w); ok {
+			return st, idx, true
+		}
+	}
+	return nil, 0, false
+}
+
+// runningTasks counts the job's live attempts across stages.
+func (h *JobHandle) runningTasks() int {
+	n := 0
+	for _, st := range h.stages {
+		n += st.running
+	}
+	return n
+}
+
+// PoolNames lists the driver's pools in declaration order (the default pool
+// last unless declared).
+func (d *Driver) PoolNames() []string {
+	out := make([]string, len(d.pools))
+	for i, p := range d.pools {
+		out[i] = p.cfg.Name
+	}
+	return out
+}
+
+// QueuedJobs reports how many submitted jobs are waiting for admission in
+// the named pool.
+func (d *Driver) QueuedJobs(pool string) int {
+	if p, ok := d.poolByName[pool]; ok {
+		return len(p.queue)
+	}
+	return 0
+}
+
+// ActiveJobs reports how many admitted, unfinished jobs the named pool has.
+func (d *Driver) ActiveJobs(pool string) int {
+	if p, ok := d.poolByName[pool]; ok {
+		return len(p.active)
+	}
+	return 0
+}
+
+// RunningTasks reports the named pool's live task attempts right now — the
+// quantity weighted fair sharing balances, exposed so a live dashboard (or a
+// test) can watch each pool's slot share directly.
+func (d *Driver) RunningTasks(pool string) int {
+	if p, ok := d.poolByName[pool]; ok {
+		return p.runningTasks()
+	}
+	return 0
+}
+
+// PendingTasks reports how many of the named pool's tasks are runnable but
+// unscheduled right now (queued behind busy slots; tasks blocked on a stage
+// barrier don't count). Nonzero means the pool is backlogged — it could use
+// more slots than it holds, so its RunningTasks share is the scheduler's
+// choice rather than demand-limited.
+func (d *Driver) PendingTasks(pool string) int {
+	p, ok := d.poolByName[pool]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, h := range p.active {
+		for _, st := range h.stages {
+			if st.runnable() {
+				n += len(st.pending)
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,228 @@
+package jobsched
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func cfgDriver(t *testing.T, c *cluster.Cluster, slots int, dur sim.Duration, cfg Config) (*Driver, []*fakeExec) {
+	t.Helper()
+	fs, _ := dfs.New(dfs.Config{Machines: c.Size(), DisksPerMachine: 1})
+	fakes := make([]*fakeExec, c.Size())
+	execs := make([]task.Executor, c.Size())
+	for i := range fakes {
+		fakes[i] = &fakeExec{id: i, slots: slots, duration: dur, eng: c.Engine}
+		execs[i] = fakes[i]
+	}
+	d, err := NewWithConfig(c, fs, execs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fakes
+}
+
+func oneStageJob(name string, tasks int) *task.JobSpec {
+	return &task.JobSpec{Name: name, Stages: []*task.StageSpec{
+		{ID: 0, Name: name + "-s", NumTasks: tasks, OpCPU: 1},
+	}}
+}
+
+func TestDefaultPoolAlwaysExists(t *testing.T) {
+	c := testCluster(t, 1)
+	d, _ := fakeDriver(t, c, 1, 1)
+	names := d.PoolNames()
+	if len(names) != 1 || names[0] != DefaultPool {
+		t.Fatalf("pools = %v, want [%q]", names, DefaultPool)
+	}
+}
+
+func TestPoolConfigErrors(t *testing.T) {
+	c := testCluster(t, 1)
+	fs, _ := dfs.New(dfs.Config{Machines: 1, DisksPerMachine: 1})
+	execs := []task.Executor{&fakeExec{id: 0, slots: 1, duration: 1, eng: c.Engine}}
+	if _, err := NewWithConfig(c, fs, execs, Config{Pools: []PoolConfig{{}}}); err == nil {
+		t.Fatal("unnamed pool accepted")
+	}
+	if _, err := NewWithConfig(c, fs, execs, Config{Pools: []PoolConfig{{Name: "p"}, {Name: "p"}}}); err == nil {
+		t.Fatal("duplicate pool accepted")
+	}
+}
+
+func TestSubmitToUndeclaredPool(t *testing.T) {
+	c := testCluster(t, 1)
+	d, _ := fakeDriver(t, c, 1, 1)
+	if _, err := d.SubmitWith(oneStageJob("j", 1), SubmitOptions{Pool: "nope"}); err == nil {
+		t.Fatal("submission to undeclared pool accepted")
+	}
+}
+
+func TestAdmissionQueueLimit(t *testing.T) {
+	c := testCluster(t, 1)
+	d, _ := cfgDriver(t, c, 2, 1, Config{Pools: []PoolConfig{
+		{Name: "serial", MaxConcurrentJobs: 1},
+	}})
+	var hs []*JobHandle
+	for _, name := range []string{"a", "b", "c"} {
+		h, err := d.SubmitWith(oneStageJob(name, 4), SubmitOptions{Pool: "serial"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if got := d.ActiveJobs("serial"); got != 1 {
+		t.Fatalf("active = %d, want 1", got)
+	}
+	if got := d.QueuedJobs("serial"); got != 2 {
+		t.Fatalf("queued = %d, want 2", got)
+	}
+	d.Run()
+	// One job at a time, 4 tasks on 2 slots = 2 s each: strictly serial.
+	wantEnds := []sim.Time{2, 4, 6}
+	for i, h := range hs {
+		if !h.Done() {
+			t.Fatalf("job %d not done", i)
+		}
+		if h.Metrics.End != wantEnds[i] {
+			t.Fatalf("job %d ended at %v, want %v (serial admission)", i, h.Metrics.End, wantEnds[i])
+		}
+	}
+	// Admission times step forward as predecessors finish.
+	if hs[1].AdmittedAt != 2 || hs[2].AdmittedAt != 4 {
+		t.Fatalf("admitted at %v, %v; want 2, 4", hs[1].AdmittedAt, hs[2].AdmittedAt)
+	}
+}
+
+func TestWeightedFairShareAcrossPools(t *testing.T) {
+	c := testCluster(t, 1)
+	d, fakes := cfgDriver(t, c, 4, 1, Config{Pools: []PoolConfig{
+		{Name: "heavy", Weight: 3},
+		{Name: "light", Weight: 1},
+	}})
+	ha, err := d.SubmitWith(oneStageJob("a", 40), SubmitOptions{Pool: "heavy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := d.SubmitWith(oneStageJob("b", 40), SubmitOptions{Pool: "light"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	if !ha.Done() || !hb.Done() {
+		t.Fatal("jobs not done")
+	}
+	// While both pools have work, a 3:1 weighting should give the heavy pool
+	// ~3/4 of the 4 slots. Job a has 40 tasks at ~3 slots/s, so it drains
+	// well before b; its end time reflects its slot share directly.
+	elapsed := float64(ha.Metrics.End)
+	share := 40.0 / (elapsed * 4.0) // fraction of total slot-seconds a used
+	if share < 0.675 || share > 0.825 {
+		t.Fatalf("heavy pool slot share %.3f over its lifetime, want 0.75 ±10%%", share)
+	}
+	if hb.Metrics.End <= ha.Metrics.End {
+		t.Fatalf("light-pool job ended at %v, before heavy's %v", hb.Metrics.End, ha.Metrics.End)
+	}
+	total := 0
+	for _, f := range fakes {
+		total += len(f.launched)
+	}
+	if total != 80 {
+		t.Fatalf("launched %d tasks, want 80", total)
+	}
+}
+
+func TestFIFOPoolDrainsInOrder(t *testing.T) {
+	c := testCluster(t, 1)
+	d, _ := cfgDriver(t, c, 2, 1, Config{Pools: []PoolConfig{
+		{Name: "fifo", Policy: FIFO},
+	}})
+	ha, _ := d.SubmitWith(oneStageJob("a", 4), SubmitOptions{Pool: "fifo"})
+	hb, _ := d.SubmitWith(oneStageJob("b", 4), SubmitOptions{Pool: "fifo"})
+	d.Run()
+	// FIFO gives a every slot it can use before b gets one: a ends at 2, b
+	// at 4 — the opposite of TestConcurrentJobsShareFairly.
+	if ha.Metrics.End != 2 || hb.Metrics.End != 4 {
+		t.Fatalf("ends %v, %v; want 2, 4 (FIFO drain)", ha.Metrics.End, hb.Metrics.End)
+	}
+}
+
+func TestPriorityOrdersDispatch(t *testing.T) {
+	c := testCluster(t, 1)
+	d, _ := cfgDriver(t, c, 2, 1, Config{Pools: []PoolConfig{
+		{Name: "fifo", Policy: FIFO},
+	}})
+	lo, _ := d.SubmitWith(oneStageJob("lo", 4), SubmitOptions{Pool: "fifo"})
+	hi, _ := d.SubmitWith(oneStageJob("hi", 4), SubmitOptions{Pool: "fifo", Priority: 5})
+	d.Run()
+	// Both are active at t=0 but the FIFO policy re-sorts by dispatch order
+	// each pass, so the high-priority job takes the slots first.
+	if hi.Metrics.End >= lo.Metrics.End {
+		t.Fatalf("high-priority ended at %v, low at %v; want high first",
+			hi.Metrics.End, lo.Metrics.End)
+	}
+}
+
+func TestDeadlineOrdersAdmission(t *testing.T) {
+	c := testCluster(t, 1)
+	d, _ := cfgDriver(t, c, 2, 1, Config{Pools: []PoolConfig{
+		{Name: "serial", MaxConcurrentJobs: 1},
+	}})
+	first, _ := d.SubmitWith(oneStageJob("first", 4), SubmitOptions{Pool: "serial"})
+	late, _ := d.SubmitWith(oneStageJob("late", 4), SubmitOptions{Pool: "serial", Deadline: 100})
+	urgent, _ := d.SubmitWith(oneStageJob("urgent", 4), SubmitOptions{Pool: "serial", Deadline: 5})
+	d.Run()
+	// "first" was admitted on submission; the queue then orders by deadline,
+	// so "urgent" (submitted last) runs before "late".
+	if !(first.Metrics.End < urgent.Metrics.End && urgent.Metrics.End < late.Metrics.End) {
+		t.Fatalf("ends first=%v urgent=%v late=%v; want first < urgent < late",
+			first.Metrics.End, urgent.Metrics.End, late.Metrics.End)
+	}
+}
+
+func TestPoolsIsolateFromFIFONeighbours(t *testing.T) {
+	// Two pools, one FIFO one fair-share, running together: the FIFO pool's
+	// internal ordering must not starve the fair pool of its weighted share.
+	c := testCluster(t, 1)
+	d, _ := cfgDriver(t, c, 4, 1, Config{Pools: []PoolConfig{
+		{Name: "batch", Policy: FIFO, Weight: 1},
+		{Name: "interactive", Weight: 1},
+	}})
+	b1, _ := d.SubmitWith(oneStageJob("b1", 20), SubmitOptions{Pool: "batch"})
+	b2, _ := d.SubmitWith(oneStageJob("b2", 20), SubmitOptions{Pool: "batch"})
+	i1, _ := d.SubmitWith(oneStageJob("i1", 8), SubmitOptions{Pool: "interactive"})
+	d.Run()
+	// Equal weights: interactive holds 2 of 4 slots while it has work, so
+	// its 8 tasks drain in ~4 s even though batch has 40 tasks queued.
+	if i1.Metrics.End > 5 {
+		t.Fatalf("interactive job ended at %v, want ≤5 (weighted isolation)", i1.Metrics.End)
+	}
+	// And within batch, FIFO: b1 strictly before b2.
+	if b1.Metrics.End >= b2.Metrics.End {
+		t.Fatalf("batch FIFO violated: b1 end %v, b2 end %v", b1.Metrics.End, b2.Metrics.End)
+	}
+}
+
+func TestSubmitWhileRunning(t *testing.T) {
+	// Open-loop arrivals: jobs submitted at virtual times while the engine
+	// is running are admitted and finish correctly.
+	c := testCluster(t, 1)
+	d, _ := fakeDriver(t, c, 2, 1)
+	h0, _ := d.Submit(oneStageJob("j0", 4))
+	var h1 *JobHandle
+	c.Engine.At(1, func() {
+		h1, _ = d.Submit(oneStageJob("j1", 2))
+	})
+	ms := d.Run()
+	if !h0.Done() || h1 == nil || !h1.Done() {
+		t.Fatal("jobs not done")
+	}
+	if h1.Submitted != 1 {
+		t.Fatalf("late job submitted at %v, want 1", h1.Submitted)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("metrics for %d jobs, want 2", len(ms))
+	}
+}

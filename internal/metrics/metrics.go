@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/task"
 )
 
 // BoxPlot is the five-number summary used in Fig. 6: 5th/25th/50th/75th/95th
@@ -157,12 +158,39 @@ func Measure(c *cluster.Cluster, t0, t1 sim.Time) MeasuredUsage {
 	for _, m := range c.Machines {
 		u.CPUSeconds += m.CPU.Util.Mean(t0, t1) * float64(m.CPU.Cores()) * float64(t1-t0)
 		for _, d := range m.Disks {
-			u.DiskReadBytes += int64(d.ReadCum.At(t1) - d.ReadCum.Before(t0))
-			u.DiskWriteBytes += int64(d.WriteCum.At(t1) - d.WriteCum.Before(t0))
+			u.DiskReadBytes += int64(d.ReadCum.Delta(t0, t1))
+			u.DiskWriteBytes += int64(d.WriteCum.Delta(t0, t1))
 		}
-		u.NetBytes += int64(m.NIC.BytesInCum.At(t1) - m.NIC.BytesInCum.Before(t0))
+		u.NetBytes += int64(m.NIC.BytesInCum.Delta(t0, t1))
 	}
 	return u
+}
+
+// TaskSecondsInWindow sums one job's task occupancy overlapping [t0, t1) —
+// the slot-seconds that Spark-side attribution splits usage by (Fig. 16),
+// and the numerator of a scheduling pool's observed slot share. Task slots
+// without metrics yet (attempts still in flight) are skipped, so the sum is
+// safe to take mid-run.
+func TaskSecondsInWindow(jm *task.JobMetrics, t0, t1 sim.Time) float64 {
+	var sum float64
+	for _, st := range jm.Stages {
+		for _, tm := range st.Tasks {
+			if tm == nil {
+				continue
+			}
+			lo, hi := tm.Start, tm.End
+			if t0 > lo {
+				lo = t0
+			}
+			if t1 < hi {
+				hi = t1
+			}
+			if hi > lo {
+				sum += float64(hi - lo)
+			}
+		}
+	}
+	return sum
 }
 
 // Add accumulates another measurement (summing windows).

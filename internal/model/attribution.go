@@ -1,0 +1,161 @@
+package model
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// This file generalizes the paper's Fig. 16 from two jobs to N: when many
+// jobs share a cluster, each job's monotask metrics attribute the cluster's
+// resource use to that job exactly — each monotask belongs to exactly one
+// job and records its own bytes and service time — where Spark can only
+// split OS counters by slot occupancy (SlotShareAttribution), which is wrong
+// whenever concurrent jobs have different resource profiles (§6.4).
+
+// JobAttribution is one job's share of a window of cluster execution,
+// computed purely from its monotask metrics.
+type JobAttribution struct {
+	Name string
+	// Usage is the job's own resource consumption inside the window: CPU
+	// monotask service seconds, disk bytes split read/write, network bytes.
+	Usage metrics.MeasuredUsage
+	// CPUShare, DiskShare, NetShare are the job's fraction of all attributed
+	// use of each resource across the concurrent jobs (0 when no job used
+	// the resource). These are the live contention shares: "job 3 holds 61%
+	// of the disk traffic right now".
+	CPUShare, DiskShare, NetShare float64
+	// IdealCPU, IdealDisk, IdealNet are the job's per-resource ideal
+	// completion times for the attributed usage (§6.1): how long the window's
+	// work would take if the job had the whole cluster's capacity for that
+	// one resource.
+	IdealCPU, IdealDisk, IdealNet float64
+}
+
+// Attribute divides a window [t0, t1) of concurrent execution between jobs
+// using each job's monotask metrics. Monotasks partially overlapping the
+// window contribute pro-rata. It is safe to call mid-run: task slots not yet
+// finished hold nil metrics and are skipped, so the attribution is live —
+// any moment of an N-job run can be explained while the jobs still execute.
+func Attribute(jobs []*task.JobMetrics, t0, t1 sim.Time, res Resources) []JobAttribution {
+	out := make([]JobAttribution, len(jobs))
+	for i, jm := range jobs {
+		out[i].Name = jm.Name
+		out[i].Usage = windowUsage(jm, t0, t1)
+		u := out[i].Usage
+		if res.TotalCores > 0 {
+			out[i].IdealCPU = u.CPUSeconds / res.TotalCores
+		}
+		if res.DiskBW > 0 {
+			out[i].IdealDisk = float64(u.DiskReadBytes+u.DiskWriteBytes) / res.DiskBW
+		}
+		if res.NetBW > 0 {
+			out[i].IdealNet = float64(u.NetBytes) / res.NetBW
+		}
+	}
+	var cpu, disk, net float64
+	for _, a := range out {
+		cpu += a.Usage.CPUSeconds
+		disk += float64(a.Usage.DiskReadBytes + a.Usage.DiskWriteBytes)
+		net += float64(a.Usage.NetBytes)
+	}
+	for i := range out {
+		if cpu > 0 {
+			out[i].CPUShare = out[i].Usage.CPUSeconds / cpu
+		}
+		if disk > 0 {
+			out[i].DiskShare = float64(out[i].Usage.DiskReadBytes+out[i].Usage.DiskWriteBytes) / disk
+		}
+		if net > 0 {
+			out[i].NetShare = float64(out[i].Usage.NetBytes) / net
+		}
+	}
+	return out
+}
+
+// windowUsage sums one job's monotask activity clipped to [t0, t1).
+func windowUsage(jm *task.JobMetrics, t0, t1 sim.Time) metrics.MeasuredUsage {
+	var u metrics.MeasuredUsage
+	for _, sm := range jm.Stages {
+		for _, tm := range sm.Tasks {
+			if tm == nil {
+				continue // attempt still in flight — live attribution
+			}
+			for _, m := range tm.Monotasks {
+				f := overlapFraction(m.Start, m.End, t0, t1)
+				if f == 0 {
+					continue
+				}
+				switch m.Resource {
+				case task.CPUResource:
+					u.CPUSeconds += f * float64(m.End-m.Start)
+				case task.DiskResource:
+					b := int64(f * float64(m.Bytes))
+					switch m.Kind {
+					case task.KindShuffleWrite, task.KindOutputWrite:
+						u.DiskWriteBytes += b
+					default: // input reads and shuffle serve reads
+						u.DiskReadBytes += b
+					}
+				case task.NetworkResource:
+					u.NetBytes += int64(f * float64(m.Bytes))
+				}
+			}
+		}
+	}
+	return u
+}
+
+// overlapFraction is the fraction of span [s, e] inside window [t0, t1).
+// An instantaneous span counts fully if its instant is inside the window.
+func overlapFraction(s, e, t0, t1 sim.Time) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	lo, hi := s, e
+	if t0 > lo {
+		lo = t0
+	}
+	if t1 < hi {
+		hi = t1
+	}
+	if hi < lo {
+		return 0
+	}
+	if e <= s { // instantaneous monotask
+		if s >= t0 && s < t1 {
+			return 1
+		}
+		return 0
+	}
+	return float64(hi-lo) / float64(e-s)
+}
+
+// AttributionError compares an attribution against ground truth and returns
+// the relative error of the dominant byte resource (disk+network) plus CPU,
+// whichever is larger — the Fig. 16 headline number. Truth entries with zero
+// usage on a resource skip that resource.
+func AttributionError(got, truth metrics.MeasuredUsage) float64 {
+	worst := 0.0
+	rel := func(g, t float64) float64 {
+		if t == 0 {
+			return 0
+		}
+		d := (g - t) / t
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	if e := rel(got.CPUSeconds, truth.CPUSeconds); e > worst {
+		worst = e
+	}
+	if e := rel(float64(got.DiskReadBytes+got.DiskWriteBytes),
+		float64(truth.DiskReadBytes+truth.DiskWriteBytes)); e > worst {
+		worst = e
+	}
+	if e := rel(float64(got.NetBytes), float64(truth.NetBytes)); e > worst {
+		worst = e
+	}
+	return worst
+}

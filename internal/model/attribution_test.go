@@ -1,0 +1,119 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func mono(r task.Resource, k task.Kind, start, end sim.Time, bytes int64) task.MonotaskMetric {
+	return task.MonotaskMetric{Resource: r, Kind: k, Start: start, End: end, Bytes: bytes}
+}
+
+func jobWith(name string, ms ...task.MonotaskMetric) *task.JobMetrics {
+	return &task.JobMetrics{Name: name, Stages: []*task.StageMetrics{{
+		Tasks: []*task.TaskMetrics{{Monotasks: ms}},
+	}}}
+}
+
+func TestAttributeExactPerJob(t *testing.T) {
+	res := Resources{TotalCores: 4, DiskBW: 100, NetBW: 50}
+	a := jobWith("cpu-heavy",
+		mono(task.CPUResource, task.KindCompute, 0, 8, 0),
+		mono(task.DiskResource, task.KindInputRead, 0, 1, 100),
+	)
+	b := jobWith("disk-heavy",
+		mono(task.CPUResource, task.KindCompute, 0, 2, 0),
+		mono(task.DiskResource, task.KindInputRead, 0, 4, 500),
+		mono(task.DiskResource, task.KindOutputWrite, 4, 8, 300),
+		mono(task.NetworkResource, task.KindNetFetch, 0, 2, 200),
+	)
+	atts := Attribute([]*task.JobMetrics{a, b}, 0, 10, res)
+	if atts[0].Usage.CPUSeconds != 8 || atts[1].Usage.CPUSeconds != 2 {
+		t.Fatalf("cpu seconds %v / %v, want 8 / 2", atts[0].Usage.CPUSeconds, atts[1].Usage.CPUSeconds)
+	}
+	if atts[0].Usage.DiskReadBytes != 100 || atts[1].Usage.DiskReadBytes != 500 || atts[1].Usage.DiskWriteBytes != 300 {
+		t.Fatalf("disk bytes wrong: %+v / %+v", atts[0].Usage, atts[1].Usage)
+	}
+	if atts[1].Usage.NetBytes != 200 || atts[0].Usage.NetBytes != 0 {
+		t.Fatalf("net bytes wrong: %+v / %+v", atts[0].Usage, atts[1].Usage)
+	}
+	// Shares: cpu 8/10 vs 2/10; disk 100/900 vs 800/900; net 0 vs 1.
+	if math.Abs(atts[0].CPUShare-0.8) > 1e-12 || math.Abs(atts[1].DiskShare-800.0/900) > 1e-12 || atts[1].NetShare != 1 {
+		t.Fatalf("shares wrong: %+v / %+v", atts[0], atts[1])
+	}
+	// Ideal times divide by the aggregate capacity.
+	if math.Abs(atts[0].IdealCPU-2) > 1e-12 { // 8 core-s / 4 cores
+		t.Fatalf("ideal cpu %v, want 2", atts[0].IdealCPU)
+	}
+	if math.Abs(atts[1].IdealDisk-8) > 1e-12 { // 800 B / 100 B/s
+		t.Fatalf("ideal disk %v, want 8", atts[1].IdealDisk)
+	}
+	if math.Abs(atts[1].IdealNet-4) > 1e-12 { // 200 B / 50 B/s
+		t.Fatalf("ideal net %v, want 4", atts[1].IdealNet)
+	}
+}
+
+func TestAttributeWindowClipping(t *testing.T) {
+	j := jobWith("j",
+		mono(task.DiskResource, task.KindInputRead, 0, 10, 1000),
+		mono(task.CPUResource, task.KindCompute, 0, 10, 0),
+	)
+	atts := Attribute([]*task.JobMetrics{j}, 2, 7, Resources{})
+	// Half-open window [2,7) covers 5 of the 10 seconds: half the bytes and
+	// half the CPU time attribute to it.
+	if atts[0].Usage.DiskReadBytes != 500 {
+		t.Fatalf("clipped read bytes %d, want 500", atts[0].Usage.DiskReadBytes)
+	}
+	if atts[0].Usage.CPUSeconds != 5 {
+		t.Fatalf("clipped cpu seconds %v, want 5", atts[0].Usage.CPUSeconds)
+	}
+	// A window that misses the monotask attributes nothing.
+	if got := Attribute([]*task.JobMetrics{j}, 10, 20, Resources{}); got[0].Usage.DiskReadBytes != 0 {
+		t.Fatalf("out-of-window attribution %+v, want zero", got[0].Usage)
+	}
+}
+
+func TestAttributeLiveSkipsInFlightTasks(t *testing.T) {
+	// Mid-run, unfinished task slots hold nil metrics; Attribute must not
+	// panic and must use only completed attempts.
+	j := &task.JobMetrics{Name: "live", Stages: []*task.StageMetrics{{
+		Tasks: []*task.TaskMetrics{
+			{Monotasks: []task.MonotaskMetric{mono(task.DiskResource, task.KindInputRead, 0, 1, 42)}},
+			nil,
+			nil,
+		},
+	}}}
+	atts := Attribute([]*task.JobMetrics{j}, 0, 100, Resources{})
+	if atts[0].Usage.DiskReadBytes != 42 {
+		t.Fatalf("live attribution %+v, want 42 read bytes", atts[0].Usage)
+	}
+}
+
+func TestAttributeInstantaneousMonotask(t *testing.T) {
+	j := jobWith("z", mono(task.NetworkResource, task.KindNetFetch, 5, 5, 77))
+	if got := Attribute([]*task.JobMetrics{j}, 0, 10, Resources{}); got[0].Usage.NetBytes != 77 {
+		t.Fatalf("instant monotask in window attributed %d bytes, want 77", got[0].Usage.NetBytes)
+	}
+	if got := Attribute([]*task.JobMetrics{j}, 6, 10, Resources{}); got[0].Usage.NetBytes != 0 {
+		t.Fatalf("instant monotask outside window attributed %d bytes, want 0", got[0].Usage.NetBytes)
+	}
+}
+
+func TestAttributionError(t *testing.T) {
+	truth := metrics.MeasuredUsage{CPUSeconds: 10, DiskReadBytes: 1000, NetBytes: 100}
+	if e := AttributionError(truth, truth); e != 0 {
+		t.Fatalf("self error %v, want 0", e)
+	}
+	got := metrics.MeasuredUsage{CPUSeconds: 10, DiskReadBytes: 500, NetBytes: 100}
+	if e := AttributionError(got, truth); math.Abs(e-0.5) > 1e-12 {
+		t.Fatalf("error %v, want 0.5 (disk halved)", e)
+	}
+	// Zero-usage resources in the truth are skipped, not divided by.
+	if e := AttributionError(metrics.MeasuredUsage{NetBytes: 5}, metrics.MeasuredUsage{}); e != 0 {
+		t.Fatalf("error vs zero truth %v, want 0", e)
+	}
+}

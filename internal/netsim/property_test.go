@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The max-min fairness property tests: for hundreds of seeded random flow
+// sets over heterogeneous fabrics, the water-filling allocation must satisfy
+// the definition of max-min fairness exactly —
+//
+//  1. feasibility: no link (machine × direction) carries more than its
+//     capacity;
+//  2. bottleneck property: every flow traverses at least one saturated link
+//     on which its rate is maximal (this characterizes max-min fairness: no
+//     flow's rate can be raised without lowering a flow of equal-or-smaller
+//     rate);
+//  3. insertion-order independence: the allocation is a function of the flow
+//     multiset, not of the order flows were started in.
+//
+// The flows are held open (huge sizes, engine never run) so the tests read
+// the fabric's instantaneous rate assignment directly.
+
+// flowCase is one random scenario: a fabric shape plus open flows.
+type flowCase struct {
+	bw    []float64 // per-machine full-duplex link speed
+	pairs [][2]int  // (src, dst) per flow, src != dst
+}
+
+// randomCase draws a scenario from the seed: 2–8 machines with link speeds
+// spread over ~an order of magnitude, and 1–25 flows between distinct
+// machines (duplicate pairs allowed — incast and fan-out happen naturally).
+func randomCase(seed int64) flowCase {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(7)
+	c := flowCase{bw: make([]float64, n)}
+	for i := range c.bw {
+		c.bw[i] = (0.4 + rng.Float64()*3.6) * 125e6
+	}
+	m := 1 + rng.Intn(25)
+	for i := 0; i < m; i++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		c.pairs = append(c.pairs, [2]int{src, dst})
+	}
+	return c
+}
+
+// openFlows starts every flow in the given order and returns them, without
+// running the engine (the flows are far too large to complete).
+func openFlows(c flowCase, order []int) (*Fabric, []*Flow) {
+	eng := sim.NewEngine()
+	f := NewFabricBW(eng, c.bw)
+	flows := make([]*Flow, len(c.pairs))
+	for _, i := range order {
+		p := c.pairs[i]
+		flows[i] = f.Transfer(p[0], p[1], 1<<50, func() {})
+	}
+	return f, flows
+}
+
+// identity returns 0..n-1.
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+const relEps = 1e-9
+
+func TestMaxMinFairnessProperties(t *testing.T) {
+	const cases = 250
+	for seed := int64(1); seed <= cases; seed++ {
+		c := randomCase(seed)
+		f, flows := openFlows(c, identity(len(c.pairs)))
+
+		// Aggregate rate per link.
+		n := f.Size()
+		egress := make([]float64, n)
+		ingress := make([]float64, n)
+		for fi, fl := range flows {
+			if fl.Rate() <= 0 {
+				t.Fatalf("seed %d: flow %d got zero rate", seed, fi)
+			}
+			egress[c.pairs[fi][0]] += fl.Rate()
+			ingress[c.pairs[fi][1]] += fl.Rate()
+		}
+
+		// (1) Feasibility: no link above capacity.
+		for i := 0; i < n; i++ {
+			if egress[i] > c.bw[i]*(1+relEps) {
+				t.Fatalf("seed %d: machine %d egress %.0f exceeds capacity %.0f",
+					seed, i, egress[i], c.bw[i])
+			}
+			if ingress[i] > c.bw[i]*(1+relEps) {
+				t.Fatalf("seed %d: machine %d ingress %.0f exceeds capacity %.0f",
+					seed, i, ingress[i], c.bw[i])
+			}
+		}
+
+		// (2) Bottleneck property: each flow has a saturated link where its
+		// rate is maximal among the link's flows.
+		for fi, fl := range flows {
+			src, dst := c.pairs[fi][0], c.pairs[fi][1]
+			ok := false
+			for _, link := range []struct {
+				saturated bool
+				dir       int // 0 = egress at src, 1 = ingress at dst
+			}{
+				{egress[src] >= c.bw[src]*(1-1e-6), 0},
+				{ingress[dst] >= c.bw[dst]*(1-1e-6), 1},
+			} {
+				if !link.saturated {
+					continue
+				}
+				maximal := true
+				for fj, other := range flows {
+					onLink := (link.dir == 0 && c.pairs[fj][0] == src) ||
+						(link.dir == 1 && c.pairs[fj][1] == dst)
+					if onLink && other.Rate() > fl.Rate()*(1+1e-6) {
+						maximal = false
+						break
+					}
+				}
+				if maximal {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("seed %d: flow %d (%d→%d, rate %.0f) has no saturated bottleneck link where it is maximal",
+					seed, fi, src, dst, fl.Rate())
+			}
+		}
+
+		// (3) Insertion-order independence: start the same flows in reversed
+		// and seeded-shuffled orders; each flow must get the same rate.
+		for variant, order := range [][]int{
+			reversed(len(c.pairs)),
+			shuffled(len(c.pairs), seed),
+		} {
+			_, flows2 := openFlows(c, order)
+			for fi := range flows {
+				a, b := flows[fi].Rate(), flows2[fi].Rate()
+				if !almostEqual(a, b) {
+					t.Fatalf("seed %d variant %d: flow %d rate %.2f under insertion order A but %.2f under order B",
+						seed, variant, fi, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxMinRatesAreDeterministic re-runs one scenario and requires
+// bit-identical rates (not just nearly-equal): same inputs, same floats.
+func TestMaxMinRatesAreDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		c := randomCase(seed)
+		_, a := openFlows(c, identity(len(c.pairs)))
+		_, b := openFlows(c, identity(len(c.pairs)))
+		for i := range a {
+			if a[i].Rate() != b[i].Rate() {
+				t.Fatalf("seed %d: flow %d rate %v then %v on identical runs", seed, i, a[i].Rate(), b[i].Rate())
+			}
+		}
+	}
+}
+
+// TestMaxMinWorkConserving checks that when one flow is alone on both of its
+// links it gets the full min(src, dst) capacity — water-filling must not
+// strand bandwidth.
+func TestMaxMinWorkConserving(t *testing.T) {
+	for seed := int64(1); seed <= 100; seed++ {
+		c := randomCase(seed)
+		_, flows := openFlows(c, identity(len(c.pairs)))
+		for fi, fl := range flows {
+			src, dst := c.pairs[fi][0], c.pairs[fi][1]
+			alone := true
+			for fj := range flows {
+				if fj != fi && (c.pairs[fj][0] == src || c.pairs[fj][1] == dst) {
+					alone = false
+					break
+				}
+			}
+			if !alone {
+				continue
+			}
+			want := c.bw[src]
+			if c.bw[dst] < want {
+				want = c.bw[dst]
+			}
+			if !almostEqual(fl.Rate(), want) {
+				t.Fatalf("seed %d: lone flow %d→%d rate %.0f, want full link %.0f", seed, src, dst, fl.Rate(), want)
+			}
+		}
+	}
+}
+
+func reversed(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - 1 - i
+	}
+	return out
+}
+
+func shuffled(n int, seed int64) []int {
+	out := identity(n)
+	rand.New(rand.NewSource(seed * 7919)).Shuffle(n, func(i, j int) {
+		out[i], out[j] = out[j], out[i]
+	})
+	return out
+}

@@ -60,8 +60,8 @@ func (tr *Tracker) At(t sim.Time) float64 {
 }
 
 // Before returns the tracked value just before time t (0 if no earlier
-// transition). Cumulative-counter users query windows as [Before(t0), At(t1)]
-// so that events stamped exactly at the window start are included.
+// transition). Cumulative-counter users should read windows with Delta, which
+// is built on Before at both edges so windows tile without double-counting.
 func (tr *Tracker) Before(t sim.Time) float64 {
 	lo, hi := 0, len(tr.times)
 	for lo < hi {
@@ -76,6 +76,19 @@ func (tr *Tracker) Before(t sim.Time) float64 {
 		return 0
 	}
 	return tr.values[lo-1]
+}
+
+// Delta returns the growth of a cumulative counter over the half-open
+// window [t0, t1): transitions stamped exactly at t0 count, transitions
+// stamped exactly at t1 don't. Adjacent windows therefore tile — the sum of
+// Delta over [a,b) and [b,c) equals Delta over [a,c). (The older
+// At(t1)-Before(t0) formulation counts a transition stamped exactly at b in
+// both windows that share the boundary.)
+func (tr *Tracker) Delta(t0, t1 sim.Time) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	return tr.Before(t1) - tr.Before(t0)
 }
 
 // Mean returns the time-weighted mean value over [t0, t1).

@@ -122,6 +122,58 @@ func TestTrackerMax(t *testing.T) {
 	}
 }
 
+// TestTrackerDeltaHalfOpen pins the cumulative-window contract: a transition
+// stamped exactly at t0 counts, one stamped exactly at t1 doesn't.
+func TestTrackerDeltaHalfOpen(t *testing.T) {
+	var tr Tracker
+	tr.Set(0, 100)
+	tr.Set(2, 250) // +150 stamped exactly at t=2
+	tr.Set(5, 400)
+	cases := []struct {
+		t0, t1 sim.Time
+		want   float64
+	}{
+		{0, 2, 100},  // excludes the t=2 transition
+		{2, 5, 150},  // includes t=2, excludes t=5
+		{5, 9, 150},  // includes t=5
+		{0, 9, 400},  // whole history
+		{3, 4, 0},    // quiet interior window
+		{2, 2, 0},    // empty window
+		{9, 2, 0},    // inverted window
+		{-5, 0, 0}, // the t=0 transition belongs to the next window
+	}
+	for _, c := range cases {
+		if got := tr.Delta(c.t0, c.t1); got != c.want {
+			t.Errorf("Delta(%v,%v) = %v, want %v", c.t0, c.t1, got, c.want)
+		}
+	}
+}
+
+// TestTrackerDeltaTilesWindows is the regression for the double-count the
+// At(t1)-Before(t0) formulation had: adjacent windows sharing a boundary
+// where a transition is stamped must sum to the enclosing window.
+func TestTrackerDeltaTilesWindows(t *testing.T) {
+	var tr Tracker
+	cum := 0.0
+	// Transitions at every integer time, so every window boundary below
+	// lands exactly on a stamped transition — the worst case.
+	for i := 0; i <= 10; i++ {
+		cum += float64(1 + i)
+		tr.Set(sim.Time(i), cum)
+	}
+	whole := tr.Delta(0, 10)
+	split := tr.Delta(0, 3) + tr.Delta(3, 7) + tr.Delta(7, 10)
+	if whole != split {
+		t.Fatalf("windows do not tile: Delta(0,10) = %v but split sum = %v", whole, split)
+	}
+	// Demonstrate the closed-window formulation really does double-count
+	// here, so this test fails if Delta is ever redefined in terms of it.
+	closed := (tr.At(3) - tr.Before(0)) + (tr.At(7) - tr.Before(3)) + (tr.At(10) - tr.Before(7))
+	if closed == whole {
+		t.Fatal("closed-window sum unexpectedly equals the half-open sum; test lost its teeth")
+	}
+}
+
 // Property: Mean is always within [min, max] of the recorded values.
 func TestPropertyMeanBounded(t *testing.T) {
 	f := func(raw []uint8) bool {

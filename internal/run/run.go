@@ -10,6 +10,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/jobsched"
 	"repro/internal/pipeexec"
+	"repro/internal/sim"
 	"repro/internal/task"
 )
 
@@ -118,4 +119,41 @@ func Jobs(c *cluster.Cluster, fs *dfs.FS, o Options, specs ...*task.JobSpec) ([]
 		}
 	}
 	return d.Run(), nil
+}
+
+// Submission is one job of an open-loop arrival schedule: a spec, the
+// virtual time it arrives at the driver, and its scheduling tags.
+type Submission struct {
+	Spec *task.JobSpec
+	At   sim.Time
+	Opts jobsched.SubmitOptions
+}
+
+// JobsAt executes an arrival schedule: each job is submitted at its arrival
+// time while the cluster runs, without waiting for earlier jobs (an open
+// loop — the load does not back off when the cluster falls behind). Returns
+// the job handles in schedule order; handle metrics measure sojourn time
+// (admission queueing included) from each job's arrival.
+func JobsAt(c *cluster.Cluster, fs *dfs.FS, o Options, subs []Submission) ([]*jobsched.JobHandle, error) {
+	d, err := Driver(c, fs, o)
+	if err != nil {
+		return nil, err
+	}
+	handles := make([]*jobsched.JobHandle, len(subs))
+	var submitErr error
+	for i, s := range subs {
+		i, s := i, s
+		c.Engine.At(s.At, func() {
+			h, err := d.SubmitWith(s.Spec, s.Opts)
+			if err != nil && submitErr == nil {
+				submitErr = fmt.Errorf("run: submitting job %d (%q): %w", i, s.Spec.Name, err)
+			}
+			handles[i] = h
+		})
+	}
+	d.Run()
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	return handles, nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/jobsched"
 	"repro/internal/pipeexec"
 	"repro/internal/task"
 )
@@ -67,6 +68,56 @@ func TestJobsRunsConcurrently(t *testing.T) {
 	// Concurrent jobs overlap: both start at 0.
 	if ms[0].Start != 0 || ms[1].Start != 0 {
 		t.Fatalf("jobs started at %v, %v; want both 0 (submitted together)", ms[0].Start, ms[1].Start)
+	}
+}
+
+func TestJobsAtHonoursArrivalSchedule(t *testing.T) {
+	c := cluster.MustNew(2, cluster.M2_4XLarge())
+	fs, _ := dfs.New(dfs.Config{Machines: 2, DisksPerMachine: 2})
+	mk := func(name string) *task.JobSpec {
+		return &task.JobSpec{Name: name, Stages: []*task.StageSpec{
+			{ID: 0, Name: name, NumTasks: 8, OpCPU: 1},
+		}}
+	}
+	o := Options{Mode: Monotasks, Sched: jobsched.Config{
+		Pools: []jobsched.PoolConfig{{Name: "p", Weight: 2}},
+	}}
+	hs, err := JobsAt(c, fs, o, []Submission{
+		{Spec: mk("a"), At: 0, Opts: jobsched.SubmitOptions{Pool: "p"}},
+		{Spec: mk("b"), At: 0.5},
+		{Spec: mk("c"), At: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 3 {
+		t.Fatalf("%d handles, want 3", len(hs))
+	}
+	wantArrivals := []float64{0, 0.5, 2}
+	for i, h := range hs {
+		if err := h.Err(); err != nil {
+			t.Fatalf("job %d failed: %v", i, err)
+		}
+		if got := float64(h.Submitted); got != wantArrivals[i] {
+			t.Fatalf("job %d submitted at %v, want %v", i, got, wantArrivals[i])
+		}
+		if h.Metrics.Start < h.Submitted {
+			t.Fatalf("job %d started before it arrived", i)
+		}
+	}
+}
+
+func TestJobsAtRejectsUndeclaredPool(t *testing.T) {
+	c := cluster.MustNew(1, cluster.M2_4XLarge())
+	fs, _ := dfs.New(dfs.Config{Machines: 1, DisksPerMachine: 2})
+	spec := &task.JobSpec{Name: "x", Stages: []*task.StageSpec{
+		{ID: 0, Name: "x", NumTasks: 2, OpCPU: 1},
+	}}
+	_, err := JobsAt(c, fs, Options{Mode: Monotasks}, []Submission{
+		{Spec: spec, At: 0, Opts: jobsched.SubmitOptions{Pool: "ghost"}},
+	})
+	if err == nil {
+		t.Fatal("submission to undeclared pool accepted")
 	}
 }
 

@@ -1,0 +1,231 @@
+package monospark
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// asyncContext builds a Context with two weighted pools for async tests.
+func asyncContext(t *testing.T) *Context {
+	t.Helper()
+	ctx, err := New(Config{
+		Machines: 2,
+		Pools: []PoolConfig{
+			{Name: "prod", Weight: 3},
+			{Name: "adhoc", Weight: 1, Policy: PoolFIFO},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// wordCountDataset builds the standard word-count lineage over n lines.
+func wordCountDataset(t *testing.T, ctx *Context, n int) *Dataset {
+	t.Helper()
+	lines, err := ctx.TextFile("corpus", corpus(n), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lines.
+		FlatMap(func(v any) []any {
+			var out []any
+			for _, w := range strings.Fields(v.(string)) {
+				out = append(out, w)
+			}
+			return out
+		}).
+		MapToPair(func(v any) Pair { return Pair{Key: v.(string), Value: 1} }).
+		ReduceByKey(func(a, b any) any { return a.(int) + b.(int) })
+}
+
+// TestAsyncMatchesSync submits several jobs concurrently across pools and
+// checks every result matches the synchronous run of the same lineage.
+func TestAsyncMatchesSync(t *testing.T) {
+	ctx := asyncContext(t)
+
+	want := make(map[string]int)
+	for _, line := range corpus(500) {
+		for _, w := range strings.Fields(line) {
+			want[w]++
+		}
+	}
+
+	var actions []*AsyncAction
+	for _, pool := range []string{"prod", "adhoc", "prod", ""} {
+		a, err := wordCountDataset(t, ctx, 500).CollectAsync(JobOptions{Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Done() {
+			t.Fatal("action reports done before Await")
+		}
+		actions = append(actions, a)
+	}
+	runs, err := ctx.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(actions) {
+		t.Fatalf("Await returned %d runs, want %d", len(runs), len(actions))
+	}
+	for _, a := range actions {
+		if !a.Done() {
+			t.Fatalf("%s not done after Await", a.Name)
+		}
+		recs, err := a.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]int)
+		for _, r := range recs {
+			p := r.(Pair)
+			got[p.Key] = p.Value.(int)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d distinct words, want %d", a.Name, len(got), len(want))
+		}
+		for w, n := range want {
+			if got[w] != n {
+				t.Fatalf("%s: count[%q] = %d, want %d", a.Name, w, got[w], n)
+			}
+		}
+		run, err := a.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Duration() <= 0 {
+			t.Fatalf("%s: non-positive duration", a.Name)
+		}
+	}
+	// Concurrent jobs on a shared cluster interleave: each job's wall time
+	// exceeds what it gets alone, so Explain-style profiles must still work.
+	if _, err := runs[0].Explain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncCount checks the CountAsync action.
+func TestAsyncCount(t *testing.T) {
+	ctx := asyncContext(t)
+	recs := make([]any, 200)
+	for i := range recs {
+		recs[i] = i
+	}
+	data, err := ctx.Parallelize(recs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := data.CountAsync(JobOptions{Pool: "prod", Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Count(); err == nil {
+		t.Fatal("Count before Await should fail")
+	}
+	if _, err := ctx.Await(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := a.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("count = %d, want 200", n)
+	}
+}
+
+// TestAsyncUndeclaredPool checks the submit error surfaces on the action and
+// from Await without poisoning the rest of the batch.
+func TestAsyncUndeclaredPool(t *testing.T) {
+	ctx := asyncContext(t)
+	bad, err := wordCountDataset(t, ctx, 100).CollectAsync(JobOptions{Pool: "nope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := wordCountDataset(t, ctx, 100).CollectAsync(JobOptions{Pool: "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := ctx.Await()
+	if err == nil {
+		t.Fatal("Await should report the undeclared pool")
+	}
+	if len(runs) != 1 {
+		t.Fatalf("got %d successful runs, want 1", len(runs))
+	}
+	if bad.Err() == nil || !strings.Contains(bad.Err().Error(), "nope") {
+		t.Fatalf("bad action error = %v, want undeclared-pool error", bad.Err())
+	}
+	if _, err := good.Records(); err != nil {
+		t.Fatalf("good action failed: %v", err)
+	}
+}
+
+// TestAsyncDeterministic checks two identical contexts produce bit-identical
+// concurrent schedules.
+func TestAsyncDeterministic(t *testing.T) {
+	durations := func() []time.Duration {
+		ctx := asyncContext(t)
+		for _, pool := range []string{"prod", "adhoc", "prod"} {
+			if _, err := wordCountDataset(t, ctx, 400).CollectAsync(JobOptions{Pool: pool}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runs, err := ctx.Await()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]time.Duration, len(runs))
+		for i, r := range runs {
+			out[i] = r.Duration()
+		}
+		return out
+	}
+	a, b := durations(), durations()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAsyncAttribution checks the N-job attribution sums shares to 1 per
+// used resource and assigns every job positive CPU.
+func TestAsyncAttribution(t *testing.T) {
+	ctx := asyncContext(t)
+	for _, pool := range []string{"prod", "adhoc"} {
+		if _, err := wordCountDataset(t, ctx, 600).CollectAsync(JobOptions{Pool: pool}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := ctx.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := 0.0
+	for _, r := range runs {
+		if s := r.Duration().Seconds(); s > end {
+			end = s
+		}
+	}
+	att, err := ctx.Attribution(runs, 0, end+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(att) != len(runs) {
+		t.Fatalf("got %d attributions, want %d", len(att), len(runs))
+	}
+	var cpu float64
+	for _, a := range att {
+		if a.Usage.CPUSeconds <= 0 {
+			t.Fatalf("job %s attributed no CPU", a.Name)
+		}
+		cpu += a.CPUShare
+	}
+	if cpu < 0.999 || cpu > 1.001 {
+		t.Fatalf("CPU shares sum to %.4f, want 1", cpu)
+	}
+}

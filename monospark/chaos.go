@@ -90,7 +90,7 @@ func (c *Context) initChaos() error {
 
 // driverConfig is the per-job driver policy derived from the Context config.
 func (c *Context) driverConfig() jobsched.Config {
-	cfg := jobsched.Config{Speculation: c.cfg.Speculation}
+	cfg := jobsched.Config{Speculation: c.cfg.Speculation, Pools: c.cfg.Pools}
 	if ch := c.cfg.Chaos; ch != nil {
 		cfg.MaxTaskFailures = ch.MaxTaskFailures
 		cfg.ExcludeAfterFailures = ch.ExcludeAfterFailures

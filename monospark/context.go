@@ -24,6 +24,9 @@ type Context struct {
 	jobSeq   int
 	fileSeq  int
 	datasets int
+	// pendingAsync holds jobs queued by the Async actions until Await runs
+	// them concurrently on one shared driver.
+	pendingAsync []*AsyncAction
 }
 
 // New builds a Context over a fresh virtual cluster.

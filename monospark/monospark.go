@@ -131,6 +131,11 @@ type Config struct {
 	// recoveries, degraded devices, transient task failures) for every job
 	// run on the Context. See ChaosConfig.
 	Chaos *ChaosConfig
+	// Pools declares named scheduling pools for concurrent jobs submitted
+	// with the Async actions (CollectAsync + Context.Await): each pool gets
+	// executor slots in proportion to its weight while it has runnable work.
+	// A fair-share pool named DefaultPool always exists.
+	Pools []PoolConfig
 }
 
 func (c Config) withDefaults() Config {
