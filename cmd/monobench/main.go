@@ -15,10 +15,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/figures"
+	"repro/internal/sweep"
 )
 
 // printer is anything a figure returns that can render itself.
@@ -62,21 +66,44 @@ var csvDir = flag.String("csv", "", "also write each experiment's table as CSV i
 // smoke shrinks experiments that support it (multijob) to CI size.
 var smoke = flag.Bool("smoke", false, "run a reduced, CI-sized version of experiments that support it")
 
+// parallel sets how many grid cells the sweep pool runs concurrently. Each
+// cell is an independent simulation; results are identical at any setting.
+var parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for experiment grids (1 = serial)")
+
 func main() {
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
-	// Accept --smoke after the experiment names too (flag stops parsing at
-	// the first non-flag argument).
+	// Accept --smoke and --parallel after the experiment names too (flag
+	// stops parsing at the first non-flag argument).
 	kept := args[:0]
-	for _, a := range args {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
 		if a == "--smoke" || a == "-smoke" {
 			*smoke = true
+			continue
+		}
+		if v, ok := strings.CutPrefix(a, "--parallel="); ok {
+			setParallelArg(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(a, "-parallel="); ok {
+			setParallelArg(v)
+			continue
+		}
+		if a == "--parallel" || a == "-parallel" {
+			if i+1 >= len(args) {
+				fmt.Fprintf(os.Stderr, "monobench: %s needs a value\n", a)
+				os.Exit(2)
+			}
+			i++
+			setParallelArg(args[i])
 			continue
 		}
 		kept = append(kept, a)
 	}
 	args = kept
+	sweep.SetParallelism(*parallel)
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
@@ -146,6 +173,16 @@ func writeCSV(name string, idx int, section printer) error {
 	}
 	defer f.Close()
 	return t.CSV().Write(f)
+}
+
+// setParallelArg parses a trailing --parallel value into the flag.
+func setParallelArg(v string) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "monobench: bad --parallel value %q\n", v)
+		os.Exit(2)
+	}
+	*parallel = n
 }
 
 // wrap1 lifts a single-result runner into the []printer shape.

@@ -1,0 +1,87 @@
+// Command monoperf records the repo's benchmark trajectory: it runs the
+// hot-path microbenchmarks (sim event loop, netsim rerate, end-to-end sort)
+// and a serial-vs-parallel sweep of the chaos matrix, then writes the numbers
+// to a BENCH_*.json report.
+//
+//	monoperf -out BENCH_3.json            # full run
+//	monoperf -quick -out BENCH_3.json     # CI-sized run
+//
+// The exit status doubles as the determinism gate: if the parallel sweep's
+// rendered output is not byte-identical to the serial run's, monoperf exits
+// non-zero.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/sweep"
+	"repro/internal/units"
+	"repro/perf"
+)
+
+// benchSortEndToEnd runs the small two-executor sort the golden test locks
+// down, pinned to serial so the ns/op means "single-core simulation cost".
+// Mirrors BenchmarkSortEndToEnd in internal/figures.
+func benchSortEndToEnd(b *testing.B) {
+	old := sweep.Parallelism()
+	sweep.SetParallelism(1)
+	defer sweep.SetParallelism(old)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.SortSized(8*units.GB, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_3.json", "report path")
+	quick := flag.Bool("quick", false, "CI-sized run: fewer chaos seeds")
+	workers := flag.Int("parallel", 8, "worker count for the parallel sweep leg")
+	flag.Parse()
+
+	seeds := 8
+	if *quick {
+		seeds = 3
+	}
+	rep := perf.NewReport()
+	rep.Benchmarks = []perf.BenchResult{
+		perf.Bench("EngineChurn", perf.BenchEngineChurn),
+		perf.Bench("FabricAllToAllShuffle", perf.BenchFabricAllToAll),
+		perf.Bench("SortEndToEnd", benchSortEndToEnd),
+	}
+	sw, err := perf.CompareSweep("chaos", seeds*2, *workers, func() ([]byte, error) {
+		res, err := figures.Chaos(seeds)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		res.Fprint(&buf)
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "monoperf: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Sweep = sw
+	if err := rep.Write(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "monoperf: %v\n", err)
+		os.Exit(1)
+	}
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("%-24s %12.1f ns/op %8d allocs/op %10d B/op\n",
+			b.Name, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
+	}
+	fmt.Printf("%-24s serial %.0f ms, parallel(%d) %.0f ms, speedup %.2fx, identical %v\n",
+		"sweep:"+sw.Experiment, sw.SerialMs, sw.Workers, sw.ParallelMs, sw.Speedup, sw.Identical)
+	fmt.Printf("wrote %s\n", *out)
+	if !sw.Identical {
+		fmt.Fprintln(os.Stderr, "monoperf: parallel sweep output diverged from serial run")
+		os.Exit(1)
+	}
+}

@@ -114,9 +114,11 @@ func (m *Machine) MemFree(bytes int64) {
 	}
 }
 
-// MemInUse and MemPeak report current and high-water memory use.
+// MemInUse reports the machine's current memory use.
 func (m *Machine) MemInUse() int64 { return m.memInUse }
-func (m *Machine) MemPeak() int64  { return m.memPeak }
+
+// MemPeak reports the machine's high-water memory use.
+func (m *Machine) MemPeak() int64 { return m.memPeak }
 
 // AggDiskBW returns the machine's total sequential disk bandwidth.
 func (m *Machine) AggDiskBW() float64 {

@@ -18,6 +18,7 @@ type Record struct {
 	Detail  string
 }
 
+// String renders the record as a one-line trace entry.
 func (r Record) String() string {
 	return fmt.Sprintf("t=%.3f %v machine=%d %s", float64(r.At), r.Kind, r.Machine, r.Detail)
 }

@@ -60,6 +60,7 @@ const (
 	TaskKill
 )
 
+// String names the fault kind.
 func (k Kind) String() string {
 	switch k {
 	case MachineCrash:

@@ -9,6 +9,7 @@ import (
 	"repro/internal/jobsched"
 	"repro/internal/resource"
 	"repro/internal/run"
+	"repro/internal/sweep"
 	"repro/internal/task"
 	"repro/internal/units"
 	"repro/internal/workloads"
@@ -54,30 +55,31 @@ func runSortWithMono(opts core.Options) (float64, error) {
 // Under FIFO the second job's reads are stuck behind every queued write and
 // its CPU sits idle; round robin interleaves them.
 func AblationPhaseRR() (*AblationResult, error) {
-	out := &AblationResult{Title: "Ablation: per-resource queue discipline (§3.3)"}
-	for _, fifo := range []bool{false, true} {
+	configs := []bool{false, true} // DisablePhaseRoundRobin
+	secs, err := sweep.Run(len(configs), func(i int) (float64, error) {
+		fifo := configs[i]
 		c, err := cluster.New(5, cluster.M2_4XLarge())
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		env, err := workloads.NewEnv(c)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		writer := &task.JobSpec{Name: "writer", Stages: []*task.StageSpec{{
 			ID: 0, Name: "writer", NumTasks: 400, OpCPU: 0.05, OutputBytes: 512 << 20,
 		}}}
 		reader, err := workloads.ReadCompute{Name: "reader", TotalBytes: 20 * units.GB, NumTasks: 160}.Build(env)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		d, err := run.Driver(c, env.FS, run.Options{Mode: run.Monotasks,
 			Mono: core.Options{DisablePhaseRoundRobin: fifo}})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		if _, err := d.Submit(writer); err != nil {
-			return nil, err
+			return 0, err
 		}
 		// The reader arrives once the writer's backlog is established; its
 		// runtime isolates the queueing effect.
@@ -88,17 +90,20 @@ func AblationPhaseRR() (*AblationResult, error) {
 		})
 		d.Run()
 		if submitErr != nil {
-			return nil, submitErr
+			return 0, submitErr
 		}
+		return float64(readerHandle.Metrics.Duration()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Title: "Ablation: per-resource queue discipline (§3.3)"}
+	for i, fifo := range configs {
 		label, note := "phase round-robin (paper)", ""
 		if fifo {
 			label, note = "plain FIFO", "reader's disk reads starve behind the write backlog"
 		}
-		out.Rows = append(out.Rows, AblationRow{
-			Label:   label,
-			Seconds: float64(readerHandle.Metrics.Duration()),
-			Note:    note,
-		})
+		out.Rows = append(out.Rows, AblationRow{Label: label, Seconds: secs[i], Note: note})
 	}
 	return out, nil
 }
@@ -106,18 +111,17 @@ func AblationPhaseRR() (*AblationResult, error) {
 // AblationSpareMultitask compares the §3.4 "+1" spare multitask against a
 // concurrency target with no slack.
 func AblationSpareMultitask() (*AblationResult, error) {
+	opts := []core.Options{{}, {NoSpareMultitask: true}}
+	secs, err := sweep.Run(len(opts), func(i int) (float64, error) {
+		return runSortWithMono(opts[i])
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &AblationResult{Title: "Ablation: the spare multitask (§3.4)"}
-	with, err := runSortWithMono(core.Options{})
-	if err != nil {
-		return nil, err
-	}
-	without, err := runSortWithMono(core.Options{NoSpareMultitask: true})
-	if err != nil {
-		return nil, err
-	}
 	out.Rows = append(out.Rows,
-		AblationRow{Label: "cores+disks+net+1 (paper)", Seconds: with},
-		AblationRow{Label: "no spare multitask", Seconds: without},
+		AblationRow{Label: "cores+disks+net+1 (paper)", Seconds: secs[0]},
+		AblationRow{Label: "no spare multitask", Seconds: secs[1]},
 	)
 	return out, nil
 }
@@ -130,25 +134,32 @@ func AblationSpareMultitask() (*AblationResult, error) {
 // data completes early enough to pipeline with compute.
 func AblationNetLimit() (*AblationResult, error) {
 	out := &AblationResult{Title: "Ablation: network scheduler multitask limit (§3.3; one machine degraded to 0.4×)"}
-	specs := make([]cluster.MachineSpec, 15)
-	for i := range specs {
-		specs[i] = cluster.I2_2XLarge(2)
-	}
-	specs[0] = specs[0].Degraded(0.4)
-	for _, lim := range []int{1, 2, 4, 8, 16} {
+	limits := []int{1, 2, 4, 8, 16}
+	secs, err := sweep.Run(len(limits), func(i int) (float64, error) {
+		specs := make([]cluster.MachineSpec, 15)
+		for j := range specs {
+			specs[j] = cluster.I2_2XLarge(2)
+		}
+		specs[0] = specs[0].Degraded(0.4)
 		res, err := executeHetero(specs,
-			run.Options{Mode: run.Monotasks, Mono: core.Options{NetMultitaskLimit: lim}},
+			run.Options{Mode: run.Monotasks, Mono: core.Options{NetMultitaskLimit: limits[i]}},
 			workloads.LeastSquares{}.Build)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return float64(res.Jobs[0].Duration()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, lim := range limits {
 		note := ""
 		if lim == 4 {
 			note = "(paper's choice)"
 		}
 		out.Rows = append(out.Rows, AblationRow{
 			Label:   labelNetLimit(lim),
-			Seconds: float64(res.Jobs[0].Duration()),
+			Seconds: secs[i],
 			Note:    note,
 		})
 	}
@@ -168,20 +179,27 @@ func labelNetLimit(lim int) string {
 // §3.3 finding is that throughput rises to a knee around four.
 func AblationSSDConcurrency() (*AblationResult, error) {
 	out := &AblationResult{Title: "Ablation: outstanding monotasks per SSD (§3.3)"}
-	for _, conc := range []int{1, 2, 4, 8} {
+	concs := []int{1, 2, 4, 8}
+	secs, err := sweep.Run(len(concs), func(i int) (float64, error) {
 		res, err := execute(5, cluster.I2_2XLarge(2),
-			run.Options{Mode: run.Monotasks, Mono: core.Options{SSDConcurrency: conc}},
+			run.Options{Mode: run.Monotasks, Mono: core.Options{SSDConcurrency: concs[i]}},
 			workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: 50}.Build)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return float64(res.Jobs[0].Duration()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, conc := range concs {
 		note := ""
 		if conc == 4 {
 			note = "(paper's choice: the throughput knee)"
 		}
 		out.Rows = append(out.Rows, AblationRow{
 			Label:   lab("%d per SSD", conc),
-			Seconds: float64(res.Jobs[0].Duration()),
+			Seconds: secs[i],
 			Note:    note,
 		})
 	}
@@ -199,18 +217,25 @@ func AblationLoadAwareWrites() (*AblationResult, error) {
 		MemBytes: 60 * units.GB,
 	}
 	out := &AblationResult{Title: "Ablation: write-disk selection on mixed HDD+SSD machines (§8)"}
-	for _, aware := range []bool{false, true} {
+	aware := []bool{false, true}
+	secs, err := sweep.Run(len(aware), func(i int) (float64, error) {
 		res, err := execute(5, spec,
-			run.Options{Mode: run.Monotasks, Mono: core.Options{LoadAwareWrites: aware}},
+			run.Options{Mode: run.Monotasks, Mono: core.Options{LoadAwareWrites: aware[i]}},
 			workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: 25}.Build)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return float64(res.Jobs[0].Duration()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range aware {
 		label := "round robin (paper)"
-		if aware {
+		if a {
 			label = "shortest queue (§8)"
 		}
-		out.Rows = append(out.Rows, AblationRow{Label: label, Seconds: float64(res.Jobs[0].Duration())})
+		out.Rows = append(out.Rows, AblationRow{Label: label, Seconds: secs[i]})
 	}
 	return out, nil
 }
@@ -233,29 +258,32 @@ func AblationNetworkPolicy() (*AblationResult, error) {
 		{"receiver-limited (paper)", core.ReceiverLimited},
 		{"sender/receiver matching", core.SenderReceiverMatching},
 	}
-	for _, cfgRow := range configs {
-		res, err := execute(15, cluster.I2_2XLarge(2),
-			run.Options{Mode: run.Monotasks, Mono: core.Options{NetworkPolicy: cfgRow.policy}},
-			workloads.LeastSquares{}.Build)
-		if err != nil {
-			return nil, err
+	// Cells 0..1 are the ML workload, 2..3 the sort, preserving row order.
+	rows, err := sweep.Run(2*len(configs), func(i int) (AblationRow, error) {
+		cfgRow := configs[i%len(configs)]
+		o := run.Options{Mode: run.Monotasks, Mono: core.Options{NetworkPolicy: cfgRow.policy}}
+		var res *RunResult
+		var err error
+		var suffix string
+		if i < len(configs) {
+			suffix = " / ml"
+			res, err = execute(15, cluster.I2_2XLarge(2), o, workloads.LeastSquares{}.Build)
+		} else {
+			suffix = " / sort"
+			res, err = execute(5, cluster.M2_4XLarge(), o,
+				workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: 25}.Build)
 		}
-		out.Rows = append(out.Rows, AblationRow{
-			Label:   cfgRow.label + " / ml",
-			Seconds: float64(res.Jobs[0].Duration()),
-		})
-	}
-	for _, cfgRow := range configs {
-		res, err := execute(5, cluster.M2_4XLarge(),
-			run.Options{Mode: run.Monotasks, Mono: core.Options{NetworkPolicy: cfgRow.policy}},
-			workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: 25}.Build)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		out.Rows = append(out.Rows, AblationRow{
-			Label:   cfgRow.label + " / sort",
+		return AblationRow{
+			Label:   cfgRow.label + suffix,
 			Seconds: float64(res.Jobs[0].Duration()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/monospark"
 )
 
@@ -136,18 +137,20 @@ func chaosCorrect(recs []any) bool {
 	return true
 }
 
-// Chaos runs `seeds` distinct seeds, each twice, in Monotasks mode.
+// Chaos runs `seeds` distinct seeds, each twice, in Monotasks mode. Every
+// run — including the replay of a seed — is an independent simulation, so
+// all 2×seeds cells go through the sweep pool; the determinism comparison
+// happens on the collected outcomes.
 func Chaos(seeds int) (*ChaosResult, error) {
+	outcomes, err := sweep.Run(seeds*2, func(i int) (chaosOutcome, error) {
+		return chaosRun(int64(i/2)+1, monospark.Monotasks)
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &ChaosResult{}
 	for seed := int64(1); seed <= int64(seeds); seed++ {
-		first, err := chaosRun(seed, monospark.Monotasks)
-		if err != nil {
-			return nil, err
-		}
-		second, err := chaosRun(seed, monospark.Monotasks)
-		if err != nil {
-			return nil, err
-		}
+		first, second := outcomes[(seed-1)*2], outcomes[(seed-1)*2+1]
 		row := ChaosRow{
 			Seed:         seed,
 			Mode:         monospark.Monotasks.String(),

@@ -8,6 +8,7 @@ import (
 	"repro/internal/jobsched"
 	"repro/internal/run"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workloads"
 )
@@ -101,42 +102,63 @@ func failureRun(mode run.Mode, replication int, speculation bool, failAt sim.Tim
 
 // Failure runs the full matrix: {spark, monotasks} × {map, reduce failure}
 // × {replication 1, 2} × {speculation off, on}, each against its own clean
-// baseline.
+// baseline. Two sweep phases: all clean baselines first (the failure
+// injection times are fractions of the clean runtimes), then all 16 failure
+// runs.
 func Failure() (*FailureResult, error) {
-	out := &FailureResult{}
+	type cfg struct {
+		mode        run.Mode
+		replication int
+		speculation bool
+	}
+	var cfgs []cfg
 	for _, mode := range []run.Mode{run.Spark, run.Monotasks} {
 		for _, replication := range []int{1, 2} {
 			for _, speculation := range []bool{false, true} {
-				clean, cleanOutcome, err := failureRun(mode, replication, speculation, 0)
-				if err != nil {
-					return nil, err
-				}
-				if cleanOutcome != "completed" {
-					return nil, fmt.Errorf("figures: clean %v run did not complete: %s", mode, cleanOutcome)
-				}
-				for _, phase := range []struct {
-					name string
-					frac float64
-				}{{"map", mapFailFrac}, {"reduce", reduceFailFrac}} {
-					dur, outcome, err := failureRun(mode, replication, speculation,
-						sim.Time(float64(clean)*phase.frac))
-					if err != nil {
-						return nil, err
-					}
-					out.Rows = append(out.Rows, FailureRow{
-						System:      mode.String(),
-						Phase:       phase.name,
-						Replication: replication,
-						Speculation: speculation,
-						Clean:       clean,
-						WithFailure: dur,
-						Outcome:     outcome,
-					})
-				}
+				cfgs = append(cfgs, cfg{mode, replication, speculation})
 			}
 		}
 	}
-	return out, nil
+	cleans, err := sweep.Run(len(cfgs), func(i int) (sim.Duration, error) {
+		c := cfgs[i]
+		clean, outcome, err := failureRun(c.mode, c.replication, c.speculation, 0)
+		if err != nil {
+			return 0, err
+		}
+		if outcome != "completed" {
+			return 0, fmt.Errorf("figures: clean %v run did not complete: %s", c.mode, outcome)
+		}
+		return clean, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	phases := []struct {
+		name string
+		frac float64
+	}{{"map", mapFailFrac}, {"reduce", reduceFailFrac}}
+	rows, err := sweep.Run(len(cfgs)*len(phases), func(i int) (FailureRow, error) {
+		c, phase := cfgs[i/len(phases)], phases[i%len(phases)]
+		clean := cleans[i/len(phases)]
+		dur, outcome, err := failureRun(c.mode, c.replication, c.speculation,
+			sim.Time(float64(clean)*phase.frac))
+		if err != nil {
+			return FailureRow{}, err
+		}
+		return FailureRow{
+			System:      c.mode.String(),
+			Phase:       phase.name,
+			Replication: c.replication,
+			Speculation: c.speculation,
+			Clean:       clean,
+			WithFailure: dur,
+			Outcome:     outcome,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FailureResult{Rows: rows}, nil
 }
 
 // Fprint renders the matrix.

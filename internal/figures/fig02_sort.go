@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/run"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workloads"
 )
@@ -134,20 +135,25 @@ func Sort600GB() (*SortResult, error) {
 // runs a small instance of the same code path.
 func SortSized(totalBytes int64, machines int) (*SortResult, error) {
 	out := &SortResult{TotalBytes: totalBytes, Machines: machines}
-	for _, mode := range []run.Mode{run.Spark, run.Monotasks} {
-		res, err := execute(machines, cluster.M2_4XLarge(), run.Options{Mode: mode},
+	modes := []run.Mode{run.Spark, run.Monotasks}
+	rows, err := sweep.Run(len(modes), func(i int) (SortRow, error) {
+		res, err := execute(machines, cluster.M2_4XLarge(), run.Options{Mode: modes[i]},
 			workloads.Sort{TotalBytes: totalBytes, ValuesPerKey: 10}.Build)
 		if err != nil {
-			return nil, err
+			return SortRow{}, err
 		}
 		j := res.Jobs[0]
-		out.Rows = append(out.Rows, SortRow{
-			System: mode.String(),
+		return SortRow{
+			System: modes[i].String(),
 			Job:    j.Duration(),
 			Map:    j.Stages[0].Duration(),
 			Reduce: j.Stages[1].Duration(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/run"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/task"
 	"repro/internal/workloads"
 )
@@ -46,40 +47,56 @@ type StageUtilRow struct {
 }
 
 // Fig05 runs every benchmark query under Spark, Spark-with-flushed-writes,
-// and MonoSpark on the paper's 5-worker HDD cluster.
+// and MonoSpark on the paper's 5-worker HDD cluster. The (query, mode) grid
+// cells are independent runs, fanned out through the sweep pool.
 func Fig05() (*Fig05Result, error) {
+	queries := workloads.BDBQueryNames()
+	modes := []run.Mode{run.Spark, run.SparkWriteThrough, run.Monotasks}
+	type cell struct {
+		dur  sim.Duration
+		util []StageUtilRow
+	}
+	cells, err := sweep.Run(len(queries)*len(modes), func(i int) (cell, error) {
+		q, mode := queries[i/len(modes)], modes[i%len(modes)]
+		res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: mode},
+			func(env *workloads.Env) (*task.JobSpec, error) { return workloads.BDBQuery(q, env) })
+		if err != nil {
+			return cell{}, err
+		}
+		c := cell{dur: res.Jobs[0].Duration()}
+		if mode == run.SparkWriteThrough {
+			return c, nil // Fig. 6 compares default Spark and MonoSpark
+		}
+		for _, st := range res.Jobs[0].Stages {
+			su := metrics.StageUtil(res.Cluster, st.Start, st.End, 10)
+			c.util = append(c.util, StageUtilRow{
+				System:     mode.String(),
+				Stage:      st.Spec.Name,
+				Bottleneck: su.Bottleneck,
+				Box:        su.BottleneckBox,
+				Second:     su.Second,
+				SecondBox:  su.SecondBox,
+			})
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig05Result{Util: make(map[string][]StageUtilRow)}
-	for _, q := range workloads.BDBQueryNames() {
+	for qi, q := range queries {
 		row := Fig05Row{Query: q}
-		for _, mode := range []run.Mode{run.Spark, run.SparkWriteThrough, run.Monotasks} {
-			res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: mode},
-				func(env *workloads.Env) (*task.JobSpec, error) { return workloads.BDBQuery(q, env) })
-			if err != nil {
-				return nil, err
-			}
-			d := res.Jobs[0].Duration()
+		for mi, mode := range modes {
+			c := cells[qi*len(modes)+mi]
 			switch mode {
 			case run.Spark:
-				row.Spark = d
+				row.Spark = c.dur
 			case run.SparkWriteThrough:
-				row.SparkFlush = d
+				row.SparkFlush = c.dur
 			default:
-				row.MonoSpark = d
+				row.MonoSpark = c.dur
 			}
-			if mode == run.SparkWriteThrough {
-				continue // Fig. 6 compares default Spark and MonoSpark
-			}
-			for _, st := range res.Jobs[0].Stages {
-				su := metrics.StageUtil(res.Cluster, st.Start, st.End, 10)
-				out.Util[q] = append(out.Util[q], StageUtilRow{
-					System:     mode.String(),
-					Stage:      st.Spec.Name,
-					Bottleneck: su.Bottleneck,
-					Box:        su.BottleneckBox,
-					Second:     su.Second,
-					SecondBox:  su.SecondBox,
-				})
-			}
+			out.Util[q] = append(out.Util[q], c.util...)
 		}
 		out.Rows = append(out.Rows, row)
 	}

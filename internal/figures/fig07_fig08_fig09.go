@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/run"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/task"
 	"repro/internal/units"
 	"repro/internal/workloads"
@@ -24,26 +25,24 @@ type Fig07Result struct {
 	Rows []Fig07Row
 }
 
-// Fig07 runs the least-squares workload on 15 two-SSD workers.
+// Fig07 runs the least-squares workload on 15 two-SSD workers, both modes
+// concurrently.
 func Fig07() (*Fig07Result, error) {
-	var stages [2][]sim.Duration
-	var names []string
-	for i, mode := range []run.Mode{run.Spark, run.Monotasks} {
-		res, err := execute(15, cluster.I2_2XLarge(2), run.Options{Mode: mode},
+	modes := []run.Mode{run.Spark, run.Monotasks}
+	results, err := sweep.Run(len(modes), func(i int) (*RunResult, error) {
+		return execute(15, cluster.I2_2XLarge(2), run.Options{Mode: modes[i]},
 			workloads.LeastSquares{}.Build)
-		if err != nil {
-			return nil, err
-		}
-		for _, st := range res.Jobs[0].Stages {
-			stages[i] = append(stages[i], st.Duration())
-			if i == 0 {
-				names = append(names, st.Spec.Name)
-			}
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := &Fig07Result{}
-	for i, name := range names {
-		out.Rows = append(out.Rows, Fig07Row{Stage: name, Spark: stages[0][i], Mono: stages[1][i]})
+	for i, st := range results[0].Jobs[0].Stages {
+		out.Rows = append(out.Rows, Fig07Row{
+			Stage: st.Spec.Name,
+			Spark: st.Duration(),
+			Mono:  results[1].Jobs[0].Stages[i].Duration(),
+		})
 	}
 	return out, nil
 }
@@ -83,25 +82,32 @@ type Fig08Result struct {
 	Rows []Fig08Row
 }
 
-// Fig08 sweeps the task count from one wave (160) upward.
+// Fig08 sweeps the task count from one wave (160) upward; the (task count,
+// mode) grid runs through the sweep pool.
 func Fig08() (*Fig08Result, error) {
-	out := &Fig08Result{}
 	const totalBytes = 200 * units.GB
-	for _, tasks := range []int{160, 320, 480, 960, 1920} {
-		row := Fig08Row{Tasks: tasks, Waves: float64(tasks) / 160}
-		for _, mode := range []run.Mode{run.Spark, run.Monotasks} {
-			res, err := execute(20, cluster.M2_4XLarge(), run.Options{Mode: mode},
-				workloads.ReadCompute{TotalBytes: totalBytes, NumTasks: tasks}.Build)
-			if err != nil {
-				return nil, err
-			}
-			if mode == run.Spark {
-				row.Spark = res.Jobs[0].Duration()
-			} else {
-				row.Mono = res.Jobs[0].Duration()
-			}
+	taskCounts := []int{160, 320, 480, 960, 1920}
+	modes := []run.Mode{run.Spark, run.Monotasks}
+	durs, err := sweep.Run(len(taskCounts)*len(modes), func(i int) (sim.Duration, error) {
+		tasks, mode := taskCounts[i/len(modes)], modes[i%len(modes)]
+		res, err := execute(20, cluster.M2_4XLarge(), run.Options{Mode: mode},
+			workloads.ReadCompute{TotalBytes: totalBytes, NumTasks: tasks}.Build)
+		if err != nil {
+			return 0, err
 		}
-		out.Rows = append(out.Rows, row)
+		return res.Jobs[0].Duration(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig08Result{}
+	for ti, tasks := range taskCounts {
+		out.Rows = append(out.Rows, Fig08Row{
+			Tasks: tasks,
+			Waves: float64(tasks) / 160,
+			Spark: durs[ti*len(modes)],
+			Mono:  durs[ti*len(modes)+1],
+		})
 	}
 	return out, nil
 }
@@ -126,14 +132,19 @@ type Fig09Result struct {
 	MonoSeries          [][2]float64
 }
 
-// Fig09 runs q2c in both modes and summarizes map-stage utilization.
+// Fig09 runs q2c in both modes concurrently and summarizes map-stage
+// utilization.
 func Fig09() (*Fig09Result, error) {
-	out := &Fig09Result{}
-	for _, mode := range []run.Mode{run.Spark, run.Monotasks} {
-		res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: mode},
+	type cell struct {
+		cpu, disk float64
+		series    [][2]float64
+	}
+	modes := []run.Mode{run.Spark, run.Monotasks}
+	cells, err := sweep.Run(len(modes), func(i int) (cell, error) {
+		res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: modes[i]},
 			func(env *workloads.Env) (*task.JobSpec, error) { return workloads.BDBQuery("2c", env) })
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		st := res.Jobs[0].Stages[0]
 		const n = 30
@@ -149,18 +160,18 @@ func Fig09() (*Fig09Result, error) {
 		series := make([][2]float64, 0, n)
 		m0cpu := res.Cluster.Machines[0].CPU.Util.Samples(st.Start, st.End, n)
 		m0disk := res.Cluster.Machines[0].Disks[0].Util.Samples(st.Start, st.End, n)
-		for i := 0; i < n; i++ {
-			series = append(series, [2]float64{m0cpu[i], m0disk[i]})
+		for j := 0; j < n; j++ {
+			series = append(series, [2]float64{m0cpu[j], m0disk[j]})
 		}
-		if mode == run.Spark {
-			out.SparkCPU, out.SparkDisk = meanOf(cpu), meanOf(disk)
-			out.SparkSeries = series
-		} else {
-			out.MonoCPU, out.MonoDisk = meanOf(cpu), meanOf(disk)
-			out.MonoSeries = series
-		}
+		return cell{cpu: meanOf(cpu), disk: meanOf(disk), series: series}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig09Result{
+		SparkCPU: cells[0].cpu, SparkDisk: cells[0].disk, SparkSeries: cells[0].series,
+		MonoCPU: cells[1].cpu, MonoDisk: cells[1].disk, MonoSeries: cells[1].series,
+	}, nil
 }
 
 // Fprint renders the summary and series.

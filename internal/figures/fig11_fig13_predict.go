@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/model"
 	"repro/internal/run"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workloads"
 )
@@ -58,18 +59,20 @@ func (r *PredictResult) Fprint(w io.Writer) {
 // monotask times, then actually run 20×2-SSD.
 func Fig11() (*PredictResult, error) {
 	out := &PredictResult{Title: "Figure 11: predict 2× SSDs (sort 600 GB, 20 workers × 1 SSD → 2 SSD)"}
-	for _, values := range []int{10, 20, 50} {
-		sort := workloads.Sort{TotalBytes: 600 * units.GB, ValuesPerKey: values}
-		base, err := execute(20, cluster.I2_2XLarge(1), run.Options{Mode: run.Monotasks}, sort.Build)
-		if err != nil {
-			return nil, err
-		}
+	valueCounts := []int{10, 20, 50}
+	// Grid: values × {1-SSD baseline, 2-SSD target}. The prediction is derived
+	// from the returned baseline run after the sweep.
+	results, err := sweep.Run(len(valueCounts)*2, func(i int) (*RunResult, error) {
+		sort := workloads.Sort{TotalBytes: 600 * units.GB, ValuesPerKey: valueCounts[i/2]}
+		return execute(20, cluster.I2_2XLarge(1+i%2), run.Options{Mode: run.Monotasks}, sort.Build)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, values := range valueCounts {
+		base, after := results[vi*2], results[vi*2+1]
 		profile := model.FromMetrics(base.Jobs[0], model.ClusterResources(base.Cluster))
 		pred := model.Predict(profile, model.ScaleDiskBW(2))
-		after, err := execute(20, cluster.I2_2XLarge(2), run.Options{Mode: run.Monotasks}, sort.Build)
-		if err != nil {
-			return nil, err
-		}
 		out.Rows = append(out.Rows, PredictRow{
 			Label:     labelValues(values),
 			Baseline:  float64(base.Jobs[0].Duration()),
@@ -86,16 +89,16 @@ func Sec63() (*PredictResult, error) {
 	out := &PredictResult{Title: "§6.3: predict in-memory deserialized input (sort, 20 workers × 2 HDD)"}
 	sortDisk := workloads.Sort{Name: "sort-disk", TotalBytes: 40 * units.GB, ValuesPerKey: 10}
 	sortMem := workloads.Sort{Name: "sort-mem", TotalBytes: 40 * units.GB, ValuesPerKey: 10, InMemoryInput: true}
-	base, err := execute(20, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortDisk.Build)
+	builders := []Builder{sortDisk.Build, sortMem.Build}
+	results, err := sweep.Run(len(builders), func(i int) (*RunResult, error) {
+		return execute(20, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, builders[i])
+	})
 	if err != nil {
 		return nil, err
 	}
+	base, after := results[0], results[1]
 	profile := model.FromMetrics(base.Jobs[0], model.ClusterResources(base.Cluster))
 	pred := model.Predict(profile, model.InMemoryInput{})
-	after, err := execute(20, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortMem.Build)
-	if err != nil {
-		return nil, err
-	}
 	out.Rows = append(out.Rows, PredictRow{
 		Label:     "sort-10v",
 		Baseline:  float64(base.Jobs[0].Duration()),
@@ -110,13 +113,21 @@ func Sec63() (*PredictResult, error) {
 // deserialized input — a ~10× runtime change (Fig. 13).
 func Fig13() (*PredictResult, error) {
 	out := &PredictResult{Title: "Figure 13: predict 5×2-HDD on-disk → 20×2-SSD in-memory (sort 100 GB)"}
-	for _, values := range []int{10, 20, 50} {
-		before := workloads.Sort{TotalBytes: 100 * units.GB, ValuesPerKey: values}
-		after := workloads.Sort{TotalBytes: 100 * units.GB, ValuesPerKey: values, InMemoryInput: true}
-		base, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, before.Build)
-		if err != nil {
-			return nil, err
+	valueCounts := []int{10, 20, 50}
+	results, err := sweep.Run(len(valueCounts)*2, func(i int) (*RunResult, error) {
+		values := valueCounts[i/2]
+		if i%2 == 0 {
+			before := workloads.Sort{TotalBytes: 100 * units.GB, ValuesPerKey: values}
+			return execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, before.Build)
 		}
+		after := workloads.Sort{TotalBytes: 100 * units.GB, ValuesPerKey: values, InMemoryInput: true}
+		return execute(20, cluster.I2_2XLarge(2), run.Options{Mode: run.Monotasks}, after.Build)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, values := range valueCounts {
+		base, target := results[vi*2], results[vi*2+1]
 		profile := model.FromMetrics(base.Jobs[0], model.ClusterResources(base.Cluster))
 		// 4× machines, HDD→SSD (2×100 MB/s → 2×400 MB/s per machine), input
 		// in memory. ScaleCluster covers the machine count; the disk-type
@@ -126,10 +137,6 @@ func Fig13() (*PredictResult, error) {
 			model.ScaleDiskBW(4),
 			model.InMemoryInput{},
 		)
-		target, err := execute(20, cluster.I2_2XLarge(2), run.Options{Mode: run.Monotasks}, after.Build)
-		if err != nil {
-			return nil, err
-		}
 		out.Rows = append(out.Rows, PredictRow{
 			Label:     labelValues(values),
 			Baseline:  float64(base.Jobs[0].Duration()),

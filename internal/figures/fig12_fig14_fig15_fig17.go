@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/run"
+	"repro/internal/sweep"
 	"repro/internal/task"
 	"repro/internal/workloads"
 )
@@ -44,32 +45,42 @@ type Fig12Result struct {
 // of two, with each of the three models, and measures reality for both
 // systems.
 func Fig12() (*Fig12Result, error) {
-	out := &Fig12Result{}
-	for _, q := range workloads.BDBQueryNames() {
-		q := q
+	queries := workloads.BDBQueryNames()
+	// Grid: queries × {mono 2-HDD, mono 1-HDD, spark 2-HDD, spark 1-HDD}.
+	// Models are derived from the retained runs after the sweep.
+	grid := []struct {
+		mode run.Mode
+		one  bool
+	}{
+		{run.Monotasks, false}, {run.Monotasks, true},
+		{run.Spark, false}, {run.Spark, true},
+	}
+	results, err := sweep.Run(len(queries)*len(grid), func(i int) (*RunResult, error) {
+		q, g := queries[i/len(grid)], grid[i%len(grid)]
 		build := func(env *workloads.Env) (*task.JobSpec, error) { return workloads.BDBQuery(q, env) }
+		spec := cluster.M2_4XLarge()
+		if g.one {
+			spec = oneHDD()
+		}
+		return execute(5, spec, run.Options{Mode: g.mode}, build)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig12Result{}
+	for qi, q := range queries {
+		base, after := results[qi*len(grid)], results[qi*len(grid)+1]
+		sparkBase, sparkAfter := results[qi*len(grid)+2], results[qi*len(grid)+3]
 		row := Fig12Row{Query: q}
 
 		// MonoSpark: baseline on 2 HDDs, model, then 1-HDD reality.
-		base, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, build)
-		if err != nil {
-			return nil, err
-		}
 		row.MonoBaseline = float64(base.Jobs[0].Duration())
 		profile := model.FromMetrics(base.Jobs[0], model.ClusterResources(base.Cluster))
 		row.MonoPredicted = model.Predict(profile, model.ScaleDiskBW(0.5)).PredictedSeconds
-		after, err := execute(5, oneHDD(), run.Options{Mode: run.Monotasks}, build)
-		if err != nil {
-			return nil, err
-		}
 		row.MonoActual = float64(after.Jobs[0].Duration())
 
 		// Spark: baseline on 2 HDDs with external measurements, the two
 		// Spark-feasible models, then 1-HDD reality.
-		sparkBase, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Spark}, build)
-		if err != nil {
-			return nil, err
-		}
 		row.SparkBaseline = float64(sparkBase.Jobs[0].Duration())
 		// Fig. 15: slots don't change when a disk is removed.
 		slots := 5 * cluster.M2_4XLarge().Cores
@@ -86,10 +97,6 @@ func Fig12() (*Fig12Result, error) {
 		}
 		utilProfile := model.FromMeasured("q"+q, measured, model.ClusterResources(sparkBase.Cluster))
 		row.UtilPredicted = model.Predict(utilProfile, model.ScaleDiskBW(0.5)).PredictedSeconds
-		sparkAfter, err := execute(5, oneHDD(), run.Options{Mode: run.Spark}, build)
-		if err != nil {
-			return nil, err
-		}
 		row.SparkActual = float64(sparkAfter.Jobs[0].Duration())
 
 		out.Rows = append(out.Rows, row)
@@ -147,15 +154,16 @@ type Fig14Result struct {
 	Rows []Fig14Row
 }
 
-// Fig14 profiles each query once and removes each resource from the model.
+// Fig14 profiles each query once (all queries concurrently) and removes each
+// resource from the model.
 func Fig14() (*Fig14Result, error) {
-	out := &Fig14Result{}
-	for _, q := range workloads.BDBQueryNames() {
-		q := q
+	queries := workloads.BDBQueryNames()
+	rows, err := sweep.Run(len(queries), func(i int) (Fig14Row, error) {
+		q := queries[i]
 		build := func(env *workloads.Env) (*task.JobSpec, error) { return workloads.BDBQuery(q, env) }
 		res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, build)
 		if err != nil {
-			return nil, err
+			return Fig14Row{}, err
 		}
 		profile := model.FromMetrics(res.Jobs[0], model.ClusterResources(res.Cluster))
 		orig := float64(res.Jobs[0].Duration())
@@ -178,9 +186,12 @@ func Fig14() (*Fig14Result, error) {
 		default:
 			row.Bottleneck = task.NetworkResource
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig14Result{Rows: rows}, nil
 }
 
 // Fprint renders the analysis.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/run"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workloads"
 )
@@ -30,7 +31,7 @@ func MedianAndP75(errs []float64) (median, p75 float64) {
 	}
 	s := append([]float64(nil), errs...)
 	sort.Float64s(s)
-	return metrics.Percentile(s, 50) * 100, metrics.Percentile(s, 75) * 100
+	return metrics.SortedPercentile(s, 50) * 100, metrics.SortedPercentile(s, 75) * 100
 }
 
 // Fig16 runs the 10-value and 50-value sorts concurrently under both
@@ -41,15 +42,29 @@ func Fig16() (*Fig16Result, error) {
 	sortB := workloads.Sort{Name: "sort-50v", TotalBytes: 60 * units.GB, ValuesPerKey: 50}
 	out := &Fig16Result{}
 
+	// All four runs are independent: two solo ground-truth runs, the
+	// concurrent pair under Spark, and the concurrent pair under MonoSpark.
+	runs, err := sweep.Run(4, func(i int) (*RunResult, error) {
+		switch i {
+		case 0:
+			return execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortA.Build)
+		case 1:
+			return execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortB.Build)
+		case 2:
+			return execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Spark}, sortA.Build, sortB.Build)
+		default:
+			return execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortA.Build, sortB.Build)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// Ground truth per job: run each job alone in monotasks mode and take
 	// its exact per-resource use (by construction, identical across modes
 	// because the workload spec fixes CPU seconds and byte volumes).
 	truth := make([]model.StageProfile, 2)
-	for i, b := range []Builder{sortA.Build, sortB.Build} {
-		res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, b)
-		if err != nil {
-			return nil, err
-		}
+	for i, res := range runs[:2] {
 		p := model.FromMetrics(res.Jobs[0], model.ClusterResources(res.Cluster))
 		var total model.StageProfile
 		for _, st := range p.Stages {
@@ -77,10 +92,7 @@ func Fig16() (*Fig16Result, error) {
 
 	// Spark: run concurrently, measure totals externally over the combined
 	// window, split by slot occupancy (task-seconds) — the best Spark can do.
-	sparkRes, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Spark}, sortA.Build, sortB.Build)
-	if err != nil {
-		return nil, err
-	}
+	sparkRes := runs[2]
 	t0, t1 := sim.Time(0), sparkRes.Jobs[0].End
 	if sparkRes.Jobs[1].End > t1 {
 		t1 = sparkRes.Jobs[1].End
@@ -100,10 +112,7 @@ func Fig16() (*Fig16Result, error) {
 	}
 
 	// MonoSpark: run concurrently; monotask metrics attribute exactly.
-	monoRes, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortA.Build, sortB.Build)
-	if err != nil {
-		return nil, err
-	}
+	monoRes := runs[3]
 	for i, jm := range monoRes.Jobs {
 		p := model.FromMetrics(jm, model.ClusterResources(monoRes.Cluster))
 		var est [3]float64
@@ -146,34 +155,44 @@ type Fig18Result struct {
 }
 
 // Fig18 sweeps Spark's tasks-per-machine knob for three sort workloads and
-// runs MonoSpark, which has no such knob.
+// runs MonoSpark, which has no such knob. The whole (workload, config) grid —
+// six Spark slot counts plus the MonoSpark run per workload — runs through
+// the sweep pool.
 func Fig18() (*Fig18Result, error) {
-	out := &Fig18Result{TaskCounts: []int{1, 2, 4, 8, 16, 32}}
-	for _, values := range []int{1, 25, 100} {
-		sortW := workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: values}
+	taskCounts := []int{1, 2, 4, 8, 16, 32}
+	valueCounts := []int{1, 25, 100}
+	perWorkload := len(taskCounts) + 1 // six Spark configs + one MonoSpark run
+	durs, err := sweep.Run(len(valueCounts)*perWorkload, func(i int) (sim.Duration, error) {
+		sortW := workloads.Sort{TotalBytes: 60 * units.GB, ValuesPerKey: valueCounts[i/perWorkload]}
+		o := run.Options{Mode: run.Monotasks}
+		if c := i % perWorkload; c < len(taskCounts) {
+			o = run.Options{Mode: run.Spark, TasksPerMachine: taskCounts[c]}
+		}
+		res, err := execute(5, cluster.M2_4XLarge(), o, sortW.Build)
+		if err != nil {
+			return 0, err
+		}
+		return res.Jobs[0].Duration(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig18Result{TaskCounts: taskCounts}
+	for vi, values := range valueCounts {
 		row := Fig18Row{
 			Workload:     labelValues18(values),
 			SparkByTasks: make(map[int]sim.Duration),
 			BestSpark:    sim.Time(math.MaxFloat64),
 		}
-		for _, tpm := range out.TaskCounts {
-			res, err := execute(5, cluster.M2_4XLarge(),
-				run.Options{Mode: run.Spark, TasksPerMachine: tpm}, sortW.Build)
-			if err != nil {
-				return nil, err
-			}
-			d := res.Jobs[0].Duration()
+		for ti, tpm := range taskCounts {
+			d := durs[vi*perWorkload+ti]
 			row.SparkByTasks[tpm] = d
 			if d < row.BestSpark {
 				row.BestSpark = d
 				row.BestConfig = tpm
 			}
 		}
-		res, err := execute(5, cluster.M2_4XLarge(), run.Options{Mode: run.Monotasks}, sortW.Build)
-		if err != nil {
-			return nil, err
-		}
-		row.Mono = res.Jobs[0].Duration()
+		row.Mono = durs[vi*perWorkload+len(taskCounts)]
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/run"
+	"repro/internal/sweep"
 	"repro/internal/task"
 	"repro/internal/units"
 	"repro/internal/workloads"
@@ -78,6 +79,34 @@ func TestGoldenDeterminism(t *testing.T) {
 	if !bytes.Equal(a, want) {
 		t.Fatalf("output drifted from %s at:\n%s\n(if the change is intentional, rerun with -update)",
 			golden, firstDiffLine(a, want))
+	}
+}
+
+// TestGoldenSerialVsParallel locks the sweep pool's determinism contract:
+// the same experiments at --parallel 1 and --parallel 8 must render
+// byte-identical output. The comparison covers the golden corpus plus a
+// two-seed chaos matrix (a four-cell grid), so the parallel leg genuinely
+// fans cells across workers.
+func TestGoldenSerialVsParallel(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		buf.Write(goldenOutput(t))
+		cr, err := Chaos(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr.Fprint(&buf)
+		return buf.Bytes()
+	}
+	old := sweep.Parallelism()
+	defer sweep.SetParallelism(old)
+	sweep.SetParallelism(1)
+	serial := render()
+	sweep.SetParallelism(8)
+	parallel := render()
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel sweep output diverged from serial at:\n%s",
+			firstDiffLine(parallel, serial))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/run"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/task"
 	"repro/internal/units"
 	"repro/internal/workloads"
@@ -182,29 +183,37 @@ func Multijob(smoke bool) (*MultijobResult, error) {
 	out.SoloSeconds = solo.Handles[0].Metrics.Duration()
 
 	// Latency vs offered load: the same arrival stream replayed per mode.
-	for _, load := range loads {
-		row := MultijobLatencyRow{Load: load}
+	// Every (load, mode) cell is an independent simulation.
+	type latCell struct{ p50, p95, p99 sim.Duration }
+	latModes := []run.Mode{run.Monotasks, run.Spark}
+	latCells, err := sweep.Run(len(loads)*len(latModes), func(i int) (latCell, error) {
+		load, mode := loads[i/len(latModes)], latModes[i%len(latModes)]
 		m := stream(fmt.Sprintf("load%02.0f", load*100), jobsPerLoad, float64(out.SoloSeconds)/load, nil)
-		for _, mode := range []run.Mode{run.Monotasks, run.Spark} {
-			r, err := runMultijob(run.Options{Mode: mode}, m, nil)
-			if err != nil {
-				return nil, err
-			}
-			lat := make([]float64, 0, len(r.Handles))
-			for _, h := range r.Handles {
-				lat = append(lat, float64(h.Metrics.Duration()))
-			}
-			sort.Float64s(lat)
-			p50 := sim.Duration(metrics.Percentile(lat, 50))
-			p95 := sim.Duration(metrics.Percentile(lat, 95))
-			p99 := sim.Duration(metrics.Percentile(lat, 99))
-			if mode == run.Monotasks {
-				row.MonoP50, row.MonoP95, row.MonoP99 = p50, p95, p99
-			} else {
-				row.SparkP50, row.SparkP95, row.SparkP99 = p50, p95, p99
-			}
+		r, err := runMultijob(run.Options{Mode: mode}, m, nil)
+		if err != nil {
+			return latCell{}, err
 		}
-		out.Latency = append(out.Latency, row)
+		lat := make([]float64, 0, len(r.Handles))
+		for _, h := range r.Handles {
+			lat = append(lat, float64(h.Metrics.Duration()))
+		}
+		sort.Float64s(lat)
+		return latCell{
+			p50: sim.Duration(metrics.SortedPercentile(lat, 50)),
+			p95: sim.Duration(metrics.SortedPercentile(lat, 95)),
+			p99: sim.Duration(metrics.SortedPercentile(lat, 99)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, load := range loads {
+		mc, sc := latCells[li*len(latModes)], latCells[li*len(latModes)+1]
+		out.Latency = append(out.Latency, MultijobLatencyRow{
+			Load:    load,
+			MonoP50: mc.p50, MonoP95: mc.p95, MonoP99: mc.p99,
+			SparkP50: sc.p50, SparkP95: sc.p95, SparkP99: sc.p99,
+		})
 	}
 
 	// Batch scenario: 8 jobs split across two pools weighted 3:1. Arrivals
@@ -222,24 +231,48 @@ func Multijob(smoke bool) (*MultijobResult, error) {
 	batch := stream("batch", out.BatchJobs, float64(out.SoloSeconds)/16, batchPools)
 
 	// Pool shares are sampled live: every half second, record each pool's
-	// running and pending task counts.
+	// running and pending task counts. The mono batch (with its sampler),
+	// the Spark batch, and the two solo ground-truth runs are four
+	// independent simulations, so they all go through the sweep pool; the
+	// sampler closes over a cell-local slice returned with the run.
 	type poolSample struct {
 		at            sim.Time
 		running, pend map[string]int
 	}
-	var samples []poolSample
-	sampler := func(d *jobsched.Driver, now sim.Time) {
-		s := poolSample{at: now, running: map[string]int{}, pend: map[string]int{}}
-		for _, pc := range poolCfg.Pools {
-			s.running[pc.Name] = d.RunningTasks(pc.Name)
-			s.pend[pc.Name] = d.PendingTasks(pc.Name)
-		}
-		samples = append(samples, s)
+	type batchCell struct {
+		r       *multijobRun
+		samples []poolSample
 	}
-	mono, err := runMultijob(run.Options{Mode: run.Monotasks, Sched: poolCfg}, batch, sampler)
+	truthVPK := []int{10, 50}
+	batchCells, err := sweep.Run(4, func(i int) (batchCell, error) {
+		switch i {
+		case 0:
+			var samples []poolSample
+			sampler := func(d *jobsched.Driver, now sim.Time) {
+				s := poolSample{at: now, running: map[string]int{}, pend: map[string]int{}}
+				for _, pc := range poolCfg.Pools {
+					s.running[pc.Name] = d.RunningTasks(pc.Name)
+					s.pend[pc.Name] = d.PendingTasks(pc.Name)
+				}
+				samples = append(samples, s)
+			}
+			r, err := runMultijob(run.Options{Mode: run.Monotasks, Sched: poolCfg}, batch, sampler)
+			return batchCell{r: r, samples: samples}, err
+		case 1:
+			r, err := runMultijob(run.Options{Mode: run.Spark, Sched: poolCfg}, batch, nil)
+			return batchCell{r: r}, err
+		default:
+			vpk := truthVPK[i-2]
+			m := stream(fmt.Sprintf("truth-%dv", vpk), 1, 0, nil)
+			m.ValuesPerKey = []int{vpk}
+			r, err := runMultijob(run.Options{Mode: run.Monotasks}, m, nil)
+			return batchCell{r: r}, err
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
+	mono, samples := batchCells[0].r, batchCells[0].samples
 	for _, h := range mono.Handles {
 		if h.Done() {
 			out.BatchFinished++
@@ -291,13 +324,8 @@ func Multijob(smoke bool) (*MultijobResult, error) {
 	// valid truth for them (Fig. 16's argument); network bytes are not and
 	// are excluded.
 	truth := make([]metrics.MeasuredUsage, 2)
-	for i, vpk := range []int{10, 50} {
-		m := stream(fmt.Sprintf("truth-%dv", vpk), 1, 0, nil)
-		m.ValuesPerKey = []int{vpk}
-		r, err := runMultijob(run.Options{Mode: run.Monotasks}, m, nil)
-		if err != nil {
-			return nil, err
-		}
+	for i := range truthVPK {
+		r := batchCells[2+i].r
 		jm := r.Handles[0].Metrics
 		att := model.Attribute([]*task.JobMetrics{jm}, 0, jm.End, model.ClusterResources(r.Cluster))
 		truth[i] = att[0].Usage
@@ -320,10 +348,7 @@ func Multijob(smoke bool) (*MultijobResult, error) {
 	}
 
 	// Spark: the same batch, attributed by slot share of OS counters.
-	spark, err := runMultijob(run.Options{Mode: run.Spark, Sched: poolCfg}, batch, nil)
-	if err != nil {
-		return nil, err
-	}
+	spark := batchCells[1].r
 	sparkEnd := spark.maxEnd()
 	total := metrics.Measure(spark.Cluster, 0, sparkEnd)
 	slotSeconds := make([]float64, len(spark.Handles))

@@ -31,6 +31,7 @@ const (
 	FIFO
 )
 
+// String names the scheduling policy.
 func (p PoolPolicy) String() string {
 	switch p {
 	case FairShare:

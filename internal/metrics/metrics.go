@@ -20,36 +20,51 @@ type BoxPlot struct {
 }
 
 // Percentile returns the p-th percentile (0..100) of samples by linear
-// interpolation between closest ranks. It does not modify samples.
+// interpolation between closest ranks. It does not modify samples. Callers
+// extracting several percentiles from one distribution should sort once and
+// use SortedPercentile instead — this convenience wrapper copies and sorts on
+// every call.
 func Percentile(samples []float64, p float64) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
-	if p <= 0 {
-		return s[0]
-	}
-	if p >= 100 {
-		return s[len(s)-1]
-	}
-	rank := p / 100 * float64(len(s)-1)
-	lo := int(rank)
-	frac := rank - float64(lo)
-	if lo+1 >= len(s) {
-		return s[len(s)-1]
-	}
-	return s[lo]*(1-frac) + s[lo+1]*frac
+	return SortedPercentile(s, p)
 }
 
-// Box summarizes samples as a BoxPlot.
+// SortedPercentile is Percentile for samples already in ascending order,
+// skipping the per-call copy and sort.
+func SortedPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Box summarizes samples as a BoxPlot, sorting a copy once for all five
+// percentiles.
 func Box(samples []float64) BoxPlot {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
 	return BoxPlot{
-		P5:  Percentile(samples, 5),
-		P25: Percentile(samples, 25),
-		P50: Percentile(samples, 50),
-		P75: Percentile(samples, 75),
-		P95: Percentile(samples, 95),
+		P5:  SortedPercentile(s, 5),
+		P25: SortedPercentile(s, 25),
+		P50: SortedPercentile(s, 50),
+		P75: SortedPercentile(s, 75),
+		P95: SortedPercentile(s, 95),
 	}
 }
 
@@ -57,8 +72,11 @@ func Box(samples []float64) BoxPlot {
 type ResourceName string
 
 const (
-	CPU     ResourceName = "cpu"
-	Disk    ResourceName = "disk"
+	// CPU is the processor utilization series.
+	CPU ResourceName = "cpu"
+	// Disk is the per-disk utilization series.
+	Disk ResourceName = "disk"
+	// Network is the NIC utilization series.
 	Network ResourceName = "network"
 )
 
@@ -66,7 +84,7 @@ const (
 // machines of c over [t0, t1): n samples per machine. Disk utilization is
 // the mean across a machine's drives; network is the busier direction.
 func UtilSamples(c *cluster.Cluster, r ResourceName, t0, t1 sim.Time, n int) []float64 {
-	var out []float64
+	out := make([]float64, 0, len(c.Machines)*n)
 	for _, m := range c.Machines {
 		switch r {
 		case CPU:

@@ -10,15 +10,21 @@ import (
 // 11), half the disks (Fig. 12), or an HDD→SSD swap expressed as a ratio.
 type ScaleDiskBW float64
 
+// Apply scales the profile's aggregate disk bandwidth.
 func (s ScaleDiskBW) Apply(p *JobProfile) { p.Res.DiskBW *= float64(s) }
-func (s ScaleDiskBW) String() string      { return fmt.Sprintf("disk bandwidth ×%.2f", float64(s)) }
+
+// String describes the change.
+func (s ScaleDiskBW) String() string { return fmt.Sprintf("disk bandwidth ×%.2f", float64(s)) }
 
 // SetDiskBW replaces aggregate disk bandwidth outright (changing disk type
 // and count together).
 type SetDiskBW float64
 
+// Apply replaces the profile's aggregate disk bandwidth.
 func (s SetDiskBW) Apply(p *JobProfile) { p.Res.DiskBW = float64(s) }
-func (s SetDiskBW) String() string      { return fmt.Sprintf("disk bandwidth = %.0f B/s", float64(s)) }
+
+// String describes the change.
+func (s SetDiskBW) String() string { return fmt.Sprintf("disk bandwidth = %.0f B/s", float64(s)) }
 
 // ScaleCluster multiplies machine count: cores, disk bandwidth, and network
 // bandwidth all scale (Fig. 13's 5 → 20 machine move). The model assumes
@@ -26,19 +32,25 @@ func (s SetDiskBW) String() string      { return fmt.Sprintf("disk bandwidth = %
 // (§6.4: more machines ⇒ less local shuffle data than modeled).
 type ScaleCluster float64
 
+// Apply scales cores, disk bandwidth, and network bandwidth together.
 func (s ScaleCluster) Apply(p *JobProfile) {
 	p.Res.TotalCores *= float64(s)
 	p.Res.DiskBW *= float64(s)
 	p.Res.NetBW *= float64(s)
 }
+
+// String describes the change.
 func (s ScaleCluster) String() string { return fmt.Sprintf("cluster size ×%.2f", float64(s)) }
 
 // ScaleNetBW multiplies aggregate network bandwidth (the 1 Gb/s → 10 Gb/s
 // question from §1).
 type ScaleNetBW float64
 
+// Apply scales the profile's aggregate network bandwidth.
 func (s ScaleNetBW) Apply(p *JobProfile) { p.Res.NetBW *= float64(s) }
-func (s ScaleNetBW) String() string      { return fmt.Sprintf("network bandwidth ×%.2f", float64(s)) }
+
+// String describes the change.
+func (s ScaleNetBW) String() string { return fmt.Sprintf("network bandwidth ×%.2f", float64(s)) }
 
 // InMemoryInput models storing job input deserialized in memory (§6.3):
 // input-read disk time disappears, and so does the deserialization share of
@@ -46,6 +58,7 @@ func (s ScaleNetBW) String() string      { return fmt.Sprintf("network bandwidth
 // apply this — the deser split is not measurable in Spark.
 type InMemoryInput struct{}
 
+// Apply removes input-read disk traffic and deserialization compute time.
 func (InMemoryInput) Apply(p *JobProfile) {
 	for i := range p.Stages {
 		s := &p.Stages[i]
@@ -58,6 +71,8 @@ func (InMemoryInput) Apply(p *JobProfile) {
 		s.InputDeserSeconds = 0
 	}
 }
+
+// String describes the change.
 func (InMemoryInput) String() string { return "input stored deserialized in memory" }
 
 // InfinitelyFast bounds the improvement from optimizing one resource by
@@ -65,12 +80,15 @@ func (InMemoryInput) String() string { return "input stored deserialized in memo
 // blocked-time analysis).
 type InfinitelyFast task.Resource
 
+// Apply marks the resource as excluded from the model.
 func (r InfinitelyFast) Apply(p *JobProfile) {
 	if p.exclusions == nil {
 		p.exclusions = make(map[task.Resource]bool)
 	}
 	p.exclusions[task.Resource(r)] = true
 }
+
+// String describes the change.
 func (r InfinitelyFast) String() string {
 	return fmt.Sprintf("%v infinitely fast", task.Resource(r))
 }

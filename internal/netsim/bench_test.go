@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchFabric runs a transfer pattern to completion and reports per-iteration
+// cost. Each iteration builds a fresh engine and fabric, so the numbers
+// include setup; the interesting signal is how cost scales with the pattern.
+func benchFabric(b *testing.B, machines int, transfers func(f *Fabric)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		f := NewFabric(eng, machines, 1e9)
+		transfers(f)
+		eng.Run()
+	}
+}
+
+// BenchmarkFabricAllToAllShuffle is the worst case for rate recomputation:
+// every flow shares a link with every machine's traffic, so each membership
+// change re-solves one connected component containing all flows.
+func BenchmarkFabricAllToAllShuffle(b *testing.B) {
+	const n = 8
+	benchFabric(b, n, func(f *Fabric) {
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src != dst {
+					f.Transfer(src, dst, 64<<20, func() {})
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkFabricDisjointPairs is the best case for the component-restricted
+// recomputation: flows between disjoint machine pairs never share a link, so
+// each start or finish re-solves a single-flow component regardless of how
+// many other transfers are in flight.
+func BenchmarkFabricDisjointPairs(b *testing.B) {
+	const n = 64
+	benchFabric(b, n, func(f *Fabric) {
+		for i := 0; i < n/2; i++ {
+			// Unequal sizes so completions are spread out, forcing a rerate
+			// per finish rather than one batched retirement.
+			f.Transfer(2*i, 2*i+1, int64(16<<20)*int64(i+1), func() {})
+		}
+	})
+}

@@ -43,8 +43,10 @@ type NIC struct {
 // ID returns the NIC's machine index within its fabric.
 func (n *NIC) ID() int { return n.id }
 
-// EgressBW and IngressBW report the link capacities in bytes/second.
-func (n *NIC) EgressBW() float64  { return n.egressBW }
+// EgressBW reports the outbound link capacity in bytes/second.
+func (n *NIC) EgressBW() float64 { return n.egressBW }
+
+// IngressBW reports the inbound link capacity in bytes/second.
 func (n *NIC) IngressBW() float64 { return n.ingressBW }
 
 // Flow is an in-flight transfer between two machines.
@@ -56,6 +58,9 @@ type Flow struct {
 	done      func()
 	seq       uint64
 	active    bool
+	// transient water-filling state, valid only inside rerate.
+	frozen bool
+	inComp bool
 }
 
 // Remaining reports the bytes left to transfer.
@@ -73,7 +78,18 @@ type Fabric struct {
 	order      []*Flow // deterministic iteration order (insertion order)
 	nextSeq    uint64
 	lastUpdate sim.Time
-	completion *sim.Event
+	completion sim.EventRef
+
+	// Scratch state reused across rerate calls so the hot path stays off the
+	// allocator. Links are numbered 0..2n-1: machine i's egress link is i, its
+	// ingress link is n+i.
+	linkCap   []float64 // residual capacity per link during water-filling
+	linkCnt   []int     // unfrozen flows per link during water-filling
+	linkMark  []uint64  // epoch marks: linkMark[l] == markEpoch ⇒ l is in the component
+	markEpoch uint64
+	compLinks []int   // links in the current component, in discovery order
+	compFlows []*Flow // flows in the current component, in f.order order
+	finished  []*Flow // reusable scratch for complete()
 }
 
 // NewFabric creates a fabric of n NICs, each with the given full-duplex
@@ -100,6 +116,10 @@ func NewFabricBW(eng *sim.Engine, linkBWs []float64) *Fabric {
 		}
 		f.nics = append(f.nics, &NIC{id: i, egressBW: bw, ingressBW: bw, baseEgressBW: bw, baseIngressBW: bw})
 	}
+	n := len(linkBWs)
+	f.linkCap = make([]float64, 2*n)
+	f.linkCnt = make([]int, 2*n)
+	f.linkMark = make([]uint64, 2*n)
 	return f
 }
 
@@ -132,7 +152,9 @@ func (f *Fabric) Transfer(src, dst int, bytes int64, done func()) *Flow {
 	srcNIC.BytesOutCum.Set(now, float64(srcNIC.bytesOut))
 	dstNIC.bytesIn += bytes
 	dstNIC.BytesInCum.Set(now, float64(dstNIC.bytesIn))
-	f.rerate()
+	f.beginRerate()
+	f.touchFlow(fl)
+	f.rerateTouched()
 	return fl
 }
 
@@ -151,7 +173,10 @@ func (f *Fabric) SetLinkSpeed(i int, factor float64) {
 	n := f.nics[i]
 	n.egressBW = n.baseEgressBW * factor
 	n.ingressBW = n.baseIngressBW * factor
-	f.rerate()
+	f.beginRerate()
+	f.touchLink(i)
+	f.touchLink(len(f.nics) + i)
+	f.rerateTouched()
 }
 
 // Cancel abandons an in-flight flow.
@@ -163,7 +188,9 @@ func (f *Fabric) Cancel(fl *Flow) {
 	fl.active = false
 	delete(f.flows, fl)
 	f.compactOrder()
-	f.rerate()
+	f.beginRerate()
+	f.touchFlow(fl)
+	f.rerateTouched()
 }
 
 // ActiveFlows reports the number of in-flight flows.
@@ -190,80 +217,143 @@ func (f *Fabric) advance() {
 	}
 }
 
-// rerate recomputes max-min fair rates by water-filling, updates NIC
-// utilization trackers, and reschedules the next completion event.
-func (f *Fabric) rerate() {
-	// Residual capacity per link; links are (machine, direction).
+// beginRerate opens a new rerate scope: links touched with touchLink or
+// touchFlow before the next rerateTouched seed the connected component whose
+// flow rates must be re-solved.
+func (f *Fabric) beginRerate() {
+	f.markEpoch++
+	f.compLinks = f.compLinks[:0]
+}
+
+// touchLink marks link l (machine i egress = i, ingress = n+i) as changed.
+func (f *Fabric) touchLink(l int) {
+	if f.linkMark[l] != f.markEpoch {
+		f.linkMark[l] = f.markEpoch
+		f.compLinks = append(f.compLinks, l)
+	}
+}
+
+// touchFlow marks both links a flow traverses as changed.
+func (f *Fabric) touchFlow(fl *Flow) {
+	f.touchLink(fl.src)
+	f.touchLink(len(f.nics) + fl.dst)
+}
+
+// rerateTouched recomputes max-min fair rates by water-filling, restricted to
+// the connected component(s) of the links touched since beginRerate, then
+// updates the affected NICs' utilization trackers and reschedules the next
+// completion event.
+//
+// The restriction is exact, not approximate: max-min fairness decomposes over
+// connected components of the bipartite flow/link graph, because water-filling
+// in one component never changes residual capacity in another. A membership
+// or capacity change therefore only perturbs rates of flows reachable from
+// the changed links, and those are exactly the flows this solves for. Rates
+// of all other flows are left untouched, which is what makes a rerate cheap
+// when the fabric carries many unrelated transfers.
+func (f *Fabric) rerateTouched() {
 	n := len(f.nics)
-	egressCap := make([]float64, n)
-	ingressCap := make([]float64, n)
-	egressFlows := make([]int, n)
-	ingressFlows := make([]int, n)
-	for i, nic := range f.nics {
-		egressCap[i] = nic.egressBW
-		ingressCap[i] = nic.ingressBW
+	// Close the component: any flow on a marked link joins, and brings its
+	// other link with it. Pass-based to fixpoint; the final collection pass
+	// gathers component flows in f.order order, preserving the deterministic
+	// freeze order of the unrestricted algorithm.
+	for changed := true; changed; {
+		changed = false
+		for _, fl := range f.order {
+			if fl.inComp {
+				continue
+			}
+			if f.linkMark[fl.src] == f.markEpoch || f.linkMark[n+fl.dst] == f.markEpoch {
+				fl.inComp = true
+				f.touchLink(fl.src)
+				f.touchLink(n + fl.dst)
+				changed = true
+			}
+		}
 	}
-	unfrozen := 0
+	f.compFlows = f.compFlows[:0]
 	for _, fl := range f.order {
-		fl.rate = 0
-		egressFlows[fl.src]++
-		ingressFlows[fl.dst]++
-		unfrozen++
+		if fl.inComp {
+			f.compFlows = append(f.compFlows, fl)
+		}
 	}
-	frozen := make(map[*Flow]bool, len(f.order))
+
+	// Water-fill over the component only. Residual capacity per link; links
+	// are (machine, direction).
+	for _, l := range f.compLinks {
+		if l < n {
+			f.linkCap[l] = f.nics[l].egressBW
+		} else {
+			f.linkCap[l] = f.nics[l-n].ingressBW
+		}
+		f.linkCnt[l] = 0
+	}
+	for _, fl := range f.compFlows {
+		fl.rate = 0
+		f.linkCnt[fl.src]++
+		f.linkCnt[n+fl.dst]++
+	}
+	unfrozen := len(f.compFlows)
 	for unfrozen > 0 {
 		// Find the bottleneck link: smallest fair share.
 		share := math.MaxFloat64
-		for i := 0; i < n; i++ {
-			if egressFlows[i] > 0 {
-				if s := egressCap[i] / float64(egressFlows[i]); s < share {
-					share = s
-				}
-			}
-			if ingressFlows[i] > 0 {
-				if s := ingressCap[i] / float64(ingressFlows[i]); s < share {
+		for _, l := range f.compLinks {
+			if f.linkCnt[l] > 0 {
+				if s := f.linkCap[l] / float64(f.linkCnt[l]); s < share {
 					share = s
 				}
 			}
 		}
 		// Freeze every flow traversing a link at exactly that share.
 		progress := false
-		for _, fl := range f.order {
-			if frozen[fl] {
+		for _, fl := range f.compFlows {
+			if fl.frozen {
 				continue
 			}
-			se := egressCap[fl.src] / float64(egressFlows[fl.src])
-			si := ingressCap[fl.dst] / float64(ingressFlows[fl.dst])
+			se := f.linkCap[fl.src] / float64(f.linkCnt[fl.src])
+			si := f.linkCap[n+fl.dst] / float64(f.linkCnt[n+fl.dst])
 			if se <= share*(1+1e-12) || si <= share*(1+1e-12) {
 				fl.rate = share
-				frozen[fl] = true
+				fl.frozen = true
 				unfrozen--
 				progress = true
-				egressCap[fl.src] -= share
-				ingressCap[fl.dst] -= share
-				egressFlows[fl.src]--
-				ingressFlows[fl.dst]--
+				f.linkCap[fl.src] -= share
+				f.linkCap[n+fl.dst] -= share
+				f.linkCnt[fl.src]--
+				f.linkCnt[n+fl.dst]--
 			}
 		}
 		if !progress {
 			panic("netsim: water-filling failed to make progress")
 		}
 	}
-	// Utilization per link.
-	egressUse := make([]float64, n)
-	ingressUse := make([]float64, n)
-	for _, fl := range f.order {
-		egressUse[fl.src] += fl.rate
-		ingressUse[fl.dst] += fl.rate
+
+	// Utilization changed only on component links; every flow on such a link
+	// is in the component, so summing component flows is the full picture.
+	for _, l := range f.compLinks {
+		f.linkCap[l] = 0 // reuse as the per-link utilization accumulator
+	}
+	for _, fl := range f.compFlows {
+		f.linkCap[fl.src] += fl.rate
+		f.linkCap[n+fl.dst] += fl.rate
+		fl.frozen = false
+		fl.inComp = false
 	}
 	now := f.eng.Now()
-	for i, nic := range f.nics {
-		nic.UtilOut.Set(now, egressUse[i]/nic.egressBW)
-		nic.UtilIn.Set(now, ingressUse[i]/nic.ingressBW)
+	for _, l := range f.compLinks {
+		if l < n {
+			nic := f.nics[l]
+			nic.UtilOut.Set(now, f.linkCap[l]/nic.egressBW)
+		} else {
+			nic := f.nics[l-n]
+			nic.UtilIn.Set(now, f.linkCap[l]/nic.ingressBW)
+		}
 	}
-	// Next completion.
+
+	// Next completion: rates outside the component are unchanged, but the
+	// soonest finisher can be anywhere, so scan all flows (cheap: no allocs).
 	f.eng.Cancel(f.completion)
-	f.completion = nil
+	f.completion = sim.EventRef{}
 	soonest := sim.Time(math.MaxFloat64)
 	for _, fl := range f.order {
 		if fl.rate <= 0 {
@@ -281,9 +371,9 @@ func (f *Fabric) rerate() {
 
 // complete retires flows that have drained, then recomputes rates.
 func (f *Fabric) complete() {
-	f.completion = nil
+	f.completion = sim.EventRef{}
 	f.advance()
-	var finished []*Flow
+	finished := f.finished[:0]
 	for _, fl := range f.order {
 		if fl.remaining == 0 {
 			finished = append(finished, fl)
@@ -308,10 +398,18 @@ func (f *Fabric) complete() {
 		finished = append(finished, min)
 	}
 	f.compactOrder()
-	f.rerate()
+	f.beginRerate()
+	for _, fl := range finished {
+		f.touchFlow(fl)
+	}
+	f.rerateTouched()
 	for _, fl := range finished {
 		fl.done()
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	f.finished = finished[:0]
 }
 
 // compactOrder drops inactive flows from the deterministic iteration slice.

@@ -213,7 +213,7 @@ func reversed(n int) []int {
 
 func shuffled(n int, seed int64) []int {
 	out := identity(n)
-	rand.New(rand.NewSource(seed * 7919)).Shuffle(n, func(i, j int) {
+	rand.New(rand.NewSource(seed*7919)).Shuffle(n, func(i, j int) {
 		out[i], out[j] = out[j], out[i]
 	})
 	return out

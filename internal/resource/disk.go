@@ -15,6 +15,7 @@ const (
 	SSD
 )
 
+// String names the disk kind.
 func (k DiskKind) String() string {
 	if k == HDD {
 		return "HDD"
@@ -194,8 +195,10 @@ func (d *Disk) Cancel(j *Job) { d.srv.Remove(j) }
 // Queue reports the number of in-service requests.
 func (d *Disk) Queue() int { return d.srv.Count() }
 
-// BytesRead and BytesWritten report cumulative traffic.
-func (d *Disk) BytesRead() int64    { return d.bytesRead }
+// BytesRead reports cumulative bytes read from the disk.
+func (d *Disk) BytesRead() int64 { return d.bytesRead }
+
+// BytesWritten reports cumulative bytes written to the disk.
 func (d *Disk) BytesWritten() int64 { return d.bytesWritten }
 
 // demand converts a request size to work units, charging the seek.

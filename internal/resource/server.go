@@ -44,7 +44,8 @@ type server struct {
 	classCount [2]int
 	nextSeq    uint64
 	lastUpdate sim.Time
-	completion *sim.Event
+	completion sim.EventRef
+	finished   []*Job // reusable scratch for complete()
 	// onCount is invoked whenever the in-service job count changes, with the
 	// new count; devices use it to drive their utilization trackers.
 	onCount func(k int)
@@ -150,7 +151,7 @@ func (s *server) advance() {
 // the one with the least remaining work).
 func (s *server) reschedule() {
 	s.eng.Cancel(s.completion)
-	s.completion = nil
+	s.completion = sim.EventRef{}
 	if len(s.jobs) == 0 {
 		return
 	}
@@ -170,9 +171,9 @@ func (s *server) reschedule() {
 // complete retires every job whose work has drained to zero, then
 // reschedules. Multiple jobs can tie (identical demands started together).
 func (s *server) complete() {
-	s.completion = nil
+	s.completion = sim.EventRef{}
 	s.advance()
-	var finished []*Job
+	finished := s.finished[:0]
 	for j := range s.jobs {
 		if j.remaining == 0 {
 			finished = append(finished, j)
@@ -210,6 +211,10 @@ func (s *server) complete() {
 	for _, j := range finished {
 		j.done()
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	s.finished = finished[:0]
 }
 
 func (s *server) notifyCount() {

@@ -91,18 +91,37 @@ func (tr *Tracker) Delta(t0, t1 sim.Time) float64 {
 	return tr.Before(t1) - tr.Before(t0)
 }
 
-// Mean returns the time-weighted mean value over [t0, t1).
+// firstAfter returns the index of the first transition with time > t
+// (len(tr.times) if none).
+func (tr *Tracker) firstAfter(t sim.Time) int {
+	lo, hi := 0, len(tr.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tr.times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Mean returns the time-weighted mean value over [t0, t1). Cost is
+// O(log T + k) for a timeline of T transitions with k inside the window, so
+// narrow windows over long timelines stay cheap.
 func (tr *Tracker) Mean(t0, t1 sim.Time) float64 {
 	if t1 <= t0 {
 		return 0
 	}
 	var area float64
-	cur := tr.At(t0)
+	i := tr.firstAfter(t0)
+	cur := 0.0
+	if i > 0 {
+		cur = tr.values[i-1]
+	}
 	prev := t0
-	for i, t := range tr.times {
-		if t <= t0 {
-			continue
-		}
+	for ; i < len(tr.times); i++ {
+		t := tr.times[i]
 		if t >= t1 {
 			break
 		}
@@ -114,16 +133,45 @@ func (tr *Tracker) Mean(t0, t1 sim.Time) float64 {
 	return area / float64(t1-t0)
 }
 
-// Samples returns the value at n evenly spaced points across [t0, t1),
-// suitable for percentile summaries (Fig. 6) or time-series plots (Fig. 2).
+// Samples returns the time-weighted mean over n evenly spaced buckets across
+// [t0, t1), suitable for percentile summaries (Fig. 6) or time-series plots
+// (Fig. 2). One sweep over the timeline serves all buckets — O(log T + k + n)
+// rather than n independent Mean scans.
 func (tr *Tracker) Samples(t0, t1 sim.Time, n int) []float64 {
 	if n <= 0 || t1 <= t0 {
 		return nil
 	}
 	out := make([]float64, n)
 	step := (t1 - t0) / sim.Time(n)
+	idx := tr.firstAfter(t0)
 	for i := 0; i < n; i++ {
-		out[i] = tr.Mean(t0+sim.Time(i)*step, t0+sim.Time(i+1)*step)
+		lo := t0 + sim.Time(i)*step
+		hi := t0 + sim.Time(i+1)*step
+		if hi <= lo {
+			continue
+		}
+		// Transitions stamped exactly at the bucket edge belong to the value
+		// carried into the bucket, matching Mean's half-open semantics.
+		for idx < len(tr.times) && tr.times[idx] <= lo {
+			idx++
+		}
+		var area float64
+		cur := 0.0
+		if idx > 0 {
+			cur = tr.values[idx-1]
+		}
+		prev := lo
+		for ; idx < len(tr.times); idx++ {
+			t := tr.times[idx]
+			if t >= hi {
+				break
+			}
+			area += cur * float64(t-prev)
+			cur = tr.values[idx]
+			prev = t
+		}
+		area += cur * float64(hi-prev)
+		out[i] = area / float64(hi-lo)
 	}
 	return out
 }

@@ -133,14 +133,14 @@ func TestTrackerDeltaHalfOpen(t *testing.T) {
 		t0, t1 sim.Time
 		want   float64
 	}{
-		{0, 2, 100},  // excludes the t=2 transition
-		{2, 5, 150},  // includes t=2, excludes t=5
-		{5, 9, 150},  // includes t=5
-		{0, 9, 400},  // whole history
-		{3, 4, 0},    // quiet interior window
-		{2, 2, 0},    // empty window
-		{9, 2, 0},    // inverted window
-		{-5, 0, 0}, // the t=0 transition belongs to the next window
+		{0, 2, 100}, // excludes the t=2 transition
+		{2, 5, 150}, // includes t=2, excludes t=5
+		{5, 9, 150}, // includes t=5
+		{0, 9, 400}, // whole history
+		{3, 4, 0},   // quiet interior window
+		{2, 2, 0},   // empty window
+		{9, 2, 0},   // inverted window
+		{-5, 0, 0},  // the t=0 transition belongs to the next window
 	}
 	for _, c := range cases {
 		if got := tr.Delta(c.t0, c.t1); got != c.want {

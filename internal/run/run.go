@@ -31,6 +31,7 @@ const (
 	SparkWriteThrough
 )
 
+// String names the executor mode.
 func (m Mode) String() string {
 	switch m {
 	case Monotasks:

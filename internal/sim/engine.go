@@ -5,10 +5,17 @@
 // the Engine advances a virtual clock from event to event. Determinism is
 // guaranteed by breaking ties on (time, sequence number), so a given workload
 // and cluster configuration always produces bit-identical results.
+//
+// The engine is the innermost loop of every experiment, so it is built to
+// stay off the allocator: the pending queue is a hand-rolled indexed binary
+// heap (no container/heap interface boxing), and fired or cancelled Event
+// structs are recycled through a free list. Recycling is safe because At and
+// After hand out EventRef value handles that carry the struct's generation;
+// a stale handle — one whose event already fired or was cancelled — is
+// detected by the generation check and Cancel ignores it.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -25,17 +32,41 @@ type Duration = Time
 // Forever is a sentinel time later than any event the engine will execute.
 const Forever Time = math.MaxFloat64
 
-// Event is a scheduled callback. It is returned by At/After so callers can
-// cancel it before it fires.
+// Event is one scheduled callback's storage. Event structs are pooled: after
+// an event fires or is cancelled its struct is recycled for a later At call,
+// so holding a *Event across its firing is unsafe — that is why the engine
+// hands out EventRef values instead.
 type Event struct {
 	at    Time
 	seq   uint64
 	index int // heap index, -1 once removed
+	gen   uint32
 	fn    func()
 }
 
-// Time reports when the event is (or was) scheduled to fire.
-func (e *Event) Time() Time { return e.at }
+// EventRef is a handle to a scheduled event, returned by At and After so
+// callers can cancel the event before it fires. The zero EventRef refers to
+// nothing; cancelling it is a no-op. A ref whose event already fired (or was
+// already cancelled) is stale, and stale refs are likewise safely ignored —
+// the generation check distinguishes them from the struct's next tenant.
+type EventRef struct {
+	ev  *Event
+	gen uint32
+}
+
+// Scheduled reports whether the referenced event is still pending.
+func (r EventRef) Scheduled() bool {
+	return r.ev != nil && r.ev.gen == r.gen && r.ev.index >= 0
+}
+
+// Time reports when the referenced event will fire, or Forever if the ref is
+// zero or stale.
+func (r EventRef) Time() Time {
+	if !r.Scheduled() {
+		return Forever
+	}
+	return r.ev.at
+}
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine. Engines are not safe for concurrent use: the simulation
@@ -43,7 +74,8 @@ func (e *Event) Time() Time { return e.at }
 type Engine struct {
 	now     Time
 	seq     uint64
-	pending eventHeap
+	pending []*Event // indexed binary min-heap on (at, seq)
+	free    []*Event // recycled Event structs
 	running bool
 }
 
@@ -58,33 +90,67 @@ func (e *Engine) Now() Time { return e.now }
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a device-model bug, and silently clamping would
 // mask it.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.pending, ev)
-	return ev
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.index = len(e.pending)
+	e.pending = append(e.pending, ev)
+	e.siftUp(ev.index)
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired (or
-// was already cancelled) is a no-op, which lets device models cancel their
-// provisional completion events unconditionally.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a pending event. Cancelling a zero or stale ref — one whose
+// event already fired or was already cancelled — is a no-op, which lets
+// device models cancel their provisional completion events unconditionally.
+func (e *Engine) Cancel(r EventRef) {
+	if !r.Scheduled() {
 		return
 	}
-	heap.Remove(&e.pending, ev.index)
+	ev := r.ev
+	i := ev.index
+	n := len(e.pending) - 1
+	if i != n {
+		e.pending[i] = e.pending[n]
+		e.pending[i].index = i
+	}
+	e.pending[n] = nil
+	e.pending = e.pending[:n]
+	if i != n {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	e.recycle(ev)
+}
+
+// recycle retires an event struct to the free list, bumping its generation so
+// stale EventRefs can no longer reach it.
+func (e *Engine) recycle(ev *Event) {
 	ev.index = -1
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Len reports the number of pending events.
@@ -96,10 +162,23 @@ func (e *Engine) Step() bool {
 	if len(e.pending) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pending).(*Event)
-	ev.index = -1
+	ev := e.pending[0]
+	n := len(e.pending) - 1
+	if n > 0 {
+		e.pending[0] = e.pending[n]
+		e.pending[0].index = 0
+	}
+	e.pending[n] = nil
+	e.pending = e.pending[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
 	e.now = ev.at
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running the callback: the callback frequently schedules
+	// the device's next completion, which can then reuse this struct.
+	e.recycle(ev)
+	fn()
 	return true
 }
 
@@ -125,35 +204,54 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
-// eventHeap orders events by (time, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by (time, seq) — the determinism tie-break.
+func (e *Engine) less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// siftUp restores the heap invariant upward from index i.
+func (e *Engine) siftUp(i int) {
+	h := e.pending
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = i
+		i = parent
+	}
+	h[i] = ev
+	ev.index = i
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// siftDown restores the heap invariant downward from index i, reporting
+// whether the element moved.
+func (e *Engine) siftDown(i int) bool {
+	h := e.pending
+	n := len(h)
+	ev := h[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if right := child + 1; right < n && e.less(h[right], h[child]) {
+			child = right
+		}
+		if !e.less(h[child], ev) {
+			break
+		}
+		h[i] = h[child]
+		h[i].index = i
+		i = child
+	}
+	h[i] = ev
+	ev.index = i
+	return i != start
 }

@@ -83,7 +83,7 @@ func TestCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var got []Time
 	record := func() { got = append(got, e.Now()) }
-	var evs []*Event
+	var evs []EventRef
 	for i := 1; i <= 5; i++ {
 		evs = append(evs, e.At(Time(i), record))
 	}
@@ -217,7 +217,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		e := NewEngine()
 		n := 1 + rng.Intn(100)
 		firedCount := 0
-		evs := make([]*Event, n)
+		evs := make([]EventRef, n)
 		for i := 0; i < n; i++ {
 			evs[i] = e.At(Time(rng.Intn(1000)), func() { firedCount++ })
 		}
@@ -235,6 +235,68 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
+// TestStaleRefCannotCancelRecycledEvent pins the safety property of the
+// event free list: after an event fires, its struct may be reused for a new
+// event, and a stale ref to the old tenant must not cancel the new one.
+func TestStaleRefCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	first := e.At(1, func() {})
+	e.Run() // first fires; its struct goes to the free list
+	if first.Scheduled() {
+		t.Fatal("fired event still reports Scheduled")
+	}
+	fired := false
+	second := e.At(2, func() { fired = true })
+	e.Cancel(first) // stale: must not touch the recycled struct's new tenant
+	if !second.Scheduled() {
+		t.Fatal("stale Cancel removed a live event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("second event did not fire")
+	}
+}
+
+// TestEventStructsAreReused asserts the free list actually recycles: a
+// schedule→fire→schedule churn loop must stop allocating Event structs once
+// the pool is warm.
+func TestEventStructsAreReused(t *testing.T) {
+	e := NewEngine()
+	var chain func()
+	n := 0
+	chain = func() {
+		n++
+		if n < 1000 {
+			e.After(1, chain)
+		}
+	}
+	e.At(0, chain)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 10 && e.Step(); i++ {
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("event churn allocates %.1f objects per 10 steps, want 0 (pooled)", allocs)
+	}
+}
+
+// TestEventRefZeroValue checks the documented zero-ref behavior.
+func TestEventRefZeroValue(t *testing.T) {
+	e := NewEngine()
+	var r EventRef
+	if r.Scheduled() {
+		t.Fatal("zero ref reports Scheduled")
+	}
+	if r.Time() != Forever {
+		t.Fatalf("zero ref Time() = %v, want Forever", r.Time())
+	}
+	e.Cancel(r) // must be a no-op
+	live := e.At(3, func() {})
+	if got := live.Time(); got != 3 {
+		t.Fatalf("live ref Time() = %v, want 3", got)
+	}
+}
+
 func BenchmarkEngineScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()
@@ -242,5 +304,39 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 			e.At(Time(j%97), func() {})
 		}
 		e.Run()
+	}
+}
+
+// BenchmarkEngineChurn measures the steady-state event loop the device models
+// actually drive: a long-lived engine where every firing cancels a provisional
+// completion event and schedules replacements (the fluid-server reschedule
+// pattern). This is the innermost loop of every experiment; with the event
+// free list it runs allocation-free once the pool is warm.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := NewEngine()
+	const width = 64
+	refs := make([]EventRef, width)
+	fns := make([]func(), width)
+	for i := range fns {
+		slot := i
+		fns[slot] = func() {
+			// Cancel the neighbor's provisional event and reschedule it, then
+			// reschedule ourselves — one cancel and two schedules per firing.
+			next := (slot + 1) % width
+			e.Cancel(refs[next])
+			refs[next] = e.After(Duration(width), fns[next])
+			refs[slot] = e.After(Duration(slot%7)+1, fns[slot])
+		}
+	}
+	for i := range fns {
+		refs[i] = e.After(Duration(i+1), fns[i])
+	}
+	for i := 0; i < 10*width; i++ { // warm the free list
+		e.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
 	}
 }

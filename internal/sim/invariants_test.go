@@ -47,7 +47,7 @@ type fuzzEvent struct {
 	id        int
 	at        Time
 	schedPos  int // global scheduling order, for the tie-break invariant
-	ev        *Event
+	ev        EventRef
 	cancelled bool
 	fired     bool
 }

@@ -1,0 +1,117 @@
+// Package sweep fans the independent cells of an experiment grid across a
+// pool of worker goroutines and collects their results in deterministic cell
+// order.
+//
+// Every monobench experiment is a grid — seeds × configurations × executor
+// modes — whose cells share no mutable state: each cell builds its own
+// cluster, engine, and workload from scratch, runs to completion in virtual
+// time, and returns a value. That makes the grid embarrassingly parallel,
+// and because collection is by cell index (not completion order), the
+// assembled output of a parallel sweep is byte-identical to a serial one.
+// internal/figures runs all of its grids through this package, and
+// cmd/monobench exposes the worker count as --parallel.
+//
+// The process-wide default worker count starts at runtime.NumCPU and can be
+// changed with SetParallelism; Run uses it, RunWorkers takes an explicit
+// count. With one worker the cells run inline on the calling goroutine, so
+// --parallel 1 is exactly the pre-sweep serial execution.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide worker count used by Run. It is atomic
+// so experiment code and flag parsing may race harmlessly.
+var defaultWorkers atomic.Int64
+
+func init() {
+	defaultWorkers.Store(int64(runtime.NumCPU()))
+}
+
+// Parallelism reports the current process-wide default worker count.
+func Parallelism() int { return int(defaultWorkers.Load()) }
+
+// SetParallelism sets the process-wide default worker count used by Run.
+// Values below 1 are clamped to 1 (serial, inline execution).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Run executes cells 0..cells-1 with fn using the process-wide default
+// parallelism and returns the results indexed by cell. See RunWorkers.
+func Run[T any](cells int, fn func(cell int) (T, error)) ([]T, error) {
+	return RunWorkers(Parallelism(), cells, fn)
+}
+
+// RunWorkers executes cells 0..cells-1 with fn on up to workers goroutines
+// and returns the results indexed by cell. Cells must be independent: fn is
+// called concurrently from multiple goroutines and must not share mutable
+// state across cells.
+//
+// Determinism contract: the returned slice is ordered by cell index, and
+// when any cells fail, the reported error is the failing cell with the
+// lowest index — both independent of goroutine scheduling. A panic in a
+// cell is re-raised on the calling goroutine (again lowest-index first),
+// annotated with the cell number.
+func RunWorkers[T any](workers, cells int, fn func(cell int) (T, error)) ([]T, error) {
+	if cells <= 0 {
+		return nil, nil
+	}
+	results := make([]T, cells)
+	if workers > cells {
+		workers = cells
+	}
+	if workers <= 1 {
+		for i := 0; i < cells; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: cell %d: %w", i, err)
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+	errs := make([]error, cells)
+	panics := make([]any, cells)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cells {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					results[i], errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("sweep: cell %d panicked: %v", i, p))
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: cell %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResultsInCellOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := RunWorkers(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	wantErr := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := RunWorkers(workers, 20, func(i int) (int, error) {
+			if i == 7 || i == 13 {
+				return 0, fmt.Errorf("cell says %d: %w", i, wantErr)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: error %v does not wrap the cell error", workers, err)
+		}
+		if !strings.Contains(err.Error(), "cell 7") {
+			t.Fatalf("workers=%d: error %q should name the lowest failing cell 7", workers, err)
+		}
+	}
+}
+
+func TestPanicIsReRaisedWithCell(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic was swallowed")
+		}
+		if !strings.Contains(fmt.Sprint(r), "cell 3") {
+			t.Fatalf("panic %v should name cell 3", r)
+		}
+	}()
+	_, _ = RunWorkers(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			panic("kaput")
+		}
+		return i, nil
+	})
+}
+
+func TestEveryCellRunsExactlyOnce(t *testing.T) {
+	var calls [200]atomic.Int32
+	_, err := RunWorkers(16, len(calls), func(i int) (struct{}, error) {
+		calls[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("cell %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestZeroCells(t *testing.T) {
+	got, err := Run(0, func(i int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Run(0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestSetParallelismClamps(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(-3)
+	if Parallelism() != 1 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(-3), want 1", Parallelism())
+	}
+	SetParallelism(8)
+	if Parallelism() != 8 {
+		t.Fatalf("Parallelism() = %d, want 8", Parallelism())
+	}
+}

@@ -21,11 +21,15 @@ import (
 type Resource int
 
 const (
+	// CPUResource is a processor core.
 	CPUResource Resource = iota
+	// DiskResource is a disk drive (HDD or SSD).
 	DiskResource
+	// NetworkResource is the machine's NIC.
 	NetworkResource
 )
 
+// String names the resource.
 func (r Resource) String() string {
 	switch r {
 	case CPUResource:
@@ -45,14 +49,22 @@ func (r Resource) String() string {
 type Kind int
 
 const (
+	// KindCompute is a CPU monotask.
 	KindCompute Kind = iota
+	// KindInputRead reads job input from a local disk.
 	KindInputRead
+	// KindShuffleWrite spills a map task's shuffle output to disk.
 	KindShuffleWrite
-	KindShuffleServeRead // disk read on the serving side of a shuffle fetch
+	// KindShuffleServeRead is the disk read on the serving side of a
+	// shuffle fetch.
+	KindShuffleServeRead
+	// KindOutputWrite writes a job's final output to disk.
 	KindOutputWrite
+	// KindNetFetch fetches remote shuffle data over the network.
 	KindNetFetch
 )
 
+// String names the monotask kind.
 func (k Kind) String() string {
 	switch k {
 	case KindCompute:

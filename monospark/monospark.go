@@ -48,6 +48,7 @@ const (
 	SparkWithFlushedWrites
 )
 
+// String names the executor mode.
 func (m Mode) String() string {
 	switch m {
 	case Monotasks:

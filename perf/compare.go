@@ -1,0 +1,180 @@
+package perf
+
+// This file is the repo's benchmark-trajectory harness: it reruns the
+// hot-path microbenchmarks (sim event loop, netsim rerate) and times a
+// serial-vs-parallel experiment sweep, emitting the numbers as a
+// BENCH_*.json report. Experiment-level pieces (the end-to-end sort, the
+// chaos matrix) are injected by the caller — cmd/monoperf wires them up —
+// because this package sits below internal/figures in the import graph
+// (monospark's tests import perf, and figures imports monospark).
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// BenchResult is one microbenchmark's measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// SweepCompare is the serial-vs-parallel experiment comparison: the same
+// multi-cell grid run at --parallel 1 and --parallel N, with the rendered
+// output hashed to prove the results are byte-identical.
+type SweepCompare struct {
+	Experiment   string  `json:"experiment"`
+	Cells        int     `json:"cells"`
+	Workers      int     `json:"workers"`
+	SerialMs     float64 `json:"serial_ms"`
+	ParallelMs   float64 `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
+	SerialHash   string  `json:"serial_hash"`
+	ParallelHash string  `json:"parallel_hash"`
+	Identical    bool    `json:"identical"`
+}
+
+// Report is the full BENCH_*.json payload.
+type Report struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+	Sweep      SweepCompare  `json:"sweep"`
+}
+
+// NewReport stamps the environment fields.
+func NewReport() *Report {
+	return &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Bench runs one benchmark function via testing.Benchmark and records it.
+func Bench(name string, fn func(*testing.B)) BenchResult {
+	r := testing.Benchmark(fn)
+	return BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// BenchEngineChurn is the steady-state sim event loop: a warm engine where
+// every firing cancels one event and schedules two, so the pooled free list
+// is exercised rather than the initial heap growth. This mirrors
+// BenchmarkEngineChurn in internal/sim.
+func BenchEngineChurn(b *testing.B) {
+	e := sim.NewEngine()
+	const width = 64
+	refs := make([]sim.EventRef, width)
+	fns := make([]func(), width)
+	for i := range fns {
+		slot := i
+		fns[slot] = func() {
+			next := (slot + 1) % width
+			e.Cancel(refs[next])
+			refs[next] = e.After(sim.Duration(width), fns[next])
+			refs[slot] = e.After(sim.Duration(slot%7)+1, fns[slot])
+		}
+	}
+	for i := range fns {
+		refs[i] = e.After(sim.Duration(i+1), fns[i])
+	}
+	for i := 0; i < 10*width; i++ {
+		e.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchFabricAllToAll is netsim's worst case: an 8-machine all-to-all
+// shuffle where every rerate's connected component spans every flow. Mirrors
+// BenchmarkFabricAllToAllShuffle in internal/netsim.
+func BenchFabricAllToAll(b *testing.B) {
+	const n = 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		f := netsim.NewFabric(eng, n, 1e9)
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src != dst {
+					f.Transfer(src, dst, 64<<20, func() {})
+				}
+			}
+		}
+		eng.Run()
+	}
+}
+
+// timedRender runs the experiment at the given sweep worker count and
+// returns its rendered output plus the wall-clock time.
+func timedRender(render func() ([]byte, error), workers int) ([]byte, time.Duration, error) {
+	old := sweep.Parallelism()
+	sweep.SetParallelism(workers)
+	defer sweep.SetParallelism(old)
+	start := time.Now()
+	out, err := render()
+	return out, time.Since(start), err
+}
+
+// CompareSweep runs the same experiment grid serially and with `workers`
+// goroutines, and reports wall-clock times plus output hashes. render must
+// execute the experiment under the process-wide sweep parallelism and return
+// its rendered output. Identical hashes are the determinism proof: the sweep
+// pool may execute cells in any order, but the assembled experiment output
+// must not change.
+func CompareSweep(experiment string, cells, workers int, render func() ([]byte, error)) (SweepCompare, error) {
+	serial, serialDur, err := timedRender(render, 1)
+	if err != nil {
+		return SweepCompare{}, err
+	}
+	par, parDur, err := timedRender(render, workers)
+	if err != nil {
+		return SweepCompare{}, err
+	}
+	sh, ph := sha256.Sum256(serial), sha256.Sum256(par)
+	return SweepCompare{
+		Experiment:   experiment,
+		Cells:        cells,
+		Workers:      workers,
+		SerialMs:     float64(serialDur.Microseconds()) / 1e3,
+		ParallelMs:   float64(parDur.Microseconds()) / 1e3,
+		Speedup:      float64(serialDur) / float64(parDur),
+		SerialHash:   hex.EncodeToString(sh[:]),
+		ParallelHash: hex.EncodeToString(ph[:]),
+		Identical:    bytes.Equal(serial, par),
+	}, nil
+}
+
+// Write stores the report as indented JSON at path.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

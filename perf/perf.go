@@ -26,11 +26,15 @@ type WhatIf = model.WhatIf
 type Resource int
 
 const (
+	// CPU is the cluster's processor cores.
 	CPU Resource = iota
+	// Disk is the cluster's disk drives.
 	Disk
+	// Network is the cluster's NICs.
 	Network
 )
 
+// String names the resource.
 func (r Resource) String() string {
 	switch r {
 	case CPU:
