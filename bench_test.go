@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/figures"
+	"repro/perf"
 )
 
 // BenchmarkFig02 regenerates the Fig. 2 utilization oscillation trace.
@@ -362,4 +363,19 @@ func BenchmarkFailure(b *testing.B) {
 		overhead = r.Rows[1].Overhead()
 	}
 	b.ReportMetric(overhead*100, "mono-overhead-pct")
+}
+
+// BenchmarkMultiJobSteadyState measures one long-lived driver absorbing
+// repeated identical job submissions through its default pool — the
+// execution-template cache's steady-state workload. Implementation shared
+// with cmd/monoperf via the perf package.
+func BenchmarkMultiJobSteadyState(b *testing.B) {
+	perf.BenchMultiJobSteadyState(b)
+}
+
+// BenchmarkDriverSubmit isolates the control-plane cost of one job
+// submission (validation, template lookup, stage-state instantiation, pool
+// admission) against a zero-capacity cluster, so no task ever launches.
+func BenchmarkDriverSubmit(b *testing.B) {
+	perf.BenchDriverSubmit(b)
 }

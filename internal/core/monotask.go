@@ -57,7 +57,8 @@ func (m *monotask) dependsOn(dep *monotask) {
 	m.waiting++
 }
 
-// multitask tracks one in-flight task and its monotask DAG.
+// multitask tracks one in-flight task and its monotask DAG. Structs are
+// pooled per worker (see newMultitask/complete in template.go).
 type multitask struct {
 	t         *task.Task
 	worker    *Worker
@@ -69,6 +70,11 @@ type multitask struct {
 	// and output between resources (§3.5), so the worker charges it up
 	// front and releases it at completion.
 	bufBytes int64
+	// netEntry is the network scheduler's per-multitask admission record,
+	// stored here so the scheduler needs no map.
+	netEntry *netEntry
+	// completeFn is the engine thunk for complete, bound once per struct.
+	completeFn func()
 }
 
 // bufferBytes is the §3.5 memory footprint: all input is read into memory
@@ -85,47 +91,44 @@ func bufferBytes(t *task.Task) int64 {
 }
 
 // decompose builds the monotask DAG for t (§3.2, Fig. 4) and returns the
-// monotasks with no dependencies, ready for immediate submission.
+// monotasks with no dependencies, ready for immediate submission. The static
+// skeleton (compute cost split, output writes) comes from the worker's
+// per-stage template; only the input side — which depends on how the task
+// was resolved and placed — is built per task. Node structs come from the
+// worker's free list, and the returned slice is worker-owned scratch, valid
+// until the next decompose on this worker.
 func (w *Worker) decompose(mt *multitask) []*monotask {
 	t := mt.t
-	var all []*monotask
-	add := func(m *monotask) *monotask {
-		m.owner = mt
-		all = append(all, m)
-		return m
-	}
+	tp := w.dagTemplateFor(t.Stage)
 
-	compute := add(&monotask{
-		resource: task.CPUResource,
-		kind:     task.KindCompute,
-		phase:    phaseCompute,
-		deser:    t.Stage.DeserCPU,
-		op:       t.Stage.OpCPU,
-		ser:      t.Stage.SerCPU,
-	})
+	compute := w.stampNode(mt, &tp.compute)
+	count := 1
+	ready := w.readyScratch[:0]
 
-	// Input monotasks.
+	// Input monotasks: all ready immediately, all feeding compute.
 	if t.DiskReadBytes > 0 {
-		rd := add(&monotask{
-			resource: task.DiskResource,
-			kind:     task.KindInputRead,
-			phase:    phaseInput,
-			bytes:    t.DiskReadBytes,
-			diskIdx:  t.DiskReadDisk,
-		})
+		rd := w.newMonotask(mt)
+		rd.resource = task.DiskResource
+		rd.kind = task.KindInputRead
+		rd.phase = phaseInput
+		rd.bytes = t.DiskReadBytes
+		rd.diskIdx = t.DiskReadDisk
 		compute.dependsOn(rd)
+		ready = append(ready, rd)
+		count++
 	}
 	if t.RemoteRead != nil {
 		// A non-local HDFS block: fetched over the network like shuffle
 		// data, with the remote machine reading the block from its disk.
-		nf := add(&monotask{
-			resource: task.NetworkResource,
-			kind:     task.KindNetFetch,
-			phase:    phaseInput,
-			bytes:    t.RemoteRead.Bytes,
-			fetch:    *t.RemoteRead,
-		})
+		nf := w.newMonotask(mt)
+		nf.resource = task.NetworkResource
+		nf.kind = task.KindNetFetch
+		nf.phase = phaseInput
+		nf.bytes = t.RemoteRead.Bytes
+		nf.fetch = *t.RemoteRead
 		compute.dependsOn(nf)
+		ready = append(ready, nf)
+		count++
 	}
 	for _, f := range t.Fetches {
 		switch {
@@ -135,56 +138,43 @@ func (w *Worker) decompose(mt *multitask) []*monotask {
 		case f.From == t.Machine:
 			// Local shuffle data is a plain disk read (Fig. 4, "read
 			// shuffle data from local disk").
-			rd := add(&monotask{
-				resource: task.DiskResource,
-				kind:     task.KindShuffleServeRead,
-				phase:    phaseInput,
-				bytes:    f.Bytes,
-				diskIdx:  w.nextServeDisk(),
-			})
+			rd := w.newMonotask(mt)
+			rd.resource = task.DiskResource
+			rd.kind = task.KindShuffleServeRead
+			rd.phase = phaseInput
+			rd.bytes = f.Bytes
+			rd.diskIdx = w.nextServeDisk()
 			compute.dependsOn(rd)
+			ready = append(ready, rd)
+			count++
 		default:
-			nf := add(&monotask{
-				resource: task.NetworkResource,
-				kind:     task.KindNetFetch,
-				phase:    phaseInput,
-				bytes:    f.Bytes,
-				fetch:    f,
-			})
+			nf := w.newMonotask(mt)
+			nf.resource = task.NetworkResource
+			nf.kind = task.KindNetFetch
+			nf.phase = phaseInput
+			nf.bytes = f.Bytes
+			nf.fetch = f
 			compute.dependsOn(nf)
+			ready = append(ready, nf)
+			count++
 		}
 	}
 
-	// Output monotasks. Monotask disk writes are write-through (§3.1,
-	// principle 4): the OS buffer cache never owns deferred work.
-	if t.Stage.ShuffleOutBytes > 0 && !t.Stage.ShuffleInMemory {
-		wr := add(&monotask{
-			resource: task.DiskResource,
-			kind:     task.KindShuffleWrite,
-			phase:    phaseOutput,
-			bytes:    t.Stage.ShuffleOutBytes,
-			diskIdx:  w.nextWriteDisk(),
-		})
+	// Output monotasks from the template. Write-disk choice is dynamic
+	// (round-robin or load-aware cursors), so it is stamped here.
+	for i := range tp.outputs {
+		wr := w.stampNode(mt, &tp.outputs[i])
+		wr.diskIdx = w.nextWriteDisk()
 		wr.dependsOn(compute)
-	}
-	if t.Stage.OutputBytes > 0 && !t.Stage.OutputToMem {
-		wr := add(&monotask{
-			resource: task.DiskResource,
-			kind:     task.KindOutputWrite,
-			phase:    phaseOutput,
-			bytes:    t.Stage.OutputBytes,
-			diskIdx:  w.nextWriteDisk(),
-		})
-		wr.dependsOn(compute)
+		count++
 	}
 
-	mt.remaining = len(all)
-	ready := make([]*monotask, 0, len(all))
-	for _, m := range all {
-		if m.waiting == 0 {
-			ready = append(ready, m)
-		}
+	mt.remaining = count
+	if len(ready) == 0 {
+		// No inputs: the compute monotask starts the DAG.
+		ready = append(ready, compute)
 	}
+	w.readyScratch = ready
 	return ready
 }
 
@@ -203,10 +193,9 @@ func (w *Worker) finish(m *monotask, metric task.MonotaskMetric) {
 	if mt.remaining == 0 {
 		mt.metrics.End = w.eng.Now()
 		mt.worker.machine.MemFree(mt.bufBytes)
-		done := mt.done
-		metrics := mt.metrics
 		// Defer the completion callback to the engine so the driver's
 		// follow-on launches see consistent scheduler state.
-		w.eng.After(0, func() { done(metrics) })
+		w.eng.After(0, mt.completeFn)
 	}
+	w.recycleMono(m)
 }

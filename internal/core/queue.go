@@ -2,39 +2,66 @@ package core
 
 import "repro/internal/task"
 
+// numPhases bounds the phase constants (phaseInput..phaseServe).
+const numPhases = 4
+
 // rrQueue is a FIFO queue per phase with round-robin service across phases
 // (§3.3): when disk writes pile up, the next service turn still goes to a
 // waiting read, keeping the downstream CPU fed.
+//
+// Each phase FIFO is a head-indexed slice: pop advances the head, and push
+// compacts the live window to the front once the dead prefix outgrows it, so
+// the backing array is reused instead of endlessly reallocated as the window
+// slides.
 type rrQueue struct {
-	byPhase map[int][]*monotask
+	byPhase [numPhases][]*monotask
+	head    [numPhases]int
 	ring    []int // phases in first-seen order
+	seen    [numPhases]bool
 	cursor  int
 	size    int
 	// fifo disables the phase rotation (ablation: the §3.3 starvation
 	// pathology), serving strictly in arrival order.
-	fifo  bool
-	order []*monotask
+	fifo      bool
+	order     []*monotask
+	orderHead int
 }
 
 func newRRQueue() *rrQueue {
-	return &rrQueue{byPhase: make(map[int][]*monotask)}
+	return &rrQueue{}
 }
 
 func newFIFOQueue() *rrQueue {
-	return &rrQueue{byPhase: make(map[int][]*monotask), fifo: true}
+	return &rrQueue{fifo: true}
+}
+
+// pushTo appends m to a head-indexed FIFO, compacting first when the dead
+// prefix dominates the backing array.
+func pushTo(fifo []*monotask, head *int, m *monotask) []*monotask {
+	if h := *head; h > 0 && h >= len(fifo)-h {
+		n := copy(fifo, fifo[h:])
+		for i := n; i < len(fifo); i++ {
+			fifo[i] = nil
+		}
+		fifo = fifo[:n]
+		*head = 0
+	}
+	return append(fifo, m)
 }
 
 // push appends m to its phase's FIFO.
 func (q *rrQueue) push(m *monotask) {
 	if q.fifo {
-		q.order = append(q.order, m)
+		q.order = pushTo(q.order, &q.orderHead, m)
 		q.size++
 		return
 	}
-	if _, ok := q.byPhase[m.phase]; !ok {
-		q.ring = append(q.ring, m.phase)
+	p := m.phase
+	if !q.seen[p] {
+		q.seen[p] = true
+		q.ring = append(q.ring, p)
 	}
-	q.byPhase[m.phase] = append(q.byPhase[m.phase], m)
+	q.byPhase[p] = pushTo(q.byPhase[p], &q.head[p], m)
 	q.size++
 }
 
@@ -47,22 +74,23 @@ func (q *rrQueue) pop() *monotask {
 		return nil
 	}
 	if q.fifo {
-		m := q.order[0]
-		q.order[0] = nil
-		q.order = q.order[1:]
+		m := q.order[q.orderHead]
+		q.order[q.orderHead] = nil
+		q.orderHead++
 		q.size--
 		return m
 	}
 	for i := 0; i < len(q.ring); i++ {
 		phase := q.ring[q.cursor]
 		q.cursor = (q.cursor + 1) % len(q.ring)
+		h := q.head[phase]
 		fifo := q.byPhase[phase]
-		if len(fifo) == 0 {
+		if h >= len(fifo) {
 			continue
 		}
-		m := fifo[0]
-		fifo[0] = nil
-		q.byPhase[phase] = fifo[1:]
+		m := fifo[h]
+		fifo[h] = nil
+		q.head[phase] = h + 1
 		q.size--
 		return m
 	}
@@ -76,30 +104,33 @@ func (q *rrQueue) len() int { return q.size }
 // smaller than maxBytes, searching all phases, or nil when none qualifies.
 // Used by the small-request batching extension.
 func (q *rrQueue) peekSame(kind task.Kind, maxBytes int64) *monotask {
-	take := func(fifo []*monotask) (*monotask, []*monotask, bool) {
-		for i, m := range fifo {
+	// take shifts the hit out of the live window in place.
+	take := func(fifo []*monotask, head int) (*monotask, bool) {
+		for i := head; i < len(fifo); i++ {
+			m := fifo[i]
 			if m.kind == kind && m.bytes < maxBytes {
-				out := append(append([]*monotask{}, fifo[:i]...), fifo[i+1:]...)
-				return m, out, true
+				copy(fifo[i:], fifo[i+1:])
+				fifo[len(fifo)-1] = nil
+				return m, true
 			}
 		}
-		return nil, fifo, false
+		return nil, false
 	}
 	if q.fifo {
-		m, rest, ok := take(q.order)
+		m, ok := take(q.order, q.orderHead)
 		if !ok {
 			return nil
 		}
-		q.order = rest
+		q.order = q.order[:len(q.order)-1]
 		q.size--
 		return m
 	}
 	for _, phase := range q.ring {
-		m, rest, ok := take(q.byPhase[phase])
+		m, ok := take(q.byPhase[phase], q.head[phase])
 		if !ok {
 			continue
 		}
-		q.byPhase[phase] = rest
+		q.byPhase[phase] = q.byPhase[phase][:len(q.byPhase[phase])-1]
 		q.size--
 		return m
 	}

@@ -14,9 +14,50 @@ type computeScheduler struct {
 	queue   *rrQueue
 	running int
 	limit   int
+	ops     []*computeOp // free list of in-flight op records
 	// QueueLen tracks queued monotasks over time — §3.1's "contention is
 	// visible as the queue length for each resource", as a timeline.
 	QueueLen resource.Tracker
+}
+
+// computeOp carries one admitted compute monotask through its CPU job. The
+// struct and its completion thunk are pooled so pump never allocates.
+type computeOp struct {
+	cs *computeScheduler
+	m  *monotask
+	fn func() // op.done, bound once per struct
+}
+
+func (cs *computeScheduler) takeOp() *computeOp {
+	if n := len(cs.ops); n > 0 {
+		op := cs.ops[n-1]
+		cs.ops[n-1] = nil
+		cs.ops = cs.ops[:n-1]
+		return op
+	}
+	op := &computeOp{cs: cs}
+	op.fn = op.done
+	return op
+}
+
+func (op *computeOp) done() {
+	cs, m := op.cs, op.m
+	op.m = nil
+	cs.ops = append(cs.ops, op)
+	cs.running--
+	metric := task.MonotaskMetric{
+		Resource: task.CPUResource,
+		Kind:     task.KindCompute,
+		Machine:  cs.w.machine.ID,
+		Queued:   m.queued,
+		Start:    m.start,
+		End:      cs.w.eng.Now(),
+		DeserSec: m.deser,
+		OpSec:    m.op,
+		SerSec:   m.ser,
+	}
+	cs.pump()
+	cs.w.finish(m, metric)
 }
 
 func newComputeScheduler(w *Worker) *computeScheduler {
@@ -44,22 +85,9 @@ func (cs *computeScheduler) pump() {
 		cs.QueueLen.Set(cs.w.eng.Now(), float64(cs.queue.len()))
 		m.start = cs.w.eng.Now()
 		cs.running++
-		cs.w.machine.CPU.Run(m.cpuSeconds(), func() {
-			cs.running--
-			metric := task.MonotaskMetric{
-				Resource: task.CPUResource,
-				Kind:     task.KindCompute,
-				Machine:  cs.w.machine.ID,
-				Queued:   m.queued,
-				Start:    m.start,
-				End:      cs.w.eng.Now(),
-				DeserSec: m.deser,
-				OpSec:    m.op,
-				SerSec:   m.ser,
-			}
-			cs.pump()
-			cs.w.finish(m, metric)
-		})
+		op := cs.takeOp()
+		op.m = m
+		cs.w.machine.CPU.Run(m.cpuSeconds(), op.fn)
 	}
 }
 
@@ -73,8 +101,57 @@ type diskScheduler struct {
 	queue   *rrQueue
 	running int
 	limit   int
+	ops     []*diskOp // free list of in-flight op records
 	// QueueLen tracks queued monotasks over time (§3.1).
 	QueueLen resource.Tracker
+}
+
+// diskOp carries one disk request — a monotask, or a batch of small reads
+// sharing a seek — through the drive. Pooled, with the batch slice's
+// capacity and the completion thunk reused across requests.
+type diskOp struct {
+	ds    *diskScheduler
+	batch []*monotask
+	fn    func() // op.done, bound once per struct
+}
+
+func (ds *diskScheduler) takeOp() *diskOp {
+	if n := len(ds.ops); n > 0 {
+		op := ds.ops[n-1]
+		ds.ops[n-1] = nil
+		ds.ops = ds.ops[:n-1]
+		return op
+	}
+	op := &diskOp{ds: ds}
+	op.fn = op.done
+	return op
+}
+
+func (op *diskOp) done() {
+	ds := op.ds
+	ds.running--
+	end := ds.w.eng.Now()
+	ds.pump()
+	for _, bm := range op.batch {
+		metric := task.MonotaskMetric{
+			Resource: task.DiskResource,
+			Kind:     bm.kind,
+			Machine:  ds.w.machine.ID,
+			Queued:   bm.queued,
+			Start:    bm.start,
+			End:      end,
+			Bytes:    bm.bytes,
+		}
+		if bm.onDone != nil {
+			bm.onDone()
+		}
+		ds.w.finish(bm, metric)
+	}
+	for i := range op.batch {
+		op.batch[i] = nil
+	}
+	op.batch = op.batch[:0]
+	ds.ops = append(ds.ops, op)
 }
 
 func newDiskScheduler(w *Worker, d *resource.Disk, ssdConcurrency int) *diskScheduler {
@@ -103,69 +180,50 @@ const batchLimit = 8
 func (ds *diskScheduler) pump() {
 	for ds.running < ds.limit && ds.queue.len() > 0 {
 		m := ds.queue.pop()
-		batch := ds.gatherBatch(m)
+		op := ds.takeOp()
+		ds.gatherBatch(op, m)
 		ds.QueueLen.Set(ds.w.eng.Now(), float64(ds.queue.len()))
 		now := ds.w.eng.Now()
 		var total int64
-		for _, bm := range batch {
+		for _, bm := range op.batch {
 			bm.start = now
 			total += bm.bytes
 		}
 		ds.running++
-		done := func() {
-			ds.running--
-			end := ds.w.eng.Now()
-			ds.pump()
-			for _, bm := range batch {
-				metric := task.MonotaskMetric{
-					Resource: task.DiskResource,
-					Kind:     bm.kind,
-					Machine:  ds.w.machine.ID,
-					Queued:   bm.queued,
-					Start:    bm.start,
-					End:      end,
-					Bytes:    bm.bytes,
-				}
-				if bm.onDone != nil {
-					bm.onDone()
-				}
-				ds.w.finish(bm, metric)
-			}
-		}
 		switch m.kind {
 		case task.KindShuffleWrite, task.KindOutputWrite:
-			ds.disk.Write(total, done)
+			ds.disk.Write(total, op.fn)
 		default:
-			ds.disk.Read(total, done)
+			ds.disk.Read(total, op.fn)
 		}
 	}
 }
 
-// gatherBatch returns m plus, when small-request batching is enabled and m
-// is a small read, up to batchLimit−1 further small queued reads of the same
-// kind — serviced as one request that pays one seek (footnote 1: "the disk
-// scheduler can optimize seek time by re-ordering monotasks").
-func (ds *diskScheduler) gatherBatch(m *monotask) []*monotask {
-	batch := []*monotask{m}
+// gatherBatch fills op.batch with m plus, when small-request batching is
+// enabled and m is a small read, up to batchLimit−1 further small queued
+// reads of the same kind — serviced as one request that pays one seek
+// (footnote 1: "the disk scheduler can optimize seek time by re-ordering
+// monotasks").
+func (ds *diskScheduler) gatherBatch(op *diskOp, m *monotask) {
+	op.batch = append(op.batch, m)
 	if !ds.w.opts.BatchSmallDiskRequests || m.bytes >= smallRequestBytes {
-		return batch
+		return
 	}
 	switch m.kind {
 	case task.KindShuffleWrite, task.KindOutputWrite:
-		return batch // reads only: writes already land where the head is
+		return // reads only: writes already land where the head is
 	}
-	for len(batch) < batchLimit && ds.queue.len() > 0 {
+	for len(op.batch) < batchLimit && ds.queue.len() > 0 {
 		next := ds.queue.peekSame(m.kind, smallRequestBytes)
 		if next == nil {
 			break
 		}
-		batch = append(batch, next)
+		op.batch = append(op.batch, next)
 	}
-	return batch
 }
 
 // netEntry tracks one multitask's network monotasks inside the network
-// scheduler.
+// scheduler. Pooled; the live entry is reachable via multitask.netEntry.
 type netEntry struct {
 	mt       *multitask
 	pending  []*monotask
@@ -182,24 +240,50 @@ type netEntry struct {
 // fetches.
 type networkScheduler struct {
 	w       *Worker
-	entries map[*multitask]*netEntry
 	fifo    []*netEntry
 	active  int
 	limit   int
+	entries []*netEntry // free list of admission records
+	ops     []*fetchOp  // free list of in-flight fetch records
 	// QueueLen tracks multitasks waiting for a network admission slot (§3.1).
 	QueueLen resource.Tracker
 }
 
 func newNetworkScheduler(w *Worker, limit int) *networkScheduler {
-	return &networkScheduler{w: w, entries: make(map[*multitask]*netEntry), limit: limit}
+	return &networkScheduler{w: w, limit: limit}
+}
+
+func (ns *networkScheduler) takeEntry(mt *multitask) *netEntry {
+	var e *netEntry
+	if n := len(ns.entries); n > 0 {
+		e = ns.entries[n-1]
+		ns.entries[n-1] = nil
+		ns.entries = ns.entries[:n-1]
+	} else {
+		e = &netEntry{}
+	}
+	e.mt = mt
+	e.queuedAt = ns.w.eng.Now()
+	return e
+}
+
+func (ns *networkScheduler) recycleEntry(e *netEntry) {
+	e.mt = nil
+	for i := range e.pending {
+		e.pending[i] = nil
+	}
+	e.pending = e.pending[:0]
+	e.inflight = 0
+	e.active = false
+	ns.entries = append(ns.entries, e)
 }
 
 func (ns *networkScheduler) submit(m *monotask) {
 	m.queued = ns.w.eng.Now()
-	e, ok := ns.entries[m.owner]
-	if !ok {
-		e = &netEntry{mt: m.owner, queuedAt: ns.w.eng.Now()}
-		ns.entries[m.owner] = e
+	e := m.owner.netEntry
+	if e == nil {
+		e = ns.takeEntry(m.owner)
+		m.owner.netEntry = e
 		ns.fifo = append(ns.fifo, e)
 	}
 	if e.active {
@@ -220,11 +304,39 @@ func (ns *networkScheduler) pump() {
 		e.active = true
 		ns.active++
 		pending := e.pending
-		e.pending = nil
-		for _, m := range pending {
+		for i, m := range pending {
 			ns.launch(e, m)
+			pending[i] = nil
 		}
+		e.pending = e.pending[:0]
 	}
+}
+
+// fetchOp carries one fetch through its grant → serve read → transfer →
+// completion sequence. The struct and its three thunks are pooled, so a
+// fetch costs no closure allocations.
+type fetchOp struct {
+	ns         *networkScheduler
+	e          *netEntry
+	m          *monotask
+	release    func()       // matcher grant release, nil without matcher
+	startFn    func(func()) // op.start, bound once per struct
+	transferFn func()       // op.transfer, bound once per struct
+	doneFn     func()       // op.done, bound once per struct
+}
+
+func (ns *networkScheduler) takeOp() *fetchOp {
+	if n := len(ns.ops); n > 0 {
+		op := ns.ops[n-1]
+		ns.ops[n-1] = nil
+		ns.ops = ns.ops[:n-1]
+		return op
+	}
+	op := &fetchOp{ns: ns}
+	op.startFn = op.start
+	op.transferFn = op.transfer
+	op.doneFn = op.done
+	return op
 }
 
 // launch issues one fetch: the serving machine reads the bytes (unless they
@@ -234,52 +346,63 @@ func (ns *networkScheduler) pump() {
 func (ns *networkScheduler) launch(e *netEntry, m *monotask) {
 	m.start = ns.w.eng.Now()
 	e.inflight++
-	transferDone := func() {
-		metric := task.MonotaskMetric{
-			Resource: task.NetworkResource,
-			Kind:     task.KindNetFetch,
-			Machine:  ns.w.machine.ID,
-			Queued:   m.queued,
-			Start:    m.start,
-			End:      ns.w.eng.Now(),
-			Bytes:    m.bytes,
-		}
-		e.inflight--
-		if e.inflight == 0 && len(e.pending) == 0 && e.active {
-			e.active = false
-			ns.active--
-			delete(ns.entries, e.mt)
-			ns.pump()
-		}
-		ns.w.finish(m, metric)
-	}
-	start := func(release func()) {
-		done := func() {
-			release()
-			transferDone()
-		}
-		transfer := func() {
-			ns.w.fabric.Transfer(m.fetch.From, ns.w.machine.ID, m.bytes, done)
-		}
-		if m.fetch.FromMem {
-			transfer()
-			return
-		}
-		remote := ns.w.peer(m.fetch.From)
-		kind := task.KindShuffleServeRead
-		diskIdx := remote.nextServeDisk()
-		if m.kind == task.KindNetFetch && m.owner.t.RemoteRead != nil && m.fetch == *m.owner.t.RemoteRead {
-			// Remote HDFS block read: the block's disk is known.
-			kind = task.KindInputRead
-			diskIdx = m.fetch.FromDisk
-		}
-		remote.serveRead(m.owner, diskIdx, m.bytes, kind, transfer)
-	}
+	op := ns.takeOp()
+	op.e, op.m = e, m
 	if ns.w.matcher != nil {
-		ns.w.matcher.request(m.fetch.From, ns.w.machine.ID, start)
+		ns.w.matcher.request(m.fetch.From, ns.w.machine.ID, op.startFn)
 		return
 	}
-	start(func() {})
+	op.start(nil)
+}
+
+func (op *fetchOp) start(release func()) {
+	op.release = release
+	ns, m := op.ns, op.m
+	if m.fetch.FromMem {
+		op.transfer()
+		return
+	}
+	remote := ns.w.peer(m.fetch.From)
+	kind := task.KindShuffleServeRead
+	diskIdx := remote.nextServeDisk()
+	if m.kind == task.KindNetFetch && m.owner.t.RemoteRead != nil && m.fetch == *m.owner.t.RemoteRead {
+		// Remote HDFS block read: the block's disk is known.
+		kind = task.KindInputRead
+		diskIdx = m.fetch.FromDisk
+	}
+	remote.serveRead(m.owner, diskIdx, m.bytes, kind, op.transferFn)
+}
+
+func (op *fetchOp) transfer() {
+	ns, m := op.ns, op.m
+	ns.w.fabric.Transfer(m.fetch.From, ns.w.machine.ID, m.bytes, op.doneFn)
+}
+
+func (op *fetchOp) done() {
+	ns, e, m := op.ns, op.e, op.m
+	if op.release != nil {
+		op.release()
+	}
+	op.e, op.m, op.release = nil, nil, nil
+	ns.ops = append(ns.ops, op)
+	metric := task.MonotaskMetric{
+		Resource: task.NetworkResource,
+		Kind:     task.KindNetFetch,
+		Machine:  ns.w.machine.ID,
+		Queued:   m.queued,
+		Start:    m.start,
+		End:      ns.w.eng.Now(),
+		Bytes:    m.bytes,
+	}
+	e.inflight--
+	if e.inflight == 0 && len(e.pending) == 0 && e.active {
+		e.active = false
+		ns.active--
+		e.mt.netEntry = nil
+		ns.recycleEntry(e)
+		ns.pump()
+	}
+	ns.w.finish(m, metric)
 }
 
 // queueLen reports multitasks waiting for a network admission slot.

@@ -73,13 +73,22 @@ type Worker struct {
 
 	writeCursor int
 	serveCursor int
+
+	// Control-plane cache: per-stage DAG templates plus free lists for the
+	// per-task structs, so repeated launches of the same stage shape stay
+	// off the allocator (see template.go).
+	templates    map[*task.StageSpec]*dagTemplate
+	monoPool     []*monotask
+	mtPool       []*multitask
+	readyScratch []*monotask
 }
 
 // NewWorker builds the runtime for one machine. Peers must be wired (via
 // Group or SetPeers) before any task with remote fetches is launched.
 func NewWorker(m *cluster.Machine, fabric *netsim.Fabric, eng *sim.Engine, opts Options) *Worker {
 	opts = opts.withDefaults()
-	w := &Worker{machine: m, eng: eng, fabric: fabric, opts: opts}
+	w := &Worker{machine: m, eng: eng, fabric: fabric, opts: opts,
+		templates: make(map[*task.StageSpec]*dagTemplate)}
 	w.compute = newComputeScheduler(w)
 	for _, d := range m.Disks {
 		w.disks = append(w.disks, newDiskScheduler(w, d, opts.SSDConcurrency))
@@ -133,18 +142,13 @@ func (w *Worker) Launch(t *task.Task, done func(*task.TaskMetrics)) {
 			return
 		}
 	}
-	mt := &multitask{
-		t:        t,
-		worker:   w,
-		done:     done,
-		bufBytes: bufferBytes(t),
-		metrics: &task.TaskMetrics{
-			StageID: t.Stage.ID,
-			Index:   t.Index,
-			Machine: t.Machine,
-			Start:   w.eng.Now(),
-		},
-	}
+	mt := w.newMultitask()
+	mt.t = t
+	mt.worker = w
+	mt.done = done
+	mt.bufBytes = bufferBytes(t)
+	mt.metrics = task.NewTaskMetrics(t.Stage.ID, t.Index, t.Machine, w.eng.Now(),
+		w.dagTemplateFor(t.Stage).metricsCap(t))
 	w.machine.MemAlloc(mt.bufBytes)
 	ready := w.decompose(mt)
 	if len(ready) == 0 {
@@ -206,15 +210,13 @@ func (w *Worker) serveRead(requester *multitask, diskIdx int, bytes int64, kind 
 	if diskIdx < 0 || diskIdx >= len(w.disks) {
 		panic(fmt.Sprintf("core: serve disk index %d out of range", diskIdx))
 	}
-	m := &monotask{
-		owner:    requester,
-		resource: task.DiskResource,
-		kind:     kind,
-		phase:    phaseServe,
-		bytes:    bytes,
-		diskIdx:  diskIdx,
-		onDone:   onRead,
-	}
+	m := w.newMonotask(requester)
+	m.resource = task.DiskResource
+	m.kind = kind
+	m.phase = phaseServe
+	m.bytes = bytes
+	m.diskIdx = diskIdx
+	m.onDone = onRead
 	requester.remaining++
 	w.disks[diskIdx].submit(m)
 }

@@ -2,6 +2,7 @@ package figures
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/jobsched"
 	"repro/internal/run"
 	"repro/internal/sweep"
 	"repro/internal/task"
@@ -107,6 +109,39 @@ func TestGoldenSerialVsParallel(t *testing.T) {
 	if !bytes.Equal(serial, parallel) {
 		t.Fatalf("parallel sweep output diverged from serial at:\n%s",
 			firstDiffLine(parallel, serial))
+	}
+}
+
+// TestGoldenTemplateCacheOnOff locks the execution-template cache's
+// equivalence contract: the golden corpus plus a two-seed chaos matrix
+// (fault injection, machine exclusion, retries — everything that could
+// perturb a cached plan) must hash byte-identically with the jobsched
+// template cache enabled and disabled. With the cache off, every submission
+// rebuilds its template from the spec, so any divergence means cached
+// control-plane state leaked between jobs.
+func TestGoldenTemplateCacheOnOff(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		buf.Write(goldenOutput(t))
+		cr, err := Chaos(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr.Fprint(&buf)
+		return buf.Bytes()
+	}
+	prev := jobsched.SetTemplateCache(true)
+	defer jobsched.SetTemplateCache(prev)
+	cacheOn := sha256.Sum256(render())
+	jobsched.SetTemplateCache(false)
+	cacheOff := sha256.Sum256(render())
+	if cacheOn != cacheOff {
+		jobsched.SetTemplateCache(true)
+		a := render()
+		jobsched.SetTemplateCache(false)
+		b := render()
+		t.Fatalf("template cache changed results (hash %x vs %x) at:\n%s",
+			cacheOn[:8], cacheOff[:8], firstDiffLine(a, b))
 	}
 }
 

@@ -49,6 +49,7 @@ type JobHandle struct {
 	err       error
 	seq       int // global submission order, the dispatch tie-breaker
 	pool      *poolState
+	tpl       *jobTemplate
 	admitted  bool
 	released  bool
 	// base offsets this job's stage IDs in the shared shuffle tracker so
@@ -94,7 +95,7 @@ type stageState struct {
 	// tracker needs the entry to plan fetches at all).
 	hasChildren bool
 
-	attempts  map[int][]*attempt
+	attempts  [][]*attempt // per task index; slices carved by instantiate
 	doneTasks []bool
 	durations []float64 // completed-attempt durations, for speculation
 	failures  []int     // failed attempts per task, against MaxTaskFailures
@@ -156,6 +157,19 @@ type Driver struct {
 	pools      []*poolState
 	poolByName map[string]*poolState
 	nextBase   int
+
+	// Execution-template cache and the hot-path slabs/pools/scratch it feeds
+	// (see template.go). All single-threaded, like the engine they serve.
+	templates      map[string]*jobTemplate
+	fpScratch      []byte
+	attemptSlab    []attempt
+	taskSlab       []task.Task
+	completionPool []*completionOp
+	timeoutPool    []*timeoutOp
+	parentScratch  []int
+	orderScratch   []*poolState
+	deficitScratch []float64
+	jobScratch     []*JobHandle
 }
 
 // New builds a driver over one executor per cluster machine, in machine
@@ -229,29 +243,8 @@ func (d *Driver) SubmitWith(spec *task.JobSpec, opts SubmitOptions) (*JobHandle,
 		base:      d.nextBase,
 	}
 	d.nextBase += len(spec.Stages)
-	for _, ss := range spec.Stages {
-		st := &stageState{
-			job:       h,
-			spec:      ss,
-			metrics:   &task.StageMetrics{Spec: ss},
-			waitingOn: len(ss.ParentIDs),
-			pending:   make([]int, 0, ss.NumTasks),
-			attempts:  make(map[int][]*attempt),
-			doneTasks: make([]bool, ss.NumTasks),
-			failures:  make([]int, ss.NumTasks),
-		}
-		st.metrics.Tasks = make([]*task.TaskMetrics, ss.NumTasks)
-		for i := 0; i < ss.NumTasks; i++ {
-			st.pending = append(st.pending, i)
-		}
-		h.stages = append(h.stages, st)
-		h.Metrics.Stages = append(h.Metrics.Stages, st.metrics)
-	}
-	for _, st := range h.stages {
-		for _, pid := range st.spec.ParentIDs {
-			h.stages[pid].hasChildren = true
-		}
-	}
+	h.tpl = d.templateFor(spec)
+	d.instantiate(h, h.tpl)
 	d.jobs = append(d.jobs, h)
 	pool.enqueue(h)
 	d.admitFrom(pool)
@@ -416,7 +409,7 @@ func (d *Driver) launchAttempt(st *stageState, ti, w int) bool {
 		d.abortJob(st.job, fmt.Errorf("jobsched: job %q: resolving task %d of stage %q: %w", st.job.Spec.Name, ti, st.spec.Name, err))
 		return false
 	}
-	att := &attempt{machine: w, start: d.cluster.Engine.Now()}
+	att := d.newAttempt(w, d.cluster.Engine.Now())
 	st.attempts[ti] = append(st.attempts[ti], att)
 	st.running++
 	if !st.started {
@@ -425,64 +418,65 @@ func (d *Driver) launchAttempt(st *stageState, ti, w int) bool {
 	}
 	d.free[w]--
 	d.inflight[w]++
-	d.execs[w].Launch(t, func(m *task.TaskMetrics) {
-		d.inflight[w]--
-		if att.retired {
-			// The machine failed, the fetch timed out, or the attempt's input
-			// was invalidated; accounting was already unwound. The executor
-			// slot the zombie held opens up now. Dead machines' slots stay
-			// zero until recovery.
-			if !d.dead[w] {
-				d.free[w]++
-			}
-			d.schedule()
-			return
-		}
-		att.retired = true
-		d.free[w]++
-		st.running--
-		if m.Failed {
-			d.handleAttemptFailure(st, ti, w, m.FailReason)
-			d.schedule()
-			return
-		}
-		if st.doneTasks[ti] {
-			// A competing speculative attempt already won.
-			d.schedule()
-			return
-		}
-		st.doneTasks[ti] = true
-		st.completed++
-		st.metrics.Tasks[ti] = m
-		st.durations = append(st.durations, float64(m.End-m.Start))
-		if st.spec.ShuffleOutBytes > 0 || st.hasChildren {
-			d.tracker.RegisterMapOutput(st.spec.ID+st.job.stageBase(), ti, w, st.spec.ShuffleOutBytes, st.spec.ShuffleInMemory)
-		}
-		if st.completed == st.spec.NumTasks && !st.finished {
-			d.finishStage(st)
-		}
-		d.schedule()
-	})
+	d.execs[w].Launch(t, d.takeCompletion(st, ti, w, att).fn)
 	if d.cfg.FetchRetryTimeout > 0 && (len(t.Fetches) > 0 || t.RemoteRead != nil) {
 		d.armFetchTimeout(st, ti, att, w)
 	}
 	return true
 }
 
+// onAttemptDone is the Launch completion callback (dispatched through a
+// pooled completionOp; see template.go).
+func (d *Driver) onAttemptDone(st *stageState, ti, w int, att *attempt, m *task.TaskMetrics) {
+	d.inflight[w]--
+	if att.retired {
+		// The machine failed, the fetch timed out, or the attempt's input
+		// was invalidated; accounting was already unwound. The executor
+		// slot the zombie held opens up now. Dead machines' slots stay
+		// zero until recovery.
+		if !d.dead[w] {
+			d.free[w]++
+		}
+		d.schedule()
+		return
+	}
+	att.retired = true
+	d.free[w]++
+	st.running--
+	if m.Failed {
+		d.handleAttemptFailure(st, ti, w, m.FailReason)
+		d.schedule()
+		return
+	}
+	if st.doneTasks[ti] {
+		// A competing speculative attempt already won.
+		d.schedule()
+		return
+	}
+	st.doneTasks[ti] = true
+	st.completed++
+	st.metrics.Tasks[ti] = m
+	st.durations = append(st.durations, float64(m.End-m.Start))
+	if st.spec.ShuffleOutBytes > 0 || st.hasChildren {
+		d.tracker.RegisterMapOutput(st.spec.ID+st.job.stageBase(), ti, w, st.spec.ShuffleOutBytes, st.spec.ShuffleInMemory)
+	}
+	if st.completed == st.spec.NumTasks && !st.finished {
+		d.finishStage(st)
+	}
+	d.schedule()
+}
+
 // stageBase namespaces stage IDs per job in the shared shuffle tracker.
 func (h *JobHandle) stageBase() int { return h.base }
 
-// finishStage marks st complete and unblocks its children.
+// finishStage marks st complete and unblocks its children (the template's
+// precomputed children list replaces the all-stages × all-parents scan).
 func (d *Driver) finishStage(st *stageState) {
 	st.finished = true
 	st.metrics.End = d.cluster.Engine.Now()
 	h := st.job
-	for _, child := range h.stages {
-		for _, pid := range child.spec.ParentIDs {
-			if pid == st.spec.ID {
-				child.waitingOn--
-			}
-		}
+	for _, cid := range h.tpl.children[st.spec.ID] {
+		h.stages[cid].waitingOn--
 	}
 	h.remaining--
 	if h.remaining == 0 {
@@ -505,8 +499,8 @@ func (d *Driver) abortJob(h *JobHandle, err error) {
 	h.Metrics.End = d.cluster.Engine.Now()
 	for _, st := range h.stages {
 		st.pending = st.pending[:0]
-		for _, atts := range st.attempts {
-			for _, a := range atts {
+		for ti := range st.attempts {
+			for _, a := range st.attempts[ti] {
 				if !a.retired {
 					a.retired = true
 					st.running--
@@ -518,10 +512,14 @@ func (d *Driver) abortJob(h *JobHandle, err error) {
 	d.schedule()
 }
 
-// resolve turns (stage, index) into a concrete Task for machine w.
+// resolve turns (stage, index) into a concrete Task for machine w. Task
+// structs come from the driver's slab (see template.go); the dynamic side —
+// placement, fetch plans — is always computed fresh here, which is why the
+// execution-template cache stays valid under failures and retries.
 func (d *Driver) resolve(st *stageState, ti, w int) (*task.Task, error) {
 	spec := st.spec
-	t := &task.Task{Stage: spec, Index: ti, Machine: w, DiskReadDisk: -1}
+	t := d.newTask()
+	*t = task.Task{Stage: spec, Index: ti, Machine: w, DiskReadDisk: -1}
 	switch {
 	case spec.InputBlocks != nil:
 		b := spec.InputBlocks[ti]
@@ -538,10 +536,11 @@ func (d *Driver) resolve(st *stageState, ti, w int) (*task.Task, error) {
 	case spec.InputFromMem:
 		t.MemReadBytes = spec.InputBytesPerTask
 	case spec.HasShuffleInput():
-		parents := make([]int, len(spec.ParentIDs))
-		for i, p := range spec.ParentIDs {
-			parents[i] = p + st.job.stageBase()
+		parents := d.parentScratch[:0]
+		for _, p := range spec.ParentIDs {
+			parents = append(parents, p+st.job.stageBase())
 		}
+		d.parentScratch = parents
 		fetches, err := d.tracker.FetchesFor(parents, ti, spec.NumTasks)
 		if err != nil {
 			return nil, err

@@ -49,6 +49,12 @@ type Config struct {
 	// (weight 1, fair-share, unlimited) unless declared here, so the zero
 	// Config behaves exactly like the single-tenant driver.
 	Pools []PoolConfig
+
+	// DisableControlPlaneCache turns off this driver's execution-template
+	// memoization (see template.go): every submission rebuilds its template
+	// from the spec. Results must be bit-identical either way — the knob
+	// exists so tests can prove that.
+	DisableControlPlaneCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -124,8 +130,8 @@ func (d *Driver) FailMachine(m int) error {
 // killAttemptsOn discards st's live attempts on machine m, re-queuing tasks
 // that have no surviving attempt.
 func (d *Driver) killAttemptsOn(st *stageState, m int) {
-	for ti, atts := range st.attempts {
-		for _, a := range atts {
+	for ti := range st.attempts {
+		for _, a := range st.attempts[ti] {
 			if a.machine != m || a.retired {
 				continue
 			}
@@ -143,14 +149,9 @@ func (d *Driver) killAttemptsOn(st *stageState, m int) {
 // output. A finished consumer already has its data; the lost files are then
 // irrelevant.
 func (d *Driver) childNeedsOutput(h *JobHandle, st *stageState) bool {
-	for _, child := range h.stages {
-		if child.finished {
-			continue
-		}
-		for _, pid := range child.spec.ParentIDs {
-			if pid == st.spec.ID {
-				return true
-			}
+	for _, cid := range h.tpl.children[st.spec.ID] {
+		if !h.stages[cid].finished {
+			return true
 		}
 	}
 	return false
@@ -185,24 +186,16 @@ func (d *Driver) reopenStage(h *JobHandle, st *stageState, lost []int) {
 	st.metrics.End = 0
 	h.remaining++
 	h.done = false
-	for _, child := range h.stages {
+	for _, cid := range h.tpl.children[st.spec.ID] {
+		child := h.stages[cid]
 		if child.finished {
-			continue
-		}
-		isChild := false
-		for _, pid := range child.spec.ParentIDs {
-			if pid == st.spec.ID {
-				isChild = true
-			}
-		}
-		if !isChild {
 			continue
 		}
 		// Block the child until the parent refills, and abandon its
 		// in-flight attempts: their fetch plans reference the lost files.
 		child.waitingOn++
-		for ti, atts := range child.attempts {
-			for _, a := range atts {
+		for ti := range child.attempts {
+			for _, a := range child.attempts[ti] {
 				if a.retired {
 					continue
 				}
@@ -253,7 +246,8 @@ func (d *Driver) speculableTask(st *stageState, w int, now sim.Time) (int, bool)
 	}
 	threshold := d.cfg.SpeculationMultiplier * metrics.Percentile(st.durations, 50)
 	bestIdx, bestAge := -1, 0.0
-	for ti, atts := range st.attempts {
+	for ti := range st.attempts {
+		atts := st.attempts[ti]
 		if st.doneTasks[ti] || len(atts) >= 2 {
 			continue // already done or already speculated
 		}

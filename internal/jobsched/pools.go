@@ -218,17 +218,28 @@ func (d *Driver) releaseJob(h *JobHandle) {
 
 // poolOrder returns pool indices sorted by fair-share deficit (running
 // tasks over weight), ties broken by declaration order — the cross-pool
-// arbitration for each free slot.
+// arbitration for each free slot. The common single-pool driver skips the
+// sort entirely; multi-pool drivers reuse scratch and a stable insertion
+// sort (pool counts are tiny), so the per-slot arbitration allocates
+// nothing.
 func (d *Driver) poolOrder() []*poolState {
-	order := make([]*poolState, len(d.pools))
-	copy(order, d.pools)
-	deficits := make([]float64, len(d.pools))
+	if len(d.pools) == 1 {
+		return d.pools
+	}
+	if d.deficitScratch == nil {
+		d.deficitScratch = make([]float64, len(d.pools))
+	}
+	deficits := d.deficitScratch
 	for _, p := range d.pools {
 		deficits[p.index] = p.deficit()
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		return deficits[order[i].index] < deficits[order[j].index]
-	})
+	order := append(d.orderScratch[:0], d.pools...)
+	d.orderScratch = order
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && deficits[order[j].index] < deficits[order[j-1].index]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
 	return order
 }
 
@@ -237,9 +248,16 @@ func (d *Driver) poolOrder() []*poolState {
 func (d *Driver) pickFromPool(p *poolState, w int) (*stageState, int, bool) {
 	switch p.cfg.Policy {
 	case FIFO:
-		// Strict dispatch order: drain the first job that has work.
-		jobs := append([]*JobHandle(nil), p.active...)
-		sort.SliceStable(jobs, func(i, j int) bool { return dispatchBefore(jobs[i], jobs[j]) })
+		// Strict dispatch order: drain the first job that has work. Stable
+		// insertion sort over driver scratch — active-job counts are small
+		// and this path runs once per free slot per pass.
+		jobs := append(d.jobScratch[:0], p.active...)
+		d.jobScratch = jobs
+		for i := 1; i < len(jobs); i++ {
+			for j := i; j > 0 && dispatchBefore(jobs[j], jobs[j-1]); j-- {
+				jobs[j], jobs[j-1] = jobs[j-1], jobs[j]
+			}
+		}
 		for _, h := range jobs {
 			if st, idx, ok := d.pickFromJob(h, w); ok {
 				return st, idx, true

@@ -2,7 +2,6 @@ package jobsched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/sim"
 )
@@ -68,12 +67,9 @@ func (d *Driver) FailRunningTasks(m, n int, reason string) int {
 			if killed >= n || h.finished() {
 				break
 			}
-			tis := make([]int, 0, len(st.attempts))
+			// attempts is indexed by task, so walking it IS the deterministic
+			// task order the old map-key sort produced.
 			for ti := range st.attempts {
-				tis = append(tis, ti)
-			}
-			sort.Ints(tis)
-			for _, ti := range tis {
 				if killed >= n || h.finished() {
 					break
 				}
@@ -160,16 +156,20 @@ func (d *Driver) readmitMachine(w int, until sim.Time) {
 // armFetchTimeout abandons att if it is still running when the configured
 // fetch timeout expires, charging a failure and retrying the task on
 // another machine. The abandoned attempt keeps its slot until the executor
-// finishes simulating it (zombie), like any other transient failure.
+// finishes simulating it (zombie), like any other transient failure. The
+// timer callback is a pooled timeoutOp (template.go), not a fresh closure.
 func (d *Driver) armFetchTimeout(st *stageState, ti int, att *attempt, w int) {
-	d.cluster.Engine.After(d.cfg.FetchRetryTimeout, func() {
-		if att.retired || st.doneTasks[ti] || st.job.finished() {
-			return
-		}
-		att.retired = true
-		st.running--
-		d.handleAttemptFailure(st, ti, w,
-			fmt.Sprintf("shuffle fetch did not complete within the %v s fetch timeout", d.cfg.FetchRetryTimeout))
-		d.schedule()
-	})
+	d.cluster.Engine.After(d.cfg.FetchRetryTimeout, d.takeTimeout(st, ti, w, att).fn)
+}
+
+// onFetchTimeout is the timer body.
+func (d *Driver) onFetchTimeout(st *stageState, ti, w int, att *attempt) {
+	if att.retired || st.doneTasks[ti] || st.job.finished() {
+		return
+	}
+	att.retired = true
+	st.running--
+	d.handleAttemptFailure(st, ti, w,
+		fmt.Sprintf("shuffle fetch did not complete within the %v s fetch timeout", d.cfg.FetchRetryTimeout))
+	d.schedule()
 }

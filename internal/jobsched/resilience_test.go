@@ -380,7 +380,7 @@ func TestSpeculableTaskEdgeCases(t *testing.T) {
 			completed: 3,
 			doneTasks: []bool{true, true, true, false},
 			durations: []float64{1, 1, 1},
-			attempts:  map[int][]*attempt{3: {{machine: 1, start: 0}}},
+			attempts:  [][]*attempt{nil, nil, nil, {{machine: 1, start: 0}}},
 			failures:  make([]int, 4),
 		}
 	}

@@ -1,0 +1,117 @@
+package jobsched
+
+import (
+	"testing"
+
+	"repro/internal/task"
+)
+
+func diamondSpec(name string, tasks int) *task.JobSpec {
+	return &task.JobSpec{Name: name, Stages: []*task.StageSpec{
+		{ID: 0, Name: "a", NumTasks: tasks, InputFromMem: true, InputBytesPerTask: 1 << 20, OpCPU: 0.001, ShuffleOutBytes: 1 << 20},
+		{ID: 1, Name: "b", NumTasks: tasks, ParentIDs: []int{0}, OpCPU: 0.001, ShuffleOutBytes: 1 << 20},
+		{ID: 2, Name: "c", NumTasks: tasks, ParentIDs: []int{0}, OpCPU: 0.001, ShuffleOutBytes: 1 << 20},
+		{ID: 3, Name: "d", NumTasks: tasks, ParentIDs: []int{1, 2}, OpCPU: 0.001},
+	}}
+}
+
+func TestBuildTemplateShape(t *testing.T) {
+	tpl := buildTemplate(diamondSpec("diamond", 3))
+	if tpl.numStages != 4 || tpl.totalTasks != 12 {
+		t.Fatalf("template shape = %d stages / %d tasks, want 4 / 12", tpl.numStages, tpl.totalTasks)
+	}
+	wantChildren := [][]int{{1, 2}, {3}, {3}, nil}
+	for i, want := range wantChildren {
+		got := tpl.children[i]
+		if len(got) != len(want) {
+			t.Fatalf("stage %d children = %v, want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("stage %d children = %v, want %v", i, got, want)
+			}
+		}
+	}
+	if w := tpl.waitingOn; w[0] != 0 || w[1] != 1 || w[2] != 1 || w[3] != 2 {
+		t.Fatalf("waitingOn = %v, want [0 1 1 2]", w)
+	}
+	if h := tpl.hasChildren; !h[0] || !h[1] || !h[2] || h[3] {
+		t.Fatalf("hasChildren = %v, want [true true true false]", h)
+	}
+}
+
+func TestTemplateCacheReuseAndBypass(t *testing.T) {
+	_, d := monoDriver(t, 2, Config{})
+	specA := diamondSpec("a", 3)
+	tplA := d.templateFor(specA)
+	if got := d.templateFor(diamondSpec("b", 3)); got != tplA {
+		t.Fatal("same-shaped spec did not hit the template cache")
+	}
+	if got := d.templateFor(diamondSpec("c", 5)); got == tplA {
+		t.Fatal("different task count reused a mismatched template")
+	}
+
+	// Per-driver disable: every lookup builds fresh.
+	_, off := monoDriver(t, 2, Config{DisableControlPlaneCache: true})
+	first := off.templateFor(specA)
+	if second := off.templateFor(specA); second == first {
+		t.Fatal("DisableControlPlaneCache still memoized templates")
+	}
+
+	// Package-level disable: same contract, flipped globally.
+	prev := SetTemplateCache(false)
+	defer SetTemplateCache(prev)
+	if got := d.templateFor(specA); got == tplA {
+		t.Fatal("SetTemplateCache(false) still served the cached template")
+	}
+}
+
+// TestTemplateCollisionGuard forces two differently-shaped specs onto one
+// cache key and checks the structural re-validation bypasses the stale hit.
+func TestTemplateCollisionGuard(t *testing.T) {
+	_, d := monoDriver(t, 2, Config{})
+	specA := diamondSpec("a", 3)
+	tplA := d.templateFor(specA)
+	// The real fingerprint includes parent edges, so two different shapes
+	// never share a key in practice; plant the stale template by hand to
+	// exercise the guard.
+	specB := diamondSpec("b", 3)
+	specB.Stages[3].ParentIDs = []int{1}
+	d.templates[string(d.fingerprint(specB))] = tplA
+	got := d.templateFor(specB)
+	if got == tplA {
+		t.Fatal("collision guard accepted a structurally mismatched template")
+	}
+	if got.waitingOn[3] != 1 {
+		t.Fatalf("fresh template waitingOn[3] = %d, want 1", got.waitingOn[3])
+	}
+}
+
+// TestInstantiateMatchesDirectBuild submits the same diamond through a
+// cached template and through a cache-disabled driver and compares every
+// piece of initial stage state.
+func TestInstantiateMatchesDirectBuild(t *testing.T) {
+	_, cached := monoDriver(t, 2, Config{})
+	_, direct := monoDriver(t, 2, Config{DisableControlPlaneCache: true})
+	ha, err := cached.Submit(diamondSpec("a", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := direct.Submit(diamondSpec("b", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ha.stages) != len(hb.stages) {
+		t.Fatalf("stage counts differ: %d vs %d", len(ha.stages), len(hb.stages))
+	}
+	for i := range ha.stages {
+		a, b := ha.stages[i], hb.stages[i]
+		if a.waitingOn != b.waitingOn || a.hasChildren != b.hasChildren {
+			t.Fatalf("stage %d state differs: waitingOn %d/%d hasChildren %v/%v",
+				i, a.waitingOn, b.waitingOn, a.hasChildren, b.hasChildren)
+		}
+		if len(a.attempts) != a.spec.NumTasks || len(b.attempts) != b.spec.NumTasks {
+			t.Fatalf("stage %d attempts sized %d/%d, want %d", i, len(a.attempts), len(b.attempts), a.spec.NumTasks)
+		}
+	}
+}

@@ -74,11 +74,12 @@ func (f *Flow) Rate() float64 { return f.rate }
 type Fabric struct {
 	eng        *sim.Engine
 	nics       []*NIC
-	flows      map[*Flow]struct{}
-	order      []*Flow // deterministic iteration order (insertion order)
+	order      []*Flow // active flows in deterministic (insertion) order
+	pool       []*Flow // retired Flow structs recycled by Transfer
 	nextSeq    uint64
 	lastUpdate sim.Time
 	completion sim.EventRef
+	completeFn func() // f.complete, bound once so rerates never allocate
 
 	// Scratch state reused across rerate calls so the hot path stays off the
 	// allocator. Links are numbered 0..2n-1: machine i's egress link is i, its
@@ -109,7 +110,8 @@ func NewFabricBW(eng *sim.Engine, linkBWs []float64) *Fabric {
 	if len(linkBWs) == 0 {
 		panic("netsim: fabric needs machines")
 	}
-	f := &Fabric{eng: eng, flows: make(map[*Flow]struct{})}
+	f := &Fabric{eng: eng}
+	f.completeFn = f.complete
 	for i, bw := range linkBWs {
 		if bw <= 0 {
 			panic("netsim: fabric needs positive bandwidth")
@@ -137,14 +139,27 @@ func (f *Fabric) Transfer(src, dst int, bytes int64, done func()) *Flow {
 		panic("netsim: transfer endpoint out of range")
 	}
 	f.nextSeq++
-	fl := &Flow{src: src, dst: dst, remaining: float64(bytes), total: float64(bytes), done: done, seq: f.nextSeq}
 	if src == dst || bytes <= 0 {
+		// Degenerate transfers never enter the fabric, so the caller-held
+		// struct is never recycled (a pool slot would alias a future flow).
 		f.eng.After(0, done)
-		return fl
+		return &Flow{src: src, dst: dst, remaining: float64(bytes), total: float64(bytes), done: done, seq: f.nextSeq}
 	}
+	var fl *Flow
+	if n := len(f.pool); n > 0 {
+		fl = f.pool[n-1]
+		f.pool[n-1] = nil
+		f.pool = f.pool[:n-1]
+		*fl = Flow{}
+	} else {
+		fl = &Flow{}
+	}
+	fl.src, fl.dst = src, dst
+	fl.remaining, fl.total = float64(bytes), float64(bytes)
+	fl.done = done
+	fl.seq = f.nextSeq
 	f.advance()
 	fl.active = true
-	f.flows[fl] = struct{}{}
 	f.order = append(f.order, fl)
 	now := f.eng.Now()
 	srcNIC, dstNIC := f.nics[fl.src], f.nics[fl.dst]
@@ -186,7 +201,6 @@ func (f *Fabric) Cancel(fl *Flow) {
 	}
 	f.advance()
 	fl.active = false
-	delete(f.flows, fl)
 	f.compactOrder()
 	f.beginRerate()
 	f.touchFlow(fl)
@@ -194,7 +208,7 @@ func (f *Fabric) Cancel(fl *Flow) {
 }
 
 // ActiveFlows reports the number of in-flight flows.
-func (f *Fabric) ActiveFlows() int { return len(f.flows) }
+func (f *Fabric) ActiveFlows() int { return len(f.order) }
 
 // advance drains each flow by rate·dt.
 func (f *Fabric) advance() {
@@ -365,7 +379,7 @@ func (f *Fabric) rerateTouched() {
 		}
 	}
 	if soonest < sim.Time(math.MaxFloat64) {
-		f.completion = f.eng.After(soonest, f.complete)
+		f.completion = f.eng.After(soonest, f.completeFn)
 	}
 }
 
@@ -378,7 +392,6 @@ func (f *Fabric) complete() {
 		if fl.remaining == 0 {
 			finished = append(finished, fl)
 			fl.active = false
-			delete(f.flows, fl)
 		}
 	}
 	if len(finished) == 0 && len(f.order) > 0 {
@@ -394,7 +407,6 @@ func (f *Fabric) complete() {
 		}
 		min.remaining = 0
 		min.active = false
-		delete(f.flows, min)
 		finished = append(finished, min)
 	}
 	f.compactOrder()
@@ -406,7 +418,11 @@ func (f *Fabric) complete() {
 	for _, fl := range finished {
 		fl.done()
 	}
-	for i := range finished {
+	// Recycle after the callbacks: completed flows are no longer reachable
+	// from f.order, and production code never cancels a finished flow.
+	for i, fl := range finished {
+		fl.done = nil
+		f.pool = append(f.pool, fl)
 		finished[i] = nil
 	}
 	f.finished = finished[:0]

@@ -20,9 +20,13 @@ import (
 	"repro/internal/sim"
 )
 
+// Cache keys are stage IDs for shuffle output plus outputKey for job
+// output; integer keys keep the hot write/read paths off fmt.Sprintf.
+const outputKey = -1
+
 // cacheEntry tracks one logical file's residency in the buffer cache.
 type cacheEntry struct {
-	key      string
+	key      int
 	resident int64 // bytes currently in cache (after eviction)
 	written  int64 // bytes ever written under this key
 }
@@ -38,8 +42,8 @@ type bufferCache struct {
 	flushDelay sim.Duration // age at which clean-behind writeback starts
 	flushChunk int64
 
-	entries map[string]*cacheEntry
-	lru     []string
+	entries map[int]*cacheEntry
+	lru     []int
 	total   int64
 
 	dirty      int64 // written, not yet queued for flush
@@ -53,6 +57,69 @@ type bufferCache struct {
 	// Fig. 2's "all eight tasks block waiting on the two disks" moments.
 	hardLimit int64
 	waiters   []func()
+
+	expirePool []*expireOp
+	flushPool  []*flushOp
+}
+
+// expireOp is a pooled clean-behind timer: write schedules one per write,
+// so the thunk handed to the engine must not be a fresh closure each time.
+type expireOp struct {
+	c     *bufferCache
+	bytes int64
+	fn    func() // op.run, bound once per struct
+}
+
+func (c *bufferCache) takeExpire(bytes int64) *expireOp {
+	var op *expireOp
+	if n := len(c.expirePool); n > 0 {
+		op = c.expirePool[n-1]
+		c.expirePool[n-1] = nil
+		c.expirePool = c.expirePool[:n-1]
+	} else {
+		op = &expireOp{c: c}
+		op.fn = op.run
+	}
+	op.bytes = bytes
+	return op
+}
+
+func (op *expireOp) run() {
+	c, bytes := op.c, op.bytes
+	c.expirePool = append(c.expirePool, op)
+	c.expire(bytes)
+}
+
+// flushOp is one pooled background write: disk index and chunk size carried
+// through the device callback.
+type flushOp struct {
+	c     *bufferCache
+	d     int
+	chunk int64
+	fn    func() // op.run, bound once per struct
+}
+
+func (c *bufferCache) takeFlush(d int, chunk int64) *flushOp {
+	var op *flushOp
+	if n := len(c.flushPool); n > 0 {
+		op = c.flushPool[n-1]
+		c.flushPool[n-1] = nil
+		c.flushPool = c.flushPool[:n-1]
+	} else {
+		op = &flushOp{c: c}
+		op.fn = op.run
+	}
+	op.d, op.chunk = d, chunk
+	return op
+}
+
+func (op *flushOp) run() {
+	c, d, chunk := op.c, op.d, op.chunk
+	c.flushPool = append(c.flushPool, op)
+	c.flushing[d] = false
+	c.inFlight -= chunk
+	c.pumpFlush()
+	c.releaseWaiters()
 }
 
 func newBufferCache(w *Worker, capacity, dirtyLimit int64, flushDelay sim.Duration) *bufferCache {
@@ -62,7 +129,7 @@ func newBufferCache(w *Worker, capacity, dirtyLimit int64, flushDelay sim.Durati
 		dirtyLimit: dirtyLimit,
 		flushDelay: flushDelay,
 		flushChunk: 32 << 20,
-		entries:    make(map[string]*cacheEntry),
+		entries:    make(map[int]*cacheEntry),
 		flushing:   make([]bool, len(w.machine.Disks)),
 		hardLimit:  2 * dirtyLimit,
 	}
@@ -71,7 +138,7 @@ func newBufferCache(w *Worker, capacity, dirtyLimit int64, flushDelay sim.Durati
 // write completes a buffered write: the bytes are resident (and dirty)
 // immediately. Flushing is triggered by age (flushDelay) or by pressure
 // (dirtyLimit), like the kernel's dirty_expire / dirty_ratio pair.
-func (c *bufferCache) write(key string, bytes int64) {
+func (c *bufferCache) write(key int, bytes int64) {
 	e := c.entries[key]
 	if e == nil {
 		e = &cacheEntry{key: key}
@@ -95,7 +162,7 @@ func (c *bufferCache) write(key string, bytes int64) {
 		c.pumpFlush()
 	}
 	if c.flushDelay >= 0 {
-		c.w.eng.After(c.flushDelay, func() { c.expire(bytes) })
+		c.w.eng.After(c.flushDelay, c.takeExpire(bytes).fn)
 	}
 }
 
@@ -125,14 +192,8 @@ func (c *bufferCache) pumpFlush() {
 		}
 		c.flushQueue -= chunk
 		c.inFlight += chunk
-		d := d
 		c.flushing[d] = true
-		c.w.machine.Disks[d].WriteStream(chunk, func() {
-			c.flushing[d] = false
-			c.inFlight -= chunk
-			c.pumpFlush()
-			c.releaseWaiters()
-		})
+		c.w.machine.Disks[d].WriteStream(chunk, c.takeFlush(d, chunk).fn)
 	}
 }
 
@@ -167,7 +228,7 @@ func (c *bufferCache) releaseWaiters() {
 // data is read once per reducer, so the kernel's use-once heuristics let
 // streaming writes push it out — which is why large on-disk shuffles end up
 // reading from disk mid-stage.
-func (c *bufferCache) readHitFraction(key string) float64 {
+func (c *bufferCache) readHitFraction(key int) float64 {
 	e := c.entries[key]
 	if e == nil || e.written == 0 {
 		return 0
@@ -195,7 +256,7 @@ func (c *bufferCache) evict() {
 }
 
 // ensureInLRU appends key if it is not present.
-func (c *bufferCache) ensureInLRU(key string) {
+func (c *bufferCache) ensureInLRU(key int) {
 	for _, k := range c.lru {
 		if k == key {
 			return

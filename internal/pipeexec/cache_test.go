@@ -20,36 +20,36 @@ func newTestCache(t *testing.T, capacity, dirtyLimit int64) (*cluster.Cluster, *
 
 func TestCacheHitFraction(t *testing.T) {
 	_, bc := newTestCache(t, 1000, 500)
-	if got := bc.readHitFraction("missing"); got != 0 {
+	if got := bc.readHitFraction(99); got != 0 {
 		t.Fatalf("miss fraction = %v, want 0", got)
 	}
-	bc.write("f", 400)
-	if got := bc.readHitFraction("f"); got != 1 {
+	bc.write(1, 400)
+	if got := bc.readHitFraction(1); got != 1 {
 		t.Fatalf("fully resident fraction = %v, want 1", got)
 	}
 }
 
 func TestCacheEvictionLRU(t *testing.T) {
 	_, bc := newTestCache(t, 1000, 10000)
-	bc.write("old", 600)
-	bc.write("new", 600) // total 1200 > 1000: evict 200 from "old"
-	if got := bc.readHitFraction("old"); got != 400.0/600.0 {
+	bc.write(1, 600)
+	bc.write(2, 600) // total 1200 > 1000: evict 200 from 1
+	if got := bc.readHitFraction(1); got != 400.0/600.0 {
 		t.Fatalf("old fraction = %v, want 2/3", got)
 	}
-	if got := bc.readHitFraction("new"); got != 1 {
+	if got := bc.readHitFraction(2); got != 1 {
 		t.Fatalf("new fraction = %v, want 1 (MRU untouched)", got)
 	}
 }
 
 func TestCacheFullyEvictedKeyCanReenter(t *testing.T) {
 	_, bc := newTestCache(t, 1000, 100000)
-	bc.write("a", 1000)
-	bc.write("b", 1000) // evicts all of a
-	if got := bc.readHitFraction("a"); got != 0 {
+	bc.write(1, 1000)
+	bc.write(2, 1000) // evicts all of a
+	if got := bc.readHitFraction(1); got != 0 {
 		t.Fatalf("evicted fraction = %v, want 0", got)
 	}
-	bc.write("a", 500) // must rejoin the LRU list
-	bc.write("c", 1000)
+	bc.write(1, 500) // must rejoin the LRU list
+	bc.write(3, 1000)
 	// c's write must be able to evict a again; total stays ≤ capacity.
 	if bc.total > 1000 {
 		t.Fatalf("cache total %d exceeds capacity after re-entry", bc.total)
@@ -58,7 +58,7 @@ func TestCacheFullyEvictedKeyCanReenter(t *testing.T) {
 
 func TestCachePressureFlushHitsDisk(t *testing.T) {
 	c, bc := newTestCache(t, 10000, 500)
-	bc.write("f", 2000) // 1500 over the dirty limit queue for flush
+	bc.write(1, 2000) // 1500 over the dirty limit queue for flush
 	c.Engine.RunUntil(5)
 	disk := c.Machines[0].Disks
 	if disk[0].BytesWritten()+disk[1].BytesWritten() != 1500 {
@@ -72,8 +72,8 @@ func TestCachePressureFlushHitsDisk(t *testing.T) {
 
 func TestCacheAgeFlushDrainsEverything(t *testing.T) {
 	c, bc := newTestCache(t, 10000, 5000)
-	bc.write("f", 2000) // under the pressure limit
-	c.Engine.Run()      // 30 s expiry fires
+	bc.write(1, 2000) // under the pressure limit
+	c.Engine.Run()    // 30 s expiry fires
 	if bc.dirtyBytes() != 0 {
 		t.Fatalf("dirty = %d after expiry, want 0", bc.dirtyBytes())
 	}
@@ -82,7 +82,7 @@ func TestCacheAgeFlushDrainsEverything(t *testing.T) {
 func TestCacheThrottleAndRelease(t *testing.T) {
 	c, bc := newTestCache(t, 100000, 500) // hard limit 1000
 	released := 0
-	bc.write("f", 5000)
+	bc.write(1, 5000)
 	if !bc.throttled() {
 		t.Fatal("cache not throttled despite 5000 unflushed > 1000 hard limit")
 	}
@@ -106,7 +106,7 @@ func TestCacheThrottleAndRelease(t *testing.T) {
 
 func TestCacheFlushOneWritePerDisk(t *testing.T) {
 	c, bc := newTestCache(t, 100000, 100)
-	bc.write("f", 200e6) // huge flush queue
+	bc.write(1, 200e6) // huge flush queue
 	// Immediately after the write, at most one in-flight write per disk.
 	if q := c.Machines[0].Disks[0].Queue() + c.Machines[0].Disks[1].Queue(); q > 2 {
 		t.Fatalf("%d concurrent flush writes, want ≤ 2 (one per disk)", q)
@@ -119,7 +119,7 @@ func TestCacheFlushOneWritePerDisk(t *testing.T) {
 
 func TestCacheZeroByteWriteHarmless(t *testing.T) {
 	c, bc := newTestCache(t, 1000, 500)
-	bc.write("f", 0)
+	bc.write(1, 0)
 	c.Engine.Run()
 	if bc.dirtyBytes() != 0 || bc.total != 0 {
 		t.Fatalf("zero write left state: dirty=%d total=%d", bc.dirtyBytes(), bc.total)

@@ -8,7 +8,7 @@ import (
 
 func TestPartialCacheFetchCompletes(t *testing.T) {
 	c, g := newTestGroup(t, 2, 2, 2, Options{CacheCapacity: 10e6, DirtyLimit: 3e6})
-	g.Workers[1].cache.write(shuffleKey(0), 30e6) // resident capped at 10 MB
+	g.Workers[1].cache.write(0, 30e6) // resident capped at 10 MB
 	reduce := &task.StageSpec{ID: 1, Name: "red", NumTasks: 1, ParentIDs: []int{0}, OpCPU: 0.1, OutputBytes: 30e6}
 	tk := &task.Task{
 		Stage: reduce, Index: 0, Machine: 0,

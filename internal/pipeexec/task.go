@@ -26,6 +26,10 @@ type chunk struct {
 // them (or synchronously to disk under WriteThrough). This is the Fig. 1
 // execution: the task's bottleneck hops between resources as the pipeline
 // stages drain and fill.
+//
+// Structs are pooled per worker; the pipeline-step callbacks handed to the
+// devices are bound once per struct lifetime, so a task's chunk churn costs
+// no closure allocations.
 type runningTask struct {
 	w       *Worker
 	t       *task.Task
@@ -47,6 +51,60 @@ type runningTask struct {
 	bytesComputed                 int64
 	cpuCharged                    float64
 	shuffleWritten, outputWritten int64
+
+	// pendingDone holds the completion callback between maybeFinish and the
+	// deferred complete.
+	pendingDone func(*task.TaskMetrics)
+
+	// Callbacks bound once per struct (see newRunningTask).
+	onMemReadFn   func()
+	onDiskReadFn  func()
+	onNetReadFn   func()
+	computeDoneFn func()
+	resumeFn      func()
+	completeFn    func()
+}
+
+// newRunningTask takes a struct from the worker's free list (binding its
+// callback set on first construction) and resets the per-task state.
+func (w *Worker) newRunningTask() *runningTask {
+	var rt *runningTask
+	if n := len(w.rtPool); n > 0 {
+		rt = w.rtPool[n-1]
+		w.rtPool[n-1] = nil
+		w.rtPool = w.rtPool[:n-1]
+	} else {
+		rt = &runningTask{}
+		rt.onMemReadFn = func() { rt.onRead() }
+		rt.onDiskReadFn = func() { rt.diskInFlight--; rt.onRead() }
+		rt.onNetReadFn = func() { rt.netInFlight--; rt.onRead() }
+		rt.computeDoneFn = func() {
+			rt.computing = false
+			rt.computeDone++
+			rt.writeChunk()
+		}
+		rt.resumeFn = func() {
+			rt.writing = false
+			rt.tryCompute()
+			rt.maybeFinish()
+		}
+		rt.completeFn = rt.complete
+	}
+	rt.w = w
+	rt.chunks = rt.chunks[:0]
+	rt.totalInput = 0
+	rt.nextRead = 0
+	rt.diskInFlight = 0
+	rt.netInFlight = 0
+	rt.readDone = 0
+	rt.computeDone = 0
+	rt.computing = false
+	rt.writing = false
+	rt.bytesComputed = 0
+	rt.cpuCharged = 0
+	rt.shuffleWritten = 0
+	rt.outputWritten = 0
+	return rt
 }
 
 func (rt *runningTask) start() {
@@ -55,63 +113,69 @@ func (rt *runningTask) start() {
 	rt.tryCompute() // mem-only input can begin immediately
 }
 
+// appendChunks splits total bytes into ChunkBytes-sized copies of proto.
+func appendChunks(chunks []chunk, total, cb int64, proto chunk) []chunk {
+	for total > 0 {
+		b := cb
+		if total < b {
+			b = total
+		}
+		total -= b
+		proto.bytes = b
+		chunks = append(chunks, proto)
+	}
+	return chunks
+}
+
 // buildChunks flattens the task's input sources into pipeline chunks.
 func (rt *runningTask) buildChunks() {
 	cb := rt.w.opts.ChunkBytes
-	addChunks := func(total int64, mk func(bytes int64) chunk) {
-		for total > 0 {
-			b := cb
-			if total < b {
-				b = total
-			}
-			total -= b
-			rt.chunks = append(rt.chunks, mk(b))
-		}
-	}
 	t := rt.t
+	chunks := rt.chunks[:0]
 	if t.MemReadBytes > 0 {
-		addChunks(t.MemReadBytes, func(b int64) chunk { return chunk{kind: chunkMem, bytes: b} })
+		chunks = appendChunks(chunks, t.MemReadBytes, cb, chunk{kind: chunkMem})
 	}
 	if t.DiskReadBytes > 0 {
-		addChunks(t.DiskReadBytes, func(b int64) chunk {
-			return chunk{kind: chunkLocalDisk, bytes: b, disk: t.DiskReadDisk}
-		})
+		chunks = appendChunks(chunks, t.DiskReadBytes, cb, chunk{kind: chunkLocalDisk, disk: t.DiskReadDisk})
 	}
 	if t.RemoteRead != nil {
-		addChunks(t.RemoteRead.Bytes, func(b int64) chunk {
-			return chunk{kind: chunkRemoteBlock, bytes: b, fetch: *t.RemoteRead}
-		})
+		chunks = appendChunks(chunks, t.RemoteRead.Bytes, cb, chunk{kind: chunkRemoteBlock, fetch: *t.RemoteRead})
 	}
 	if len(t.Fetches) > 0 {
 		// Build each source's chunk queue, then interleave them round-robin
 		// starting at a per-task offset. Spark randomizes remote block
 		// order precisely so that concurrent reducers do not all hammer the
 		// same map host in lockstep; deterministic striping gives the same
-		// load spreading without randomness.
-		queues := make([][]chunk, len(t.Fetches))
+		// load spreading without randomness. Queues and their head cursors
+		// are worker-owned scratch.
+		w := rt.w
+		queues := w.fetchQueues
+		if cap(queues) < len(t.Fetches) {
+			queues = make([][]chunk, len(t.Fetches))
+		} else {
+			queues = queues[:len(t.Fetches)]
+		}
+		heads := w.fetchHeads
+		if cap(heads) < len(queues) {
+			heads = make([]int, len(queues))
+		} else {
+			heads = heads[:len(queues)]
+		}
 		for i, f := range t.Fetches {
-			f := f
 			kind := chunkShuffleFetch
 			if f.From == t.Machine && f.FromMem {
 				kind = chunkMem // local in-memory shuffle data
 			}
-			rem := f.Bytes
-			for rem > 0 {
-				b := cb
-				if rem < b {
-					b = rem
-				}
-				rem -= b
-				queues[i] = append(queues[i], chunk{kind: kind, bytes: b, fetch: f})
-			}
+			queues[i] = appendChunks(queues[i][:0], f.Bytes, cb, chunk{kind: kind, fetch: f})
+			heads[i] = 0
 		}
 		for next := t.Index % max(1, len(queues)); ; next = (next + 1) % len(queues) {
 			empty := true
 			for off := 0; off < len(queues); off++ {
 				q := (next + off) % len(queues)
-				if len(queues[q]) > 0 {
-					rt.chunks = append(rt.chunks, queues[q][0])
-					queues[q] = queues[q][1:]
+				if heads[q] < len(queues[q]) {
+					chunks = append(chunks, queues[q][heads[q]])
+					heads[q]++
 					next = q
 					empty = false
 					break
@@ -121,14 +185,24 @@ func (rt *runningTask) buildChunks() {
 				break
 			}
 		}
+		w.fetchQueues = queues
+		w.fetchHeads = heads
 	}
-	if len(rt.chunks) == 0 {
+	if len(chunks) == 0 {
 		// Generator stages (no input): a single all-compute chunk.
-		rt.chunks = []chunk{{kind: chunkMem, bytes: 1}}
+		chunks = append(chunks, chunk{kind: chunkMem, bytes: 1})
 	}
-	for _, c := range rt.chunks {
+	rt.chunks = chunks
+	for _, c := range chunks {
 		rt.totalInput += c.bytes
 	}
+}
+
+// onRead is the shared tail of every chunk-read completion.
+func (rt *runningTask) onRead() {
+	rt.readDone++
+	rt.tryCompute()
+	rt.issueReads()
 }
 
 // issueReads keeps chunk reads in flight, in order: one outstanding local
@@ -146,20 +220,16 @@ func (rt *runningTask) issueReads() {
 			return
 		}
 		rt.nextRead++
-		if isNet {
+		var onRead func()
+		switch {
+		case isNet:
 			rt.netInFlight++
-		} else if c.kind == chunkLocalDisk {
+			onRead = rt.onNetReadFn
+		case c.kind == chunkLocalDisk:
 			rt.diskInFlight++
-		}
-		onRead := func() {
-			if isNet {
-				rt.netInFlight--
-			} else if c.kind == chunkLocalDisk {
-				rt.diskInFlight--
-			}
-			rt.readDone++
-			rt.tryCompute()
-			rt.issueReads()
+			onRead = rt.onDiskReadFn
+		default:
+			onRead = rt.onMemReadFn
 		}
 		switch c.kind {
 		case chunkMem:
@@ -181,7 +251,7 @@ func (rt *runningTask) issueReads() {
 
 // localShuffleRead reads a local shuffle chunk: cache hits are free.
 func (rt *runningTask) localShuffleRead(c chunk, onRead func()) {
-	hit := rt.w.cache.readHitFraction(shuffleKey(c.fetch.Stage))
+	hit := rt.w.cache.readHitFraction(c.fetch.Stage)
 	diskBytes := c.bytes - int64(float64(c.bytes)*hit)
 	if diskBytes <= 0 {
 		rt.w.eng.After(0, onRead)
@@ -198,13 +268,8 @@ func (rt *runningTask) tryCompute() {
 		return
 	}
 	rt.computing = true
-	c := rt.chunks[rt.computeDone]
-	cpu := rt.cpuShare(c.bytes)
-	rt.w.machine.CPU.Run(cpu, func() {
-		rt.computing = false
-		rt.computeDone++
-		rt.writeChunk(c)
-	})
+	cpu := rt.cpuShare(rt.chunks[rt.computeDone].bytes)
+	rt.w.machine.CPU.Run(cpu, rt.computeDoneFn)
 }
 
 // cpuShare charges the chunk's proportional share of the task's CPU time,
@@ -218,9 +283,9 @@ func (rt *runningTask) cpuShare(bytes int64) float64 {
 	return share
 }
 
-// writeChunk emits the chunk's proportional share of shuffle and output
-// bytes, then lets the pipeline continue.
-func (rt *runningTask) writeChunk(c chunk) {
+// writeChunk emits the just-computed chunk's proportional share of shuffle
+// and output bytes, then lets the pipeline continue.
+func (rt *runningTask) writeChunk() {
 	st := rt.t.Stage
 	frac := float64(rt.bytesComputed) / float64(rt.totalInput)
 	shuffleTarget := int64(float64(st.ShuffleOutBytes) * frac)
@@ -237,7 +302,7 @@ func (rt *runningTask) writeChunk(c chunk) {
 		if rt.w.opts.WriteThrough {
 			toDisk += shuffleBytes
 		} else {
-			rt.w.cache.write(shuffleKey(st.ID), shuffleBytes)
+			rt.w.cache.write(st.ID, shuffleBytes)
 			toCache += shuffleBytes
 		}
 	}
@@ -245,25 +310,20 @@ func (rt *runningTask) writeChunk(c chunk) {
 		if rt.w.opts.WriteThrough {
 			toDisk += outputBytes
 		} else {
-			rt.w.cache.write("output", outputBytes)
+			rt.w.cache.write(outputKey, outputBytes)
 			toCache += outputBytes
 		}
-	}
-	resume := func() {
-		rt.writing = false
-		rt.tryCompute()
-		rt.maybeFinish()
 	}
 	switch {
 	case toDisk > 0:
 		rt.writing = true
-		rt.w.machine.Disks[rt.w.nextWriteDisk()].WriteStream(toDisk, resume)
+		rt.w.machine.Disks[rt.w.nextWriteDisk()].WriteStream(toDisk, rt.resumeFn)
 	case toCache > 0 && rt.w.cache.throttled():
 		// Dirty data beyond the kernel's hard limit: the writing thread is
 		// throttled until writeback catches up — the OS, not the framework,
 		// decides when the task runs again (§2.2).
 		rt.writing = true
-		rt.w.cache.waitWritable(resume)
+		rt.w.cache.waitWritable(rt.resumeFn)
 	}
 	rt.tryCompute()
 	rt.maybeFinish()
@@ -275,11 +335,23 @@ func (rt *runningTask) maybeFinish() {
 	if rt.computeDone < len(rt.chunks) || rt.writing || rt.computing {
 		return
 	}
-	rt.metrics.End = rt.w.eng.Now()
-	done := rt.done
-	rt.done = nil
-	if done != nil {
-		metrics := rt.metrics
-		rt.w.eng.After(0, func() { done(metrics) })
+	if rt.done == nil {
+		return // completion already scheduled
 	}
+	rt.metrics.End = rt.w.eng.Now()
+	rt.pendingDone = rt.done
+	rt.done = nil
+	rt.w.eng.After(0, rt.completeFn)
+}
+
+// complete delivers the metrics and recycles the struct. Fields are
+// extracted and the struct pooled before the callback runs, so a follow-on
+// Launch inside the callback may immediately reuse it.
+func (rt *runningTask) complete() {
+	w, done, metrics := rt.w, rt.pendingDone, rt.metrics
+	rt.pendingDone = nil
+	rt.metrics = nil
+	rt.t = nil
+	w.rtPool = append(w.rtPool, rt)
+	done(metrics)
 }

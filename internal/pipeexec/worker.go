@@ -77,6 +77,45 @@ type Worker struct {
 
 	serveCursor int
 	writeCursor int
+
+	// Free lists and scratch for the chunk pipeline (see task.go): pooled
+	// runningTask structs, fetch-interleave queues, and serve-side
+	// read-then-transfer continuations.
+	rtPool      []*runningTask
+	fetchQueues [][]chunk
+	fetchHeads  []int
+	xferPool    []*xferOp
+}
+
+// xferOp is a pooled read-then-transfer continuation for the serving side
+// of a fetch: the disk read completes, then the fabric transfer starts.
+type xferOp struct {
+	w     *Worker
+	to    int
+	bytes int64
+	done  func()
+	fn    func() // op.run, bound once per struct
+}
+
+func (w *Worker) takeXfer(to int, bytes int64, done func()) *xferOp {
+	var op *xferOp
+	if n := len(w.xferPool); n > 0 {
+		op = w.xferPool[n-1]
+		w.xferPool[n-1] = nil
+		w.xferPool = w.xferPool[:n-1]
+	} else {
+		op = &xferOp{w: w}
+		op.fn = op.run
+	}
+	op.to, op.bytes, op.done = to, bytes, done
+	return op
+}
+
+func (op *xferOp) run() {
+	w, to, bytes, done := op.w, op.to, op.bytes, op.done
+	op.done = nil
+	w.xferPool = append(w.xferPool, op)
+	w.fabric.Transfer(w.machine.ID, to, bytes, done)
 }
 
 // NewWorker builds the Spark-style runtime for one machine.
@@ -130,49 +169,36 @@ func (w *Worker) Launch(t *task.Task, done func(*task.TaskMetrics)) {
 			return
 		}
 	}
-	rt := &runningTask{
-		w: w,
-		t: t,
-		metrics: &task.TaskMetrics{
-			StageID: t.Stage.ID,
-			Index:   t.Index,
-			Machine: t.Machine,
-			Start:   w.eng.Now(),
-		},
-		done: done,
-	}
+	rt := w.newRunningTask()
+	rt.t = t
+	rt.metrics = task.NewTaskMetrics(t.Stage.ID, t.Index, t.Machine, w.eng.Now(), 0)
+	rt.done = done
 	rt.start()
 }
-
-// shuffleKey names a stage's shuffle output in a machine's buffer cache.
-func shuffleKey(stageID int) string { return fmt.Sprintf("shuffle:%d", stageID) }
 
 // serveFetch reads `bytes` of stage `stageID`'s shuffle output on this
 // machine (from cache where resident, disk otherwise) and then transfers
 // them to machine `to`; done fires at arrival. fromMem skips the disk
 // entirely (in-memory shuffle data).
 func (w *Worker) serveFetch(stageID int, to int, bytes int64, fromMem bool, done func()) {
-	transfer := func() {
-		w.fabric.Transfer(w.machine.ID, to, bytes, done)
-	}
 	if fromMem {
-		transfer()
+		w.fabric.Transfer(w.machine.ID, to, bytes, done)
 		return
 	}
-	hit := w.cache.readHitFraction(shuffleKey(stageID))
+	hit := w.cache.readHitFraction(stageID)
 	diskBytes := bytes - int64(float64(bytes)*hit)
 	if diskBytes <= 0 {
-		transfer()
+		w.fabric.Transfer(w.machine.ID, to, bytes, done)
 		return
 	}
-	w.machine.Disks[w.nextServeDisk()].ReadStream(diskBytes, transfer)
+	op := w.takeXfer(to, bytes, done)
+	w.machine.Disks[w.nextServeDisk()].ReadStream(diskBytes, op.fn)
 }
 
 // serveBlockRead reads an HDFS block chunk on behalf of a remote task.
 func (w *Worker) serveBlockRead(disk int, to int, bytes int64, done func()) {
-	w.machine.Disks[disk].ReadStream(bytes, func() {
-		w.fabric.Transfer(w.machine.ID, to, bytes, done)
-	})
+	op := w.takeXfer(to, bytes, done)
+	w.machine.Disks[disk].ReadStream(bytes, op.fn)
 }
 
 func (w *Worker) nextServeDisk() int {

@@ -172,7 +172,7 @@ func TestConcurrentTasksContendOnDisk(t *testing.T) {
 func TestRemoteShuffleFetchThroughCache(t *testing.T) {
 	c, g := newTestGroup(t, 2, 1, 1, Options{})
 	// Machine 1 "ran a map" whose 100 MB shuffle output is in its cache.
-	g.Workers[1].cache.write(shuffleKey(0), 100e6)
+	g.Workers[1].cache.write(0, 100e6)
 	reduce := &task.StageSpec{ID: 1, Name: "red", NumTasks: 1, ParentIDs: []int{0}, OpCPU: 0.1}
 	tk := &task.Task{
 		Stage: reduce, Index: 0, Machine: 0,

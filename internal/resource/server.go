@@ -21,6 +21,12 @@ import (
 type AggregateFunc func(readers, writers int) float64
 
 // Job is one unit of in-service work on a fluid server.
+//
+// Job structs are pooled: once a job completes (its done callback has fired)
+// the struct is recycled for a later Add on the same server, so a *Job held
+// past completion must not be passed to Remove. Removing an in-flight job
+// remains safe, and Remove of a just-completed (not yet reused) job is a
+// no-op.
 type Job struct {
 	remaining float64 // work units left
 	total     float64
@@ -28,6 +34,7 @@ type Job struct {
 	done      func()
 	started   sim.Time
 	seq       uint64
+	index     int // position in server.jobs, -1 when not in service
 }
 
 // Remaining reports the work still owed to the job.
@@ -36,29 +43,37 @@ func (j *Job) Remaining() float64 { return j.remaining }
 // server is the fluid-flow core shared by the CPU and disk models: a set of
 // jobs drains at aggregate(k)/k each; membership changes trigger a catch-up
 // of remaining work and a reschedule of the next completion event.
+//
+// The server is allocation-lean by design: the in-service set is a slice
+// (swap-removed via Job.index), retired Job structs are recycled through a
+// free list, and the completion callback passed to the engine is bound once
+// at construction instead of per reschedule.
 type server struct {
 	eng        *sim.Engine
 	aggregate  AggregateFunc
 	speed      float64 // dynamic degradation factor, 1 = nominal
-	jobs       map[*Job]struct{}
+	jobs       []*Job
 	classCount [2]int
 	nextSeq    uint64
 	lastUpdate sim.Time
 	completion sim.EventRef
+	completeFn func() // s.complete, bound once so reschedule never allocates
 	finished   []*Job // reusable scratch for complete()
+	pool       []*Job // recycled Job structs
 	// onCount is invoked whenever the in-service job count changes, with the
 	// new count; devices use it to drive their utilization trackers.
 	onCount func(k int)
 }
 
 func newServer(eng *sim.Engine, aggregate AggregateFunc, onCount func(k int)) *server {
-	return &server{
+	s := &server{
 		eng:       eng,
 		aggregate: aggregate,
 		speed:     1,
-		jobs:      make(map[*Job]struct{}),
 		onCount:   onCount,
 	}
+	s.completeFn = s.complete
+	return s
 }
 
 // setSpeed rescales the server's aggregate rate by factor (relative to its
@@ -74,6 +89,33 @@ func (s *server) setSpeed(factor float64) {
 	s.reschedule()
 }
 
+// newJob takes a Job struct from the free list (or the heap) and stamps it.
+func (s *server) newJob(work float64, class int, done func()) *Job {
+	s.nextSeq++
+	var j *Job
+	if n := len(s.pool); n > 0 {
+		j = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+	} else {
+		j = &Job{}
+	}
+	j.remaining = work
+	j.total = work
+	j.class = class
+	j.done = done
+	j.started = s.eng.Now()
+	j.seq = s.nextSeq
+	j.index = -1
+	return j
+}
+
+// recycle retires a completed job's struct to the free list.
+func (s *server) recycle(j *Job) {
+	j.done = nil
+	s.pool = append(s.pool, j)
+}
+
 // Add places work units of demand in service as a class-0 (reader) job;
 // done fires (via the engine) when the job completes. Zero-work jobs
 // complete on the next event dispatch rather than synchronously, so callers
@@ -85,31 +127,52 @@ func (s *server) Add(work float64, done func()) *Job {
 // AddClass is Add with an explicit job class (0 = reader, 1 = writer).
 func (s *server) AddClass(work float64, class int, done func()) *Job {
 	s.advance()
-	s.nextSeq++
-	j := &Job{remaining: work, total: work, class: class, done: done, started: s.eng.Now(), seq: s.nextSeq}
 	if work <= 0 {
-		j.remaining = 0
+		// Zero-work jobs never enter service, so the caller-held struct is
+		// never recycled (a pool slot would alias a future job).
+		s.nextSeq++
+		j := &Job{class: class, done: done, started: s.eng.Now(), seq: s.nextSeq, index: -1}
 		s.eng.After(0, done)
 		return j
 	}
-	s.jobs[j] = struct{}{}
+	j := s.newJob(work, class, done)
+	j.index = len(s.jobs)
+	s.jobs = append(s.jobs, j)
 	s.classCount[class]++
 	s.notifyCount()
 	s.reschedule()
 	return j
 }
 
+// inService reports whether j is currently in the service set.
+func (s *server) inService(j *Job) bool {
+	return j.index >= 0 && j.index < len(s.jobs) && s.jobs[j.index] == j
+}
+
 // Remove cancels a job before completion (e.g. a speculative fetch that is
 // no longer needed). Removing a finished job is a no-op.
 func (s *server) Remove(j *Job) {
-	if _, ok := s.jobs[j]; !ok {
+	if !s.inService(j) {
 		return
 	}
 	s.advance()
-	delete(s.jobs, j)
+	s.unlink(j)
 	s.classCount[j.class]--
 	s.notifyCount()
 	s.reschedule()
+	s.recycle(j)
+}
+
+// unlink swap-removes j from the in-service slice.
+func (s *server) unlink(j *Job) {
+	i, n := j.index, len(s.jobs)-1
+	if i != n {
+		s.jobs[i] = s.jobs[n]
+		s.jobs[i].index = i
+	}
+	s.jobs[n] = nil
+	s.jobs = s.jobs[:n]
+	j.index = -1
 }
 
 // Count reports the number of jobs in service.
@@ -134,7 +197,7 @@ func (s *server) advance() {
 		return
 	}
 	drained := s.perJobRate() * dt
-	for j := range s.jobs {
+	for _, j := range s.jobs {
 		j.remaining -= drained
 		// Clamp float residue to zero. The tolerance must be relative to the
 		// job's size: with byte-scale work units (10^8+), absolute epsilons
@@ -156,7 +219,7 @@ func (s *server) reschedule() {
 		return
 	}
 	minRemaining := math.MaxFloat64
-	for j := range s.jobs {
+	for _, j := range s.jobs {
 		if j.remaining < minRemaining {
 			minRemaining = j.remaining
 		}
@@ -165,7 +228,7 @@ func (s *server) reschedule() {
 	if rate <= 0 {
 		panic("resource: server with jobs but zero aggregate rate")
 	}
-	s.completion = s.eng.After(sim.Duration(minRemaining/rate), s.complete)
+	s.completion = s.eng.After(sim.Duration(minRemaining/rate), s.completeFn)
 }
 
 // complete retires every job whose work has drained to zero, then
@@ -174,7 +237,7 @@ func (s *server) complete() {
 	s.completion = sim.EventRef{}
 	s.advance()
 	finished := s.finished[:0]
-	for j := range s.jobs {
+	for _, j := range s.jobs {
 		if j.remaining == 0 {
 			finished = append(finished, j)
 		}
@@ -185,7 +248,7 @@ func (s *server) complete() {
 		// retire it, or the server reschedules a drain whose duration can
 		// underflow the clock's resolution and spin forever.
 		var min *Job
-		for j := range s.jobs {
+		for _, j := range s.jobs {
 			if min == nil || j.remaining < min.remaining ||
 				(j.remaining == min.remaining && j.seq < min.seq) {
 				min = j
@@ -195,14 +258,14 @@ func (s *server) complete() {
 		finished = append(finished, min)
 	}
 	for _, j := range finished {
-		delete(s.jobs, j)
+		s.unlink(j)
 		s.classCount[j.class]--
 	}
 	s.notifyCount()
 	s.reschedule()
 	// Run callbacks after internal state is consistent: a done callback may
 	// immediately Add follow-on work to this server. Deterministic order:
-	// admission order (seq), since the finished set was collected from a map.
+	// admission order (seq), since swap-removal scrambles the service slice.
 	for i := 1; i < len(finished); i++ {
 		for k := i; k > 0 && finished[k].seq < finished[k-1].seq; k-- {
 			finished[k], finished[k-1] = finished[k-1], finished[k]
@@ -211,7 +274,8 @@ func (s *server) complete() {
 	for _, j := range finished {
 		j.done()
 	}
-	for i := range finished {
+	for i, j := range finished {
+		s.recycle(j)
 		finished[i] = nil
 	}
 	s.finished = finished[:0]

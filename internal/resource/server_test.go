@@ -115,11 +115,9 @@ func TestServerChurnNeverLosesJobs(t *testing.T) {
 					return
 				}
 				j := jobs[rng.Intn(len(jobs))]
-				if j.Remaining() > 0 {
-					if _, ok := srv.jobs[j]; ok {
-						srv.Remove(j)
-						removed++
-					}
+				if j.Remaining() > 0 && srv.inService(j) {
+					srv.Remove(j)
+					removed++
 				}
 			})
 		}

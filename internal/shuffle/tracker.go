@@ -19,11 +19,23 @@ type mapStatus struct {
 	inMem   bool
 }
 
+// fetchKey aggregates fetch bytes per (machine, parent stage, in-memory).
+type fetchKey struct {
+	machine int
+	stage   int
+	inMem   bool
+}
+
 // Tracker records map outputs per stage, keyed by task index so that a
 // re-executed task replaces its earlier registration (fault recovery) and a
 // machine's outputs can be invalidated when it fails.
 type Tracker struct {
 	byStage map[int]map[int]mapStatus
+	// Scratch reused across FetchesFor calls (the tracker, like the engine
+	// it serves, is single-threaded): resolving every reduce task of a wide
+	// stage would otherwise allocate a map and a key slice per task.
+	aggScratch map[fetchKey]int64
+	keyScratch []fetchKey
 }
 
 // NewTracker returns an empty tracker.
@@ -77,12 +89,13 @@ func (tr *Tracker) FetchesFor(parentIDs []int, r, numReducers int) ([]task.Fetch
 	if numReducers <= 0 || r < 0 || r >= numReducers {
 		return nil, fmt.Errorf("shuffle: reducer %d of %d out of range", r, numReducers)
 	}
-	type key struct {
-		machine int
-		stage   int
-		inMem   bool
+	if tr.aggScratch == nil {
+		tr.aggScratch = make(map[fetchKey]int64)
 	}
-	agg := make(map[key]int64)
+	agg := tr.aggScratch
+	for k := range agg {
+		delete(agg, k)
+	}
 	for _, pid := range parentIDs {
 		statuses, ok := tr.byStage[pid]
 		if !ok {
@@ -96,27 +109,38 @@ func (tr *Tracker) FetchesFor(parentIDs []int, r, numReducers int) ([]task.Fetch
 			if per == 0 {
 				continue
 			}
-			agg[key{st.machine, pid, st.inMem}] += per
+			agg[fetchKey{st.machine, pid, st.inMem}] += per
 		}
 	}
-	keys := make([]key, 0, len(agg))
+	keys := tr.keyScratch[:0]
 	for k := range agg {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].machine != keys[j].machine {
-			return keys[i].machine < keys[j].machine
+	// Insertion sort: the key count is bounded by machines × parent stages
+	// (a handful), and unlike sort.Slice this allocates nothing.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keyLess(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
-		if keys[i].stage != keys[j].stage {
-			return keys[i].stage < keys[j].stage
-		}
-		return !keys[i].inMem && keys[j].inMem
-	})
+	}
+	tr.keyScratch = keys
 	out := make([]task.Fetch, 0, len(keys))
 	for _, k := range keys {
 		out = append(out, task.Fetch{From: k.machine, Bytes: agg[k], FromMem: k.inMem, Stage: k.stage})
 	}
 	return out, nil
+}
+
+// keyLess orders fetch keys by machine, then parent stage, then disk before
+// memory.
+func keyLess(a, b fetchKey) bool {
+	if a.machine != b.machine {
+		return a.machine < b.machine
+	}
+	if a.stage != b.stage {
+		return a.stage < b.stage
+	}
+	return !a.inMem && b.inMem
 }
 
 // Clear drops a stage's outputs (a completed job's shuffle files being

@@ -101,7 +101,16 @@ func (e *Engine) At(t Time, fn func()) EventRef {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
-		ev = &Event{}
+		// Grow the free list a block at a time: a fresh engine warms up with
+		// one allocation per 64 events instead of one per event, which matters
+		// because every sweep cell builds its own engine.
+		block := make([]Event, 64)
+		for i := 1; i < len(block); i++ {
+			block[i].index = -1
+			e.free = append(e.free, &block[i])
+		}
+		block[0].index = -1
+		ev = &block[0]
 	}
 	ev.at = t
 	ev.seq = e.seq

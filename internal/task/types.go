@@ -266,6 +266,18 @@ type TaskMetrics struct {
 // Duration is the task's wall-clock span.
 func (t *TaskMetrics) Duration() sim.Duration { return t.End - t.Start }
 
+// NewTaskMetrics returns a metrics record with the Monotasks slice
+// preallocated to exactly monotaskCap entries. Executors that know a task's
+// decomposition up front (the monotasks worker derives it from its stage
+// template) use this so metric collection never re-grows the slice.
+func NewTaskMetrics(stageID, index, machine int, start sim.Time, monotaskCap int) *TaskMetrics {
+	tm := &TaskMetrics{StageID: stageID, Index: index, Machine: machine, Start: start}
+	if monotaskCap > 0 {
+		tm.Monotasks = make([]MonotaskMetric, 0, monotaskCap)
+	}
+	return tm
+}
+
 // StageMetrics aggregates a stage run.
 type StageMetrics struct {
 	Spec  *StageSpec

@@ -13,6 +13,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -45,6 +46,12 @@ type SweepCompare struct {
 	SerialHash   string  `json:"serial_hash"`
 	ParallelHash string  `json:"parallel_hash"`
 	Identical    bool    `json:"identical"`
+	// Flagged marks a comparison whose parallel leg was no faster than the
+	// serial leg (speedup < 1). That is expected when the worker count
+	// exceeds the machine's cores — goroutines just time-slice one CPU and
+	// pay the coordination overhead — and suspicious anywhere else, so
+	// consumers must treat a flagged speedup as a caveat, never a win.
+	Flagged bool `json:"flagged,omitempty"`
 }
 
 // Report is the full BENCH_*.json payload.
@@ -157,16 +164,18 @@ func CompareSweep(experiment string, cells, workers int, render func() ([]byte, 
 		return SweepCompare{}, err
 	}
 	sh, ph := sha256.Sum256(serial), sha256.Sum256(par)
+	speedup := float64(serialDur) / float64(parDur)
 	return SweepCompare{
 		Experiment:   experiment,
 		Cells:        cells,
 		Workers:      workers,
 		SerialMs:     float64(serialDur.Microseconds()) / 1e3,
 		ParallelMs:   float64(parDur.Microseconds()) / 1e3,
-		Speedup:      float64(serialDur) / float64(parDur),
+		Speedup:      speedup,
 		SerialHash:   hex.EncodeToString(sh[:]),
 		ParallelHash: hex.EncodeToString(ph[:]),
 		Identical:    bytes.Equal(serial, par),
+		Flagged:      speedup < 1,
 	}, nil
 }
 
@@ -177,4 +186,50 @@ func (r *Report) Write(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a previously written BENCH_*.json report.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Benchmark returns the named benchmark's result, if the report has one.
+func (r *Report) Benchmark(name string) (BenchResult, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return BenchResult{}, false
+}
+
+// AllocGate compares the named benchmark's allocs/op against a baseline
+// report and fails when it regressed by more than tolerance (0.10 = 10%).
+// allocs/op is the gated quantity because it is machine-independent —
+// allocation counts in a deterministic simulation do not vary with CPU
+// speed the way ns/op does. Benchmarks absent from either report pass (a
+// freshly added benchmark has no baseline yet).
+func (r *Report) AllocGate(baseline *Report, name string, tolerance float64) error {
+	cur, ok := r.Benchmark(name)
+	if !ok {
+		return nil
+	}
+	base, ok := baseline.Benchmark(name)
+	if !ok || base.AllocsPerOp <= 0 {
+		return nil
+	}
+	limit := float64(base.AllocsPerOp) * (1 + tolerance)
+	if float64(cur.AllocsPerOp) > limit {
+		return fmt.Errorf("perf: %s allocs/op regressed: %d vs baseline %d (tolerance %.0f%%)",
+			name, cur.AllocsPerOp, base.AllocsPerOp, tolerance*100)
+	}
+	return nil
 }

@@ -1,0 +1,99 @@
+package perf
+
+// Driver hot-path benchmarks: the steady-state cost of pushing repeated
+// identical jobs through one long-lived driver (the execution-template
+// cache's target workload) and the pure control-plane cost of a submission.
+// Both live here, below internal/figures in the import graph, so cmd/monoperf
+// and the root bench_test.go share one implementation.
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/jobsched"
+	"repro/internal/run"
+	"repro/internal/task"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// steadySpec builds the small sort every iteration replays.
+func steadySpec(b *testing.B, c *cluster.Cluster) (*workloads.Env, *task.JobSpec) {
+	env, err := workloads.NewEnv(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := workloads.Sort{Name: "steady", TotalBytes: 1 * units.GB, MapTasks: 8, ReduceTasks: 4}
+	spec, err := s.Build(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env, spec
+}
+
+// BenchMultiJobSteadyState measures one long-lived monotasks driver absorbing
+// repeated identical job submissions through its default fair-share pool:
+// submit, run to completion, repeat. After the first iteration the driver's
+// execution-template cache serves every instantiation, so this is the
+// steady-state multi-tenant hot path.
+func BenchMultiJobSteadyState(b *testing.B) {
+	c, err := cluster.New(2, cluster.M2_4XLarge())
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, spec := steadySpec(b, c)
+	d, err := run.Driver(c, env.FS, run.Options{Mode: run.Monotasks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := d.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Engine.Run()
+		if !h.Done() {
+			b.Fatalf("iteration %d: job did not complete: %v", i, h.Err())
+		}
+	}
+}
+
+// idleExec is an executor that never runs anything: zero capacity, so
+// submissions exercise only the driver's control plane (validation, template
+// lookup, stage-state instantiation, pool admission) and no task ever
+// launches.
+type idleExec struct{ id int }
+
+func (e idleExec) MachineID() int          { return e.id }
+func (e idleExec) MaxConcurrentTasks() int { return 0 }
+func (e idleExec) Launch(t *task.Task, done func(*task.TaskMetrics)) {
+	panic("perf: idleExec launched a task")
+}
+
+// BenchDriverSubmit measures the allocation cost of SubmitWith alone:
+// identical jobs into a zero-capacity cluster, so each op is exactly one
+// control-plane instantiation (template-cache hit after the first).
+func BenchDriverSubmit(b *testing.B) {
+	c, err := cluster.New(2, cluster.M2_4XLarge())
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, spec := steadySpec(b, c)
+	execs := make([]task.Executor, c.Size())
+	for i := range execs {
+		execs[i] = idleExec{id: i}
+	}
+	d, err := jobsched.New(c, env.FS, execs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Submit(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
