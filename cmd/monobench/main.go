@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -19,10 +20,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/figures"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // printer is anything a figure returns that can render itself.
@@ -70,6 +73,56 @@ var smoke = flag.Bool("smoke", false, "run a reduced, CI-sized version of experi
 // cell is an independent simulation; results are identical at any setting.
 var parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for experiment grids (1 = serial)")
 
+// telemetryOut, when set, attaches a live sampler to every experiment run and
+// writes all captured snapshots to this file as JSON Lines (cmd/monotop reads
+// the format). Output bytes are identical at any --parallel setting.
+var telemetryOut = flag.String("telemetry", "", "write live telemetry snapshots from every run to this JSONL file")
+
+// telemetryCollector gathers each run's snapshot ring as one serialized JSONL
+// chunk. Sweep cells finish in nondeterministic wall-clock order under
+// --parallel, so chunks are sorted canonically (each chunk is itself a
+// deterministic byte string) before writing — the file is then a pure
+// function of the experiment set.
+type telemetryCollector struct {
+	mu     sync.Mutex
+	chunks [][]byte
+	err    error
+}
+
+func (tc *telemetryCollector) collect(s *telemetry.Sampler) {
+	var buf bytes.Buffer
+	err := telemetry.WriteJSONL(&buf, s.Snapshots())
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err != nil {
+		if tc.err == nil {
+			tc.err = err
+		}
+		return
+	}
+	tc.chunks = append(tc.chunks, buf.Bytes())
+}
+
+func (tc *telemetryCollector) write(path string) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.err != nil {
+		return tc.err
+	}
+	sort.Slice(tc.chunks, func(i, j int) bool { return bytes.Compare(tc.chunks[i], tc.chunks[j]) < 0 })
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, c := range tc.chunks {
+		if _, err := f.Write(c); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
 func main() {
 	flag.Usage = usage
 	flag.Parse()
@@ -100,6 +153,23 @@ func main() {
 			setParallelArg(args[i])
 			continue
 		}
+		if v, ok := strings.CutPrefix(a, "--telemetry="); ok {
+			*telemetryOut = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(a, "-telemetry="); ok {
+			*telemetryOut = v
+			continue
+		}
+		if a == "--telemetry" || a == "-telemetry" {
+			if i+1 >= len(args) {
+				fmt.Fprintf(os.Stderr, "monobench: %s needs a value\n", a)
+				os.Exit(2)
+			}
+			i++
+			*telemetryOut = args[i]
+			continue
+		}
 		kept = append(kept, a)
 	}
 	args = kept
@@ -113,6 +183,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "monobench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	var tc *telemetryCollector
+	if *telemetryOut != "" {
+		tc = &telemetryCollector{}
+		figures.SetTelemetry(&telemetry.Config{}, tc.collect)
 	}
 	names := args
 	if len(args) == 1 && args[0] == "all" {
@@ -142,6 +217,13 @@ func main() {
 			}
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if tc != nil {
+		if err := tc.write(*telemetryOut); err != nil {
+			fmt.Fprintf(os.Stderr, "monobench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[telemetry: %d run streams written to %s]\n", len(tc.chunks), *telemetryOut)
 	}
 }
 

@@ -1,0 +1,215 @@
+// Command monotop renders a telemetry snapshot stream — the JSONL produced
+// by `monobench --telemetry`, a monospark TelemetryConfig streamer, or
+// telemetry.WriteJSONL — as a top(1)-style per-machine / per-pool / per-job
+// view. It is the paper's performance-clarity thesis at the terminal: what is
+// the bottleneck, and which job holds it, at any moment of a run.
+//
+//	monotop run.jsonl              # replay: render every snapshot in order
+//	monotop -last run.jsonl        # render only the stream's final snapshot
+//	monotop -f run.jsonl           # tail: follow the file as it grows
+//	monotop -http :8080 run.jsonl  # serve snapshots as JSON, pprof mounted
+//
+// The -http server exposes /snapshots (full stream), /latest, /render (text
+// view of the newest snapshot), and net/http/pprof under /debug/pprof/ for
+// profiling the harness itself.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	follow   = flag.Bool("f", false, "follow the file as it grows (tail mode)")
+	lastOnly = flag.Bool("last", false, "render only the final snapshot")
+	httpAddr = flag.String("http", "", "serve snapshots over HTTP on this address instead of rendering")
+	pollMS   = flag.Int("poll", 200, "tail-mode poll interval in milliseconds")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: monotop [-f] [-last] [-http addr] <snapshots.jsonl>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	if err := monotop(path, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "monotop: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func monotop(path string, out io.Writer) error {
+	st := &store{}
+	if *httpAddr != "" {
+		// Load what exists now, keep tailing in the background, and serve.
+		go tail(path, st, func(*telemetry.Snapshot) {})
+		http.Handle("/snapshots", st.handleSnapshots())
+		http.Handle("/latest", st.handleLatest())
+		http.Handle("/render", st.handleRender())
+		return http.ListenAndServe(*httpAddr, nil)
+	}
+	if *follow {
+		return tail(path, st, func(s *telemetry.Snapshot) {
+			fmt.Fprint(out, telemetry.Render(s))
+			fmt.Fprintln(out)
+		})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snaps, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	return replay(out, snaps, *lastOnly)
+}
+
+// replay renders snapshots in order (or only the last one).
+func replay(w io.Writer, snaps []telemetry.Snapshot, lastOnly bool) error {
+	if len(snaps) == 0 {
+		return fmt.Errorf("no snapshots in stream")
+	}
+	if lastOnly {
+		snaps = snaps[len(snaps)-1:]
+	}
+	for i := range snaps {
+		if _, err := fmt.Fprint(w, telemetry.Render(&snaps[i])); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tail follows path, parsing complete lines as they are appended and feeding
+// each parsed snapshot to st and onSnap. It never returns except on error:
+// like tail -f, the watcher outlives the writer.
+func tail(path string, st *store, onSnap func(*telemetry.Snapshot)) error {
+	var f *os.File
+	for {
+		var err error
+		f, err = os.Open(path)
+		if err == nil {
+			break
+		}
+		time.Sleep(time.Duration(*pollMS) * time.Millisecond)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var partial []byte
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 && err == nil {
+			line = append(partial, line...)
+			partial = nil
+			if s, perr := parseLine(line); perr == nil {
+				st.add(s)
+				onSnap(s)
+			}
+			continue
+		}
+		// Incomplete line (no newline yet) or EOF: stash and wait for more.
+		partial = append(partial, line...)
+		if err != nil && err != io.EOF {
+			return err
+		}
+		time.Sleep(time.Duration(*pollMS) * time.Millisecond)
+	}
+}
+
+// parseLine decodes one JSONL line, tolerating blanks.
+func parseLine(line []byte) (*telemetry.Snapshot, error) {
+	trimmed := line
+	for len(trimmed) > 0 && (trimmed[len(trimmed)-1] == '\n' || trimmed[len(trimmed)-1] == '\r') {
+		trimmed = trimmed[:len(trimmed)-1]
+	}
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("blank line")
+	}
+	var s telemetry.Snapshot
+	if err := json.Unmarshal(trimmed, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// store is the -http server's snapshot buffer: tail writes, handlers read.
+type store struct {
+	mu    sync.Mutex
+	snaps []telemetry.Snapshot
+}
+
+func (st *store) add(s *telemetry.Snapshot) {
+	st.mu.Lock()
+	st.snaps = append(st.snaps, *s)
+	st.mu.Unlock()
+}
+
+func (st *store) all() []telemetry.Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]telemetry.Snapshot(nil), st.snaps...)
+}
+
+func (st *store) latest() (telemetry.Snapshot, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.snaps) == 0 {
+		return telemetry.Snapshot{}, false
+	}
+	return st.snaps[len(st.snaps)-1], true
+}
+
+func (st *store) handleSnapshots() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(st.all()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+func (st *store) handleLatest() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s, ok := st.latest()
+		if !ok {
+			http.Error(w, "no snapshots yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+func (st *store) handleRender() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s, ok := st.latest()
+		if !ok {
+			http.Error(w, "no snapshots yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, telemetry.Render(&s))
+	})
+}

@@ -83,9 +83,16 @@ func chaosRun(seed int64, mode monospark.Mode) (chaosOutcome, error) {
 			Random:            chaosPlanConfig(),
 			FetchRetryTimeout: 60,
 		},
+		Telemetry: telemetryCfg,
 	})
 	if err != nil {
 		return chaosOutcome{}, err
+	}
+	if ctx.Telemetry() != nil && telemetrySink != nil {
+		defer func() {
+			ctx.Telemetry().Stop()
+			telemetrySink(ctx.Telemetry())
+		}()
 	}
 	ds, err := ctx.Parallelize(chaosInput(), 32)
 	if err != nil {

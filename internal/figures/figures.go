@@ -13,8 +13,28 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/run"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
+
+// Telemetry hook: when set, every executed figure run (and every chaos cell)
+// attaches a live sampler and hands the finished sampler to sink. Sweep cells
+// run on parallel workers, so sink must be safe for concurrent calls; the
+// config is shared read-only across runs (leave Config.OnSnapshot nil and
+// read each sampler's ring from the sink instead). Collectors that need a
+// byte-stable file across --parallel worker counts should serialize each
+// sampler to its own chunk and order chunks canonically (see monobench).
+var (
+	telemetryCfg  *telemetry.Config
+	telemetrySink func(*telemetry.Sampler)
+)
+
+// SetTelemetry installs (or, with a nil cfg, clears) the telemetry hook. Not
+// safe to call while experiments run.
+func SetTelemetry(cfg *telemetry.Config, sink func(*telemetry.Sampler)) {
+	telemetryCfg = cfg
+	telemetrySink = sink
+}
 
 // Builder produces a job for an environment (matches the workloads types).
 type Builder func(*workloads.Env) (*task.JobSpec, error)
@@ -54,6 +74,10 @@ func executeHetero(specs []cluster.MachineSpec, o run.Options, builders ...Build
 			return nil, err
 		}
 		jobSpecs = append(jobSpecs, js)
+	}
+	if cfg := telemetryCfg; cfg != nil {
+		o.Telemetry = cfg
+		o.OnTelemetry = telemetrySink
 	}
 	jobs, err := run.Jobs(c, env.FS, o, jobSpecs...)
 	if err != nil {

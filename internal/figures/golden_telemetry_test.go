@@ -1,0 +1,102 @@
+package figures
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// telemetryStream runs the golden corpus (SortSized, both systems) plus a
+// two-seed chaos matrix with the telemetry hook installed, and returns every
+// run's snapshot stream as one byte string. Sweep cells finish in arbitrary
+// wall-clock order, so each run's ring is serialized into its own JSONL chunk
+// and chunks are sorted canonically — the same scheme monobench --telemetry
+// uses — making the result a pure function of the experiment set.
+func telemetryStream(t *testing.T) []byte {
+	t.Helper()
+	var mu sync.Mutex
+	var chunks [][]byte
+	SetTelemetry(&telemetry.Config{}, func(s *telemetry.Sampler) {
+		var buf bytes.Buffer
+		err := telemetry.WriteJSONL(&buf, s.Snapshots())
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		chunks = append(chunks, buf.Bytes())
+	})
+	defer SetTelemetry(nil, nil)
+
+	if _, err := SortSized(16*units.GB, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Chaos(2); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Slice(chunks, func(i, j int) bool { return bytes.Compare(chunks[i], chunks[j]) < 0 })
+	return bytes.Join(chunks, nil)
+}
+
+// TestGoldenTelemetryDeterminism extends the determinism gate to the live
+// telemetry bus: the full snapshot stream of the golden corpus + chaos matrix
+// must be byte-identical across two runs in one process and across sweep
+// --parallel 1 vs 8. Sampling rides the simulator's event queue, so any
+// divergence would mean either the sampler perturbed the simulation or the
+// stream depends on scheduling outside virtual time.
+func TestGoldenTelemetryDeterminism(t *testing.T) {
+	a := telemetryStream(t)
+	if len(a) == 0 {
+		t.Fatal("empty telemetry stream")
+	}
+	b := telemetryStream(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-process telemetry replay differs at:\n%s", firstDiffLine(b, a))
+	}
+
+	old := sweep.Parallelism()
+	defer sweep.SetParallelism(old)
+	sweep.SetParallelism(1)
+	serial := telemetryStream(t)
+	sweep.SetParallelism(8)
+	parallel := telemetryStream(t)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("telemetry stream diverged between --parallel 1 and 8 at:\n%s",
+			firstDiffLine(parallel, serial))
+	}
+	if !bytes.Equal(a, serial) {
+		t.Fatalf("telemetry stream depends on ambient parallelism at:\n%s",
+			firstDiffLine(serial, a))
+	}
+
+	// Every run's stream ends with a Final snapshot carrying the cumulative
+	// whole-run attribution (the live-equals-post-hoc handoff; exact equality
+	// with a post-hoc model.Attribute call is pinned in internal/telemetry's
+	// tests).
+	snaps, err := telemetry.ReadJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := 0
+	for _, s := range snaps {
+		if s.Final {
+			finals++
+			if len(s.Jobs) > 0 && len(s.Cumulative) != len(s.Jobs) {
+				t.Fatalf("final snapshot lacks cumulative attribution: %+v", s)
+			}
+		}
+	}
+	// SortSized runs two systems; Chaos(2) runs four cells.
+	if finals < 6 {
+		t.Fatalf("%d final snapshots across the corpus, want ≥ 6", finals)
+	}
+}

@@ -314,6 +314,20 @@ func (h *JobHandle) runningTasks() int {
 	return n
 }
 
+// Jobs returns every submitted job's handle in submission order — finished,
+// running, and queued alike. The slice is a copy; the handles are live, so a
+// telemetry sampler can read each job's Metrics and task counts mid-run.
+func (d *Driver) Jobs() []*JobHandle {
+	return append([]*JobHandle(nil), d.jobs...)
+}
+
+// LiveTasks reports the job's running task attempts right now.
+func (h *JobHandle) LiveTasks() int { return h.runningTasks() }
+
+// Admitted reports whether the job's pool has let it past the admission
+// queue (true for the whole of its run and afterwards).
+func (h *JobHandle) Admitted() bool { return h.admitted }
+
 // PoolNames lists the driver's pools in declaration order (the default pool
 // last unless declared).
 func (d *Driver) PoolNames() []string {

@@ -83,36 +83,70 @@ const (
 // UtilSamples pools utilization samples for one resource across all
 // machines of c over [t0, t1): n samples per machine. Disk utilization is
 // the mean across a machine's drives; network is the busier direction.
+// Machines lacking the resource (diskless, no NIC) contribute nothing, and
+// n ≤ 0 or an empty window returns nil — callers sampling live (the
+// telemetry layer) hit both shapes routinely and must not panic or skew.
 func UtilSamples(c *cluster.Cluster, r ResourceName, t0, t1 sim.Time, n int) []float64 {
+	if c == nil || n <= 0 || t1 <= t0 {
+		return nil
+	}
 	out := make([]float64, 0, len(c.Machines)*n)
 	for _, m := range c.Machines {
-		switch r {
-		case CPU:
-			out = append(out, m.CPU.Util.Samples(t0, t1, n)...)
-		case Disk:
-			if len(m.Disks) == 0 {
-				continue
-			}
-			acc := make([]float64, n)
-			for _, d := range m.Disks {
-				for i, v := range d.Util.Samples(t0, t1, n) {
-					acc[i] += v / float64(len(m.Disks))
-				}
-			}
-			out = append(out, acc...)
-		case Network:
-			in := m.NIC.UtilIn.Samples(t0, t1, n)
-			eg := m.NIC.UtilOut.Samples(t0, t1, n)
-			for i := range in {
-				if eg[i] > in[i] {
-					out = append(out, eg[i])
-				} else {
-					out = append(out, in[i])
-				}
-			}
-		}
+		out = append(out, MachineUtilSamples(m, r, t0, t1, n)...)
 	}
 	return out
+}
+
+// MachineUtilSamples returns n utilization samples for one resource of one
+// machine over [t0, t1) — the per-machine series a live per-machine view
+// (cmd/monotop) renders. Disk is the mean across the machine's drives and
+// network the busier NIC direction, as in UtilSamples. Returns nil when the
+// machine lacks the resource, n ≤ 0, or the window is empty.
+func MachineUtilSamples(m *cluster.Machine, r ResourceName, t0, t1 sim.Time, n int) []float64 {
+	if m == nil || n <= 0 || t1 <= t0 {
+		return nil
+	}
+	switch r {
+	case CPU:
+		if m.CPU == nil {
+			return nil
+		}
+		return m.CPU.Util.Samples(t0, t1, n)
+	case Disk:
+		if len(m.Disks) == 0 {
+			return nil
+		}
+		acc := make([]float64, n)
+		for _, d := range m.Disks {
+			for i, v := range d.Util.Samples(t0, t1, n) {
+				acc[i] += v / float64(len(m.Disks))
+			}
+		}
+		return acc
+	case Network:
+		if m.NIC == nil {
+			return nil
+		}
+		in := m.NIC.UtilIn.Samples(t0, t1, n)
+		eg := m.NIC.UtilOut.Samples(t0, t1, n)
+		// The two directions sample over the same window so the lengths
+		// agree, but a hand-built NIC (tests, partial specs) may carry
+		// uneven timelines; pairing beyond the shorter slice would panic.
+		k := len(in)
+		if len(eg) < k {
+			k = len(eg)
+		}
+		out := make([]float64, k)
+		for i := 0; i < k; i++ {
+			if eg[i] > in[i] {
+				out[i] = eg[i]
+			} else {
+				out[i] = in[i]
+			}
+		}
+		return out
+	}
+	return nil
 }
 
 // mean averages a sample set.
@@ -170,16 +204,25 @@ type MeasuredUsage struct {
 	NetBytes       int64
 }
 
-// Measure snapshots cluster-wide resource use over [t0, t1).
+// Measure snapshots cluster-wide resource use over [t0, t1). Machines
+// missing a device (no CPU model, diskless, no NIC) contribute nothing for
+// that resource.
 func Measure(c *cluster.Cluster, t0, t1 sim.Time) MeasuredUsage {
 	var u MeasuredUsage
+	if c == nil || t1 <= t0 {
+		return u
+	}
 	for _, m := range c.Machines {
-		u.CPUSeconds += m.CPU.Util.Mean(t0, t1) * float64(m.CPU.Cores()) * float64(t1-t0)
+		if m.CPU != nil {
+			u.CPUSeconds += m.CPU.Util.Mean(t0, t1) * float64(m.CPU.Cores()) * float64(t1-t0)
+		}
 		for _, d := range m.Disks {
 			u.DiskReadBytes += int64(d.ReadCum.Delta(t0, t1))
 			u.DiskWriteBytes += int64(d.WriteCum.Delta(t0, t1))
 		}
-		u.NetBytes += int64(m.NIC.BytesInCum.Delta(t0, t1))
+		if m.NIC != nil {
+			u.NetBytes += int64(m.NIC.BytesInCum.Delta(t0, t1))
+		}
 	}
 	return u
 }

@@ -141,6 +141,119 @@ func TestUtilSamplesNetworkTakesBusierDirection(t *testing.T) {
 	}
 }
 
+func TestUtilSamplesBoundary(t *testing.T) {
+	c := testCluster(t)
+	c.Machines[0].CPU.Run(10, func() {})
+	c.Engine.Run()
+	// n ≤ 0 and empty or inverted windows return nil instead of panicking
+	// (make([]float64, n) with negative n would otherwise abort the process).
+	for _, n := range []int{0, -1, -100} {
+		for _, r := range []ResourceName{CPU, Disk, Network} {
+			if s := UtilSamples(c, r, 0, 10, n); s != nil {
+				t.Fatalf("UtilSamples(%v, n=%d) = %v, want nil", r, n, s)
+			}
+		}
+	}
+	if s := UtilSamples(c, CPU, 10, 10, 4); s != nil {
+		t.Fatalf("empty window samples = %v, want nil", s)
+	}
+	if s := UtilSamples(c, CPU, 10, 5, 4); s != nil {
+		t.Fatalf("inverted window samples = %v, want nil", s)
+	}
+	if s := UtilSamples(nil, CPU, 0, 10, 4); s != nil {
+		t.Fatalf("nil cluster samples = %v, want nil", s)
+	}
+}
+
+func TestUtilSamplesDisklessMachine(t *testing.T) {
+	// A diskless spec is legal (cluster.Validate only checks disks that
+	// exist); its machines contribute no disk samples and must not skew the
+	// pooled mean with zeros.
+	diskless := cluster.MachineSpec{Cores: 2, NetBW: 100e6, MemBytes: 1 << 30}
+	withDisk := cluster.MachineSpec{
+		Cores:    2,
+		Disks:    []resource.DiskSpec{{Kind: resource.HDD, SeqBW: 100e6, ContentionAlpha: 0.35}},
+		NetBW:    100e6,
+		MemBytes: 1 << 30,
+	}
+	c, err := cluster.NewHetero([]cluster.MachineSpec{withDisk, diskless})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Machines[0].Disks[0].Read(1000e6, func() {}) // busy the full 10 s window
+	c.Engine.Run()
+	s := UtilSamples(c, Disk, 0, 10, 4)
+	if len(s) != 4 {
+		t.Fatalf("got %d disk samples, want 4 (diskless machine contributes none)", len(s))
+	}
+	if got := mean(s); math.Abs(got-1.0) > 0.01 {
+		t.Fatalf("mean disk util = %v, want 1.0 — diskless machine diluted the mean", got)
+	}
+}
+
+func TestMachineUtilSamplesGuards(t *testing.T) {
+	// A hand-built machine with no devices (a telemetry caller over a
+	// partially constructed spec) yields nil for every resource.
+	bare := &cluster.Machine{ID: 0}
+	for _, r := range []ResourceName{CPU, Disk, Network} {
+		if s := MachineUtilSamples(bare, r, 0, 10, 4); s != nil {
+			t.Fatalf("bare machine %v samples = %v, want nil", r, s)
+		}
+	}
+	if s := MachineUtilSamples(nil, CPU, 0, 10, 4); s != nil {
+		t.Fatalf("nil machine samples = %v, want nil", s)
+	}
+	// A real machine returns exactly n per-machine samples.
+	c := testCluster(t)
+	c.Machines[0].CPU.Run(10, func() {})
+	c.Engine.Run()
+	s := MachineUtilSamples(c.Machines[0], CPU, 0, 10, 5)
+	if len(s) != 5 {
+		t.Fatalf("got %d samples, want 5", len(s))
+	}
+	if got := mean(s); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("machine 0 mean cpu util = %v, want 0.5", got)
+	}
+	// Unknown resource names yield nil rather than a zero-filled series.
+	if s := MachineUtilSamples(c.Machines[0], ResourceName("gpu"), 0, 10, 4); s != nil {
+		t.Fatalf("unknown resource samples = %v, want nil", s)
+	}
+}
+
+func TestStageUtilBoundary(t *testing.T) {
+	c := testCluster(t)
+	c.Machines[0].CPU.Run(10, func() {})
+	c.Engine.Run()
+	// n = 0 and empty windows degrade to an all-zero ranking, not a panic.
+	for _, su := range []StageUtilization{
+		StageUtil(c, 0, 10, 0),
+		StageUtil(c, 5, 5, 4),
+		StageUtil(c, 9, 3, 4),
+	} {
+		if su.BottleneckBox.P50 != 0 || su.SecondBox.P95 != 0 {
+			t.Fatalf("degenerate StageUtil = %+v, want zero boxes", su)
+		}
+	}
+}
+
+func TestMeasureGuards(t *testing.T) {
+	if u := Measure(nil, 0, 10); u != (MeasuredUsage{}) {
+		t.Fatalf("Measure(nil) = %+v, want zero", u)
+	}
+	c := testCluster(t)
+	c.Machines[0].CPU.Run(5, func() {})
+	c.Engine.Run()
+	if u := Measure(c, 10, 10); u != (MeasuredUsage{}) {
+		t.Fatalf("empty-window Measure = %+v, want zero", u)
+	}
+	// A machine with no devices measures as zero instead of panicking.
+	c.Machines = append(c.Machines, &cluster.Machine{ID: 2})
+	u := Measure(c, 0, 10)
+	if math.Abs(u.CPUSeconds-5) > 1e-6 {
+		t.Fatalf("CPUSeconds with bare machine = %v, want 5", u.CPUSeconds)
+	}
+}
+
 func TestStageUtilRanksResources(t *testing.T) {
 	c := testCluster(t)
 	// CPU fully busy on both machines; disk half busy on one.

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"math"
+
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/task"
@@ -73,9 +75,15 @@ func Attribute(jobs []*task.JobMetrics, t0, t1 sim.Time, res Resources) []JobAtt
 	return out
 }
 
-// windowUsage sums one job's monotask activity clipped to [t0, t1).
+// windowUsage sums one job's monotask activity clipped to [t0, t1). Byte
+// sums accumulate in float64 and round once per window: truncating each
+// monotask's pro-rata share individually loses up to a byte per monotask, so
+// adjacent windows [t0,tm)+[tm,t1) would undercount versus [t0,t1) — drift a
+// tiling consumer (the telemetry sampler) sees immediately. With one rounding
+// per window the tiled sum stays within half a byte per window of the whole.
 func windowUsage(jm *task.JobMetrics, t0, t1 sim.Time) metrics.MeasuredUsage {
 	var u metrics.MeasuredUsage
+	var read, write, net float64
 	for _, sm := range jm.Stages {
 		for _, tm := range sm.Tasks {
 			if tm == nil {
@@ -90,19 +98,21 @@ func windowUsage(jm *task.JobMetrics, t0, t1 sim.Time) metrics.MeasuredUsage {
 				case task.CPUResource:
 					u.CPUSeconds += f * float64(m.End-m.Start)
 				case task.DiskResource:
-					b := int64(f * float64(m.Bytes))
 					switch m.Kind {
 					case task.KindShuffleWrite, task.KindOutputWrite:
-						u.DiskWriteBytes += b
+						write += f * float64(m.Bytes)
 					default: // input reads and shuffle serve reads
-						u.DiskReadBytes += b
+						read += f * float64(m.Bytes)
 					}
 				case task.NetworkResource:
-					u.NetBytes += int64(f * float64(m.Bytes))
+					net += f * float64(m.Bytes)
 				}
 			}
 		}
 	}
+	u.DiskReadBytes = int64(math.Round(read))
+	u.DiskWriteBytes = int64(math.Round(write))
+	u.NetBytes = int64(math.Round(net))
 	return u
 }
 
@@ -133,13 +143,19 @@ func overlapFraction(s, e, t0, t1 sim.Time) float64 {
 
 // AttributionError compares an attribution against ground truth and returns
 // the relative error of the dominant byte resource (disk+network) plus CPU,
-// whichever is larger — the Fig. 16 headline number. Truth entries with zero
-// usage on a resource skip that resource.
+// whichever is larger — the Fig. 16 headline number. A resource unused in
+// both is skipped; attributing usage to a resource the truth never touched
+// (phantom attribution) counts as full (1.0) relative error — returning 0
+// there, as an earlier version did, hid exactly the misattribution this
+// metric exists to expose.
 func AttributionError(got, truth metrics.MeasuredUsage) float64 {
 	worst := 0.0
 	rel := func(g, t float64) float64 {
 		if t == 0 {
-			return 0
+			if g == 0 {
+				return 0
+			}
+			return 1
 		}
 		d := (g - t) / t
 		if d < 0 {

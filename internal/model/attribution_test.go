@@ -112,8 +112,100 @@ func TestAttributionError(t *testing.T) {
 	if e := AttributionError(got, truth); math.Abs(e-0.5) > 1e-12 {
 		t.Fatalf("error %v, want 0.5 (disk halved)", e)
 	}
-	// Zero-usage resources in the truth are skipped, not divided by.
-	if e := AttributionError(metrics.MeasuredUsage{NetBytes: 5}, metrics.MeasuredUsage{}); e != 0 {
-		t.Fatalf("error vs zero truth %v, want 0", e)
+	// A resource unused in both got and truth contributes nothing.
+	if e := AttributionError(metrics.MeasuredUsage{}, metrics.MeasuredUsage{}); e != 0 {
+		t.Fatalf("error of all-zero usage %v, want 0", e)
+	}
+}
+
+func TestAttributionErrorPhantomUsage(t *testing.T) {
+	// Attributing usage to a resource the truth never touched is phantom
+	// attribution: it must register as full (1.0) relative error, not vanish
+	// because the denominator is zero.
+	cases := []struct {
+		name string
+		got  metrics.MeasuredUsage
+	}{
+		{"net", metrics.MeasuredUsage{NetBytes: 5}},
+		{"cpu", metrics.MeasuredUsage{CPUSeconds: 0.25}},
+		{"disk-read", metrics.MeasuredUsage{DiskReadBytes: 9}},
+		{"disk-write", metrics.MeasuredUsage{DiskWriteBytes: 9}},
+	}
+	for _, c := range cases {
+		if e := AttributionError(c.got, metrics.MeasuredUsage{}); e != 1 {
+			t.Fatalf("%s: phantom attribution error %v, want 1", c.name, e)
+		}
+	}
+	// Phantom error on one resource does not mask a larger real error on
+	// another.
+	got := metrics.MeasuredUsage{NetBytes: 5, CPUSeconds: 30}
+	truth := metrics.MeasuredUsage{CPUSeconds: 10}
+	if e := AttributionError(got, truth); math.Abs(e-2) > 1e-12 {
+		t.Fatalf("mixed phantom+real error %v, want 2 (cpu tripled)", e)
+	}
+}
+
+// TestAttributeWindowTiling is the tiling property the telemetry sampler
+// depends on: attributing a run as a sequence of adjacent windows must sum to
+// the whole-run attribution within rounding (half a byte per window). The
+// old per-monotask truncation undercounted by up to a byte per monotask per
+// window, which compounds across tiles.
+func TestAttributeWindowTiling(t *testing.T) {
+	// Byte volumes chosen so every window boundary splits monotasks at
+	// non-integer byte fractions (the truncation-sensitive case).
+	j := jobWith("tile",
+		mono(task.DiskResource, task.KindInputRead, 0, 7, 1003),
+		mono(task.DiskResource, task.KindShuffleWrite, 1, 8, 977),
+		mono(task.DiskResource, task.KindInputRead, 2.5, 9.5, 331),
+		mono(task.NetworkResource, task.KindNetFetch, 0.5, 9, 1999),
+		mono(task.CPUResource, task.KindCompute, 0, 10, 0),
+	)
+	jobs := []*task.JobMetrics{j}
+	whole := Attribute(jobs, 0, 10, Resources{})[0].Usage
+
+	for _, nWindows := range []int{2, 3, 7, 16, 50} {
+		var sum metrics.MeasuredUsage
+		step := sim.Time(10) / sim.Time(nWindows)
+		for w := 0; w < nWindows; w++ {
+			t0, t1 := sim.Time(w)*step, sim.Time(w+1)*step
+			sum = sum.Add(Attribute(jobs, t0, t1, Resources{})[0].Usage)
+		}
+		// Each window rounds once, so the tiled sum may drift from the whole
+		// by at most half a byte per window (plus the whole's own rounding).
+		tol := int64(nWindows/2 + 1)
+		within := func(a, b int64) bool {
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			return d <= tol
+		}
+		if !within(sum.DiskReadBytes, whole.DiskReadBytes) ||
+			!within(sum.DiskWriteBytes, whole.DiskWriteBytes) ||
+			!within(sum.NetBytes, whole.NetBytes) {
+			t.Fatalf("%d windows: tiled sum %+v drifts beyond ±%d bytes from whole %+v",
+				nWindows, sum, tol, whole)
+		}
+		if math.Abs(sum.CPUSeconds-whole.CPUSeconds) > 1e-9 {
+			t.Fatalf("%d windows: tiled CPU %v vs whole %v", nWindows, sum.CPUSeconds, whole.CPUSeconds)
+		}
+	}
+
+	// The two-window split the telemetry sampler produces must be exact to
+	// the rounding bound for every boundary position, including boundaries
+	// inside every monotask.
+	for tm := sim.Time(0.5); tm < 10; tm += 0.5 {
+		a := Attribute(jobs, 0, tm, Resources{})[0].Usage
+		b := Attribute(jobs, tm, 10, Resources{})[0].Usage
+		sum := a.Add(b)
+		for _, d := range []int64{
+			sum.DiskReadBytes - whole.DiskReadBytes,
+			sum.DiskWriteBytes - whole.DiskWriteBytes,
+			sum.NetBytes - whole.NetBytes,
+		} {
+			if d < -2 || d > 2 {
+				t.Fatalf("split at %v: tiled %+v vs whole %+v", tm, sum, whole)
+			}
+		}
 	}
 }

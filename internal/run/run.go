@@ -12,6 +12,7 @@ import (
 	"repro/internal/pipeexec"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 // Mode selects the execution model.
@@ -59,6 +60,28 @@ type Options struct {
 	Faults task.FaultInjector
 	// Sched configures the driver's resilience and speculation policies.
 	Sched jobsched.Config
+	// Telemetry, when set, attaches a live sampler to the run's engine so the
+	// run emits periodic snapshots (utilization, pool state, per-job
+	// attribution) while it executes.
+	Telemetry *telemetry.Config
+	// OnTelemetry receives the run's sampler once the jobs finish — the hook
+	// callers use to collect the snapshot ring. Only called when Telemetry is
+	// set.
+	OnTelemetry func(*telemetry.Sampler)
+}
+
+// startTelemetry attaches a sampler per Options, returning a finish hook.
+func (o Options) startTelemetry(c *cluster.Cluster, d *jobsched.Driver) func() {
+	if o.Telemetry == nil {
+		return func() {}
+	}
+	s := telemetry.Start(c, d, *o.Telemetry)
+	return func() {
+		s.Stop()
+		if o.OnTelemetry != nil {
+			o.OnTelemetry(s)
+		}
+	}
 }
 
 // Executors builds one executor per machine of c in the requested mode.
@@ -114,12 +137,15 @@ func Jobs(c *cluster.Cluster, fs *dfs.FS, o Options, specs ...*task.JobSpec) ([]
 	if err != nil {
 		return nil, err
 	}
+	finish := o.startTelemetry(c, d)
 	for _, s := range specs {
 		if _, err := d.Submit(s); err != nil {
 			return nil, err
 		}
 	}
-	return d.Run(), nil
+	ms := d.Run()
+	finish()
+	return ms, nil
 }
 
 // Submission is one job of an open-loop arrival schedule: a spec, the
@@ -140,6 +166,7 @@ func JobsAt(c *cluster.Cluster, fs *dfs.FS, o Options, subs []Submission) ([]*jo
 	if err != nil {
 		return nil, err
 	}
+	finish := o.startTelemetry(c, d)
 	handles := make([]*jobsched.JobHandle, len(subs))
 	var submitErr error
 	for i, s := range subs {
@@ -153,6 +180,7 @@ func JobsAt(c *cluster.Cluster, fs *dfs.FS, o Options, subs []Submission) ([]*jo
 		})
 	}
 	d.Run()
+	finish()
 	if submitErr != nil {
 		return nil, submitErr
 	}

@@ -1,0 +1,68 @@
+package sim
+
+import "fmt"
+
+// Ticker is a recurring event: fn fires every interval of virtual time for as
+// long as the engine has other work pending. A naive self-rescheduling event
+// would keep Run from ever draining — the engine only stops when the pending
+// queue empties — so the ticker lets the queue decide its lifetime: after each
+// fire it reschedules only if other events remain. The fire where the engine
+// has drained is the ticker's last (fn can detect it via Engine.Len() == 0),
+// and Kick re-arms an idle ticker when new work is bound later.
+//
+// Because ticks are ordinary engine events they interleave with device events
+// deterministically under the (time, seq) tie-break, and a read-only fn
+// (sampling, telemetry) leaves every other event's relative order — and thus
+// the simulation's outcome — unchanged.
+type Ticker struct {
+	eng      *Engine
+	interval Duration
+	fn       func()
+	ref      EventRef
+	stopped  bool
+}
+
+// Every schedules fn to fire every interval of virtual time, first at
+// now+interval. A non-positive interval panics: it would busy-loop the clock.
+func (e *Engine) Every(interval Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: ticker interval %v must be positive", interval))
+	}
+	t := &Ticker{eng: e, interval: interval, fn: fn}
+	t.ref = e.After(interval, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	t.fn()
+	// This tick's event has already been popped, so Len() == 0 means only the
+	// ticker would remain in the queue: rescheduling would spin Run forever.
+	if t.stopped || t.eng.Len() == 0 {
+		t.ref = EventRef{}
+		return
+	}
+	t.ref = t.eng.After(t.interval, t.tick)
+}
+
+// Stop cancels the ticker permanently; Kick on a stopped ticker is a no-op.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.eng.Cancel(t.ref)
+	t.ref = EventRef{}
+}
+
+// Active reports whether a next tick is scheduled.
+func (t *Ticker) Active() bool { return t.ref.Scheduled() }
+
+// Kick re-arms a ticker that went idle when the engine drained — the pattern
+// for a long-lived session (monospark.Context) that runs several actions on
+// one engine, each binding fresh work. No-op if stopped or already scheduled.
+func (t *Ticker) Kick() {
+	if t.stopped || t.ref.Scheduled() {
+		return
+	}
+	t.ref = t.eng.After(t.interval, t.tick)
+}
+
+// Interval returns the tick period.
+func (t *Ticker) Interval() Duration { return t.interval }

@@ -1,0 +1,99 @@
+package sim
+
+import "testing"
+
+func TestTickerFiresWhileWorkPending(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	tk := e.Every(1, func() { ticks = append(ticks, e.Now()) })
+	e.At(5.5, func() {})
+	e.Run()
+	// Ticks at 1..5, then the final fire at 6 (after which the queue is
+	// empty, so the ticker lets the engine drain).
+	want := []Time{1, 2, 3, 4, 5, 6}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+	for i, w := range want {
+		if ticks[i] != w {
+			t.Fatalf("ticks %v, want %v", ticks, want)
+		}
+	}
+	if tk.Active() {
+		t.Fatal("ticker still active after drain")
+	}
+}
+
+func TestTickerKickResumesAfterDrain(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	tk := e.Every(2, func() { n++ })
+	e.At(3, func() {})
+	e.Run() // ticks at 2 and 4
+	if n != 2 {
+		t.Fatalf("first phase ticks = %d, want 2", n)
+	}
+	// Bind new work and re-arm: the ticker resumes from the current clock.
+	e.At(e.Now()+5, func() {})
+	tk.Kick()
+	e.Run() // ticks at 6, 8, 10 (event at 9 drains after the 8-tick... at 10 queue empty)
+	if n != 5 {
+		t.Fatalf("total ticks = %d, want 5", n)
+	}
+	tk.Kick()
+	if tk.Active() {
+		// Kick with an empty queue schedules one tick; drain it.
+		e.Run()
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	tk := e.Every(1, func() { n++ })
+	e.At(10, func() {})
+	e.At(3.5, func() { tk.Stop() })
+	e.Run()
+	if n != 3 {
+		t.Fatalf("ticks after Stop = %d, want 3", n)
+	}
+	tk.Kick()
+	if tk.Active() {
+		t.Fatal("Kick re-armed a stopped ticker")
+	}
+}
+
+func TestTickerInvalidInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewEngine().Every(0, func() {})
+}
+
+func TestTickerDoesNotPerturbEventOrder(t *testing.T) {
+	// The same workload with and without a read-only ticker must execute its
+	// own events in the same order at the same times.
+	run := func(withTicker bool) []Time {
+		e := NewEngine()
+		var fired []Time
+		if withTicker {
+			e.Every(0.3, func() {})
+		}
+		for _, at := range []Time{1, 1, 2.5, 2.5, 7} {
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		return fired
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event order perturbed: %v vs %v", a, b)
+		}
+	}
+}

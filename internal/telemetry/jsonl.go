@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file is the snapshot stream's wire format: JSON Lines, one Snapshot
+// per line. encoding/json emits float64s in their shortest round-trippable
+// form and every Snapshot field is an ordered struct or slice (no maps), so
+// the byte stream is a deterministic function of the snapshots — the property
+// the golden test pins across runs and parallel worker counts.
+
+// Streamer writes each observed snapshot to w as one JSON line. Attach its
+// Observe method as Config.OnSnapshot. Write errors are sticky: the first is
+// retained (Err) and later snapshots are dropped, so a full disk degrades the
+// stream rather than the simulation.
+type Streamer struct {
+	w   io.Writer
+	err error
+}
+
+// NewStreamer wraps w as a snapshot sink.
+func NewStreamer(w io.Writer) *Streamer { return &Streamer{w: w} }
+
+// Observe appends one snapshot to the stream.
+func (s *Streamer) Observe(snap *Snapshot) {
+	if s.err != nil {
+		return
+	}
+	s.err = writeSnapshot(s.w, snap)
+}
+
+// Err reports the first write or encode error, nil if the stream is healthy.
+func (s *Streamer) Err() error { return s.err }
+
+func writeSnapshot(w io.Writer, snap *Snapshot) error {
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteJSONL writes snapshots to w, one JSON line each.
+func WriteJSONL(w io.Writer, snaps []Snapshot) error {
+	for i := range snaps {
+		if err := writeSnapshot(w, &snaps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a snapshot stream produced by WriteJSONL or a Streamer.
+// Blank lines are skipped; a malformed line fails with its line number.
+func ReadJSONL(r io.Reader) ([]Snapshot, error) {
+	var out []Snapshot
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var s Snapshot
+		if err := json.Unmarshal(b, &s); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Render formats one snapshot as the top(1)-style view cmd/monotop shows:
+// header with the window and bottleneck ranking, then per-machine utilization,
+// per-pool scheduler state, and per-job live attribution. Pure function of the
+// snapshot, so it is as deterministic as the stream it renders.
+func Render(s *Snapshot) string {
+	var b strings.Builder
+	final := ""
+	if s.Final {
+		final = "  [final]"
+	}
+	fmt.Fprintf(&b, "monotop  t=%.3fs  snapshot %d  window [%.3f, %.3f)%s\n",
+		float64(s.T1), s.Seq, float64(s.T0), float64(s.T1), final)
+	fmt.Fprintf(&b, "bottleneck: %-8s p50=%s p95=%s   second: %-8s p50=%s\n\n",
+		s.Stage.Bottleneck, pct(s.Stage.BottleneckBox.P50), pct(s.Stage.BottleneckBox.P95),
+		s.Stage.Second, pct(s.Stage.SecondBox.P50))
+
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "MACHINE\tCPU\tDISK\tNET")
+	for _, m := range s.Machines {
+		fmt.Fprintf(tw, "m%d\t%s\t%s\t%s\n", m.Machine, pct(m.CPU), pct(m.Disk), pct(m.Net))
+	}
+	tw.Flush()
+
+	if len(s.Pools) > 0 {
+		b.WriteByte('\n')
+		tw = tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(tw, "POOL\tQUEUED\tACTIVE\tRUNNING\tPENDING")
+		for _, p := range s.Pools {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", p.Name, p.Queued, p.Active, p.Running, p.Pending)
+		}
+		tw.Flush()
+	}
+
+	if len(s.Jobs) > 0 {
+		b.WriteByte('\n')
+		tw = tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(tw, "JOB\tPOOL\tSTATE\tTASKS\tCPU%\tDISK%\tNET%\tIDEAL-CPU\tIDEAL-DISK\tIDEAL-NET")
+		for i := range s.Jobs {
+			j := &s.Jobs[i]
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%s\t%.2fs\t%.2fs\t%.2fs\n",
+				j.Name, j.Pool, jobState(j), j.LiveTasks,
+				pct(j.CPUShare), pct(j.DiskShare), pct(j.NetShare),
+				j.IdealCPU, j.IdealDisk, j.IdealNet)
+		}
+		tw.Flush()
+	}
+	return b.String()
+}
+
+// jobState is the one-word status column.
+func jobState(j *JobStat) string {
+	switch {
+	case j.Failed:
+		return "failed"
+	case j.Done:
+		return "done"
+	case j.LiveTasks > 0:
+		return "running"
+	default:
+		return "waiting"
+	}
+}
+
+// pct renders a [0,1] fraction as a percentage, "-" for absent (-1).
+func pct(f float64) string {
+	if f < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", f*100)
+}

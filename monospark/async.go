@@ -108,6 +108,9 @@ func (c *Context) Await() ([]*JobRun, error) {
 	if c.injector != nil {
 		c.injector.Bind(d)
 	}
+	if c.sampler != nil {
+		c.sampler.Bind(d)
+	}
 	handles := make([]*jobsched.JobHandle, len(batch))
 	var firstErr error
 	for i, a := range batch {

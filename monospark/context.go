@@ -11,6 +11,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/run"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 // Context owns a virtual cluster and creates Datasets on it. A Context is
@@ -21,6 +22,7 @@ type Context struct {
 	fs       *dfs.FS
 	execs    []task.Executor
 	injector *faults.Injector
+	sampler  *telemetry.Sampler
 	jobSeq   int
 	fileSeq  int
 	datasets int
@@ -58,6 +60,11 @@ func New(cfg Config) (*Context, error) {
 		}
 	}
 	ctx.execs = run.Executors(c, ctx.runOptions())
+	if cfg.Telemetry != nil {
+		// The sampler outlives per-job drivers; each job run binds the fresh
+		// driver (runJob, Await), so one snapshot stream spans the session.
+		ctx.sampler = telemetry.Start(c, nil, *cfg.Telemetry)
+	}
 	return ctx, nil
 }
 

@@ -390,6 +390,9 @@ func (c *Context) runJob(spec *task.JobSpec) (*task.JobMetrics, error) {
 		// replay machines that are currently down into its dead set.
 		c.injector.Bind(d)
 	}
+	if c.sampler != nil {
+		c.sampler.Bind(d)
+	}
 	h, err := d.Submit(spec)
 	if err != nil {
 		return nil, err

@@ -137,6 +137,10 @@ type Config struct {
 	// executor slots in proportion to its weight while it has runnable work.
 	// A fair-share pool named DefaultPool always exists.
 	Pools []PoolConfig
+	// Telemetry, when set, attaches a live in-run sampler to the Context's
+	// cluster: periodic snapshots of utilization, scheduler state, and
+	// per-job attribution, readable via Context.Telemetry while jobs run.
+	Telemetry *TelemetryConfig
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,36 @@
+package monospark
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Live telemetry re-exports: Config.Telemetry attaches a deterministic
+// in-run sampler to the Context's cluster, and Context.Telemetry exposes it.
+// The types live in internal/telemetry; the aliases make them usable outside
+// the module.
+type (
+	// TelemetryConfig tunes the sampler (virtual-time interval, ring size,
+	// sampling density, streaming hook). The zero value samples every virtual
+	// second into a 4096-snapshot ring.
+	TelemetryConfig = telemetry.Config
+	// TelemetrySnapshot is one captured moment: per-machine utilization,
+	// per-pool scheduler state, per-job live attribution, and the window's
+	// bottleneck ranking.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetrySampler owns the snapshot ring; read it with Snapshots or
+	// Latest, or stream with TelemetryConfig.OnSnapshot.
+	TelemetrySampler = telemetry.Sampler
+)
+
+// Telemetry returns the Context's live sampler, or nil unless
+// Config.Telemetry enabled it. Snapshots accumulate across every job run on
+// the Context — including aborted chaos runs — in one virtual-time stream:
+//
+//	ctx, _ := monospark.New(monospark.Config{Telemetry: &monospark.TelemetryConfig{}})
+//	... run jobs ...
+//	for _, s := range ctx.Telemetry().Snapshots() { fmt.Print(monospark.RenderTelemetry(&s)) }
+func (c *Context) Telemetry() *TelemetrySampler { return c.sampler }
+
+// RenderTelemetry formats one snapshot as the top(1)-style text view
+// cmd/monotop shows.
+func RenderTelemetry(s *TelemetrySnapshot) string { return telemetry.Render(s) }
