@@ -73,6 +73,12 @@ var smoke = flag.Bool("smoke", false, "run a reduced, CI-sized version of experi
 // cell is an independent simulation; results are identical at any setting.
 var parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for experiment grids (1 = serial)")
 
+// timeout, when positive, bounds each experiment's wall-clock time: cells
+// still pending when it expires fail with a deadline error and cells already
+// simulating are aborted cleanly between event batches, so a stuck
+// experiment reports failed instead of hanging the whole benchmark run.
+var timeout = flag.Duration("timeout", 0, "per-experiment wall-clock budget (0 = none), e.g. 90s")
+
 // telemetryOut, when set, attaches a live sampler to every experiment run and
 // writes all captured snapshots to this file as JSON Lines (cmd/monotop reads
 // the format). Output bytes are identical at any --parallel setting.
@@ -170,6 +176,23 @@ func main() {
 			*telemetryOut = args[i]
 			continue
 		}
+		if v, ok := strings.CutPrefix(a, "--timeout="); ok {
+			setTimeoutArg(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(a, "-timeout="); ok {
+			setTimeoutArg(v)
+			continue
+		}
+		if a == "--timeout" || a == "-timeout" {
+			if i+1 >= len(args) {
+				fmt.Fprintf(os.Stderr, "monobench: %s needs a value\n", a)
+				os.Exit(2)
+			}
+			i++
+			setTimeoutArg(args[i])
+			continue
+		}
 		kept = append(kept, a)
 	}
 	args = kept
@@ -193,6 +216,7 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		names = order
 	}
+	var failed []string
 	for _, name := range names {
 		runner, ok := experiments[name]
 		if !ok {
@@ -201,10 +225,18 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
+		if *timeout > 0 {
+			sweep.SetDeadline(start.Add(*timeout))
+		}
 		sections, err := runner()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "monobench: %s: %v\n", name, err)
-			os.Exit(1)
+			// A failed experiment (timed-out or crashed cells) is reported
+			// and the remaining experiments still run; the exit code at the
+			// end says the run was incomplete.
+			fmt.Fprintf(os.Stderr, "monobench: %s: FAILED after %v: %v\n",
+				name, time.Since(start).Round(time.Millisecond), err)
+			failed = append(failed, name)
+			continue
 		}
 		for i, s := range sections {
 			s.Fprint(os.Stdout)
@@ -218,12 +250,18 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	sweep.SetDeadline(time.Time{})
 	if tc != nil {
 		if err := tc.write(*telemetryOut); err != nil {
 			fmt.Fprintf(os.Stderr, "monobench: telemetry: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("[telemetry: %d run streams written to %s]\n", len(tc.chunks), *telemetryOut)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "monobench: %d of %d experiments failed: %s\n",
+			len(failed), len(names), strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }
 
@@ -255,6 +293,16 @@ func writeCSV(name string, idx int, section printer) error {
 	}
 	defer f.Close()
 	return t.CSV().Write(f)
+}
+
+// setTimeoutArg parses a trailing --timeout value into the flag.
+func setTimeoutArg(v string) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "monobench: bad --timeout value %q\n", v)
+		os.Exit(2)
+	}
+	*timeout = d
 }
 
 // setParallelArg parses a trailing --parallel value into the flag.

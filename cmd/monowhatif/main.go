@@ -1,0 +1,88 @@
+// Command monowhatif serves what-if performance questions over HTTP: POST a
+// workload, a cluster, and a set of hypothetical changes to /whatif and get
+// back predicted runtimes, a bottleneck ranking, and (optionally) telemetry
+// from the simulated run.
+//
+// The server is engineered to stay up under abuse: requests are strictly
+// validated and size-bounded, admission is weighted fair-share with bounded
+// per-tenant queues (full queues shed with 429 + Retry-After), every request
+// runs under a wall-clock budget that cancels the simulation cooperatively
+// (504 on expiry), a panicking session returns a structured 500 without
+// touching other requests, and repeated questions are answered byte-for-byte
+// from a memo without consuming a simulation slot.
+//
+// Usage:
+//
+//	monowhatif [-addr :8080] [-max-concurrent 4] [-queue-depth 8]
+//	           [-max-deadline 30s] [-memo-entries 256] [-chaos]
+//
+// Example:
+//
+//	curl -s localhost:8080/whatif -d '{
+//	  "workload": {"kind": "sort", "total_mb": 512, "values_per_key": 10},
+//	  "cluster":  {"machines": 4},
+//	  "whatifs":  [{"kind": "scale_disk", "factor": 2},
+//	               {"kind": "infinitely_fast", "resource": "network"}]
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/whatifsvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 4, "simulation slots running at once")
+	queueDepth := flag.Int("queue-depth", 8, "queued requests allowed per tenant before shedding")
+	maxDeadline := flag.Duration("max-deadline", 30*time.Second, "ceiling on per-request wall budgets")
+	memoEntries := flag.Int("memo-entries", 256, "memoized responses to retain")
+	chaos := flag.Bool("chaos", false, "admit the deliberately panicking chaos workload (testing only)")
+	flag.Parse()
+
+	svc := whatifsvc.New(whatifsvc.Config{
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		MaxDeadline:   *maxDeadline,
+		MemoEntries:   *memoEntries,
+		Chaos:         *chaos,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * *maxDeadline,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "monowhatif: serving on %s (slots=%d queue=%d deadline<=%v)\n",
+		*addr, *maxConcurrent, *queueDepth, *maxDeadline)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "monowhatif: %v\n", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "monowhatif: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

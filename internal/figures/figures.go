@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/run"
+	"repro/internal/sweep"
 	"repro/internal/task"
 	"repro/internal/telemetry"
 	"repro/internal/workloads"
@@ -78,6 +79,12 @@ func executeHetero(specs []cluster.MachineSpec, o run.Options, builders ...Build
 	if cfg := telemetryCfg; cfg != nil {
 		o.Telemetry = cfg
 		o.OnTelemetry = telemetrySink
+	}
+	// A sweep deadline (monobench --timeout) bounds in-flight cells too: the
+	// run layer polls it between event batches and aborts cleanly, so a
+	// stuck cell fails with a deadline error instead of hanging the sweep.
+	if t := sweep.Deadline(); !t.IsZero() && o.WallDeadline.IsZero() {
+		o.WallDeadline = t
 	}
 	jobs, err := run.Jobs(c, env.FS, o, jobSpecs...)
 	if err != nil {

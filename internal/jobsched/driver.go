@@ -221,6 +221,9 @@ func (d *Driver) SubmitWith(spec *task.JobSpec, opts SubmitOptions) (*JobHandle,
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Deadline < 0 {
+		return nil, fmt.Errorf("jobsched: job %q has negative deadline %v (the dispatch window is inverted)", spec.Name, opts.Deadline)
+	}
 	poolName := opts.Pool
 	if poolName == "" {
 		poolName = DefaultPool
@@ -258,6 +261,13 @@ func (d *Driver) SubmitWith(spec *task.JobSpec, opts SubmitOptions) (*JobHandle,
 func (d *Driver) Run() []*task.JobMetrics {
 	for {
 		d.cluster.Engine.Run()
+		if d.cluster.Engine.AbortErr() != nil {
+			// The engine's abort check fired (deadline, cancelled context):
+			// stop scheduling. Unfinished jobs are left as-is — the caller
+			// decides whether to fail them (run.JobsContext does, via
+			// AbortAll) or to clear the abort and resume.
+			break
+		}
 		// The engine drained. Any unfinished job stalled: every machine that
 		// could host its remaining tasks is gone, or the DAG deadlocked.
 		// Abort one and re-drain — the abort can admit a queued successor
@@ -483,6 +493,19 @@ func (d *Driver) finishStage(st *stageState) {
 		h.done = true
 		h.Metrics.End = d.cluster.Engine.Now()
 		d.releaseJob(h)
+	}
+}
+
+// AbortAll fails every unfinished job with err — the cancellation epilogue:
+// after an engine abort stops Run mid-flight, the caller uses AbortAll to
+// turn the in-flight jobs into cleanly failed ones (JobHandle.Err set, pools
+// released, metrics end-stamped at the abort time) so partial results are
+// well-formed rather than half-updated.
+func (d *Driver) AbortAll(err error) {
+	for _, h := range d.jobs {
+		if !h.finished() {
+			d.abortJob(h, err)
+		}
 	}
 }
 

@@ -117,6 +117,12 @@ func (p *poolState) deficit() float64 {
 func (d *Driver) initPools() error {
 	names := make(map[string]bool)
 	for i, pc := range d.cfg.Pools {
+		if pc.Weight < 0 {
+			return fmt.Errorf("jobsched: pool %q has negative weight %v", pc.Name, pc.Weight)
+		}
+		if pc.MaxConcurrentJobs < 0 {
+			return fmt.Errorf("jobsched: pool %q has negative MaxConcurrentJobs %d", pc.Name, pc.MaxConcurrentJobs)
+		}
 		pc = pc.withDefaults()
 		if pc.Name == "" {
 			return fmt.Errorf("jobsched: pool %d has no name", i)

@@ -120,6 +120,9 @@ func FromMetrics(jm *task.JobMetrics, res Resources) *JobProfile {
 		sp.InputReadBytes = sm.MonotaskBytes(task.DiskResource, task.KindInputRead)
 		if sp.InputReadBytes > 0 || inputFromMem(sm.Spec) {
 			for _, t := range sm.Tasks {
+				if t == nil { // unfinished slot of an aborted run
+					continue
+				}
 				for _, m := range t.Monotasks {
 					if m.Kind == task.KindCompute {
 						sp.InputDeserSeconds += m.DeserSec

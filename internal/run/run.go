@@ -3,7 +3,9 @@
 package run
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -68,6 +70,95 @@ type Options struct {
 	// callers use to collect the snapshot ring. Only called when Telemetry is
 	// set.
 	OnTelemetry func(*telemetry.Sampler)
+	// Deadline, when positive, bounds the run in virtual time: once the
+	// simulation clock passes it the run aborts with an *AbortError carrying
+	// the partial results accumulated so far.
+	Deadline sim.Time
+	// WallDeadline, when nonzero, bounds the run in wall-clock time — the
+	// knob a harness uses to abort a stuck cell cleanly (monobench
+	// --timeout). Checked between event batches, like Deadline.
+	WallDeadline time.Time
+}
+
+// AbortError reports a run cancelled mid-flight — by a context, a virtual
+// deadline, or a wall-clock deadline. The run's partial results are still
+// returned alongside it: every job metrics slice is well-formed, with
+// unfinished jobs marked failed and end-stamped at the abort time.
+type AbortError struct {
+	// Reason is the underlying cause (context.Canceled,
+	// context.DeadlineExceeded, or a deadline description).
+	Reason error
+	// At is the virtual time the abort fired.
+	At sim.Time
+}
+
+// Error describes the abort.
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("run: aborted at virtual t=%.3fs: %v", float64(e.At), e.Reason)
+}
+
+// Unwrap exposes the cause, so errors.Is(err, context.DeadlineExceeded)
+// works through an AbortError.
+func (e *AbortError) Unwrap() error { return e.Reason }
+
+// errVirtualDeadline is the Reason for virtual-time deadline aborts. It
+// matches context.DeadlineExceeded via errors.Is for callers that treat all
+// deadline shapes alike.
+var errVirtualDeadline = fmt.Errorf("virtual deadline exceeded: %w", context.DeadlineExceeded)
+
+// errWallDeadline is the Reason for wall-clock deadline aborts.
+var errWallDeadline = fmt.Errorf("wall-clock deadline exceeded: %w", context.DeadlineExceeded)
+
+// installAbort arms the engine's abort check for ctx and o's deadlines,
+// returning a disarm function. When no cancellation source is configured the
+// engine is left untouched (the uninstrumented hot path).
+//
+// The poll interval depends on the source: virtual deadlines are checked at
+// every event boundary, so the abort lands deterministically on the first
+// event past the deadline (cheap — one clock comparison); wall-clock and
+// context sources amortize over the engine's default batch, since their
+// firing time is not reproducible anyway.
+func installAbort(ctx context.Context, e *sim.Engine, o Options) func() {
+	done := ctx.Done()
+	if done == nil && o.Deadline <= 0 && o.WallDeadline.IsZero() {
+		return func() {}
+	}
+	every := sim.DefaultAbortInterval
+	if o.Deadline > 0 {
+		every = 1
+	}
+	check := func() error {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		if o.Deadline > 0 && e.Now() > o.Deadline {
+			return errVirtualDeadline
+		}
+		if !o.WallDeadline.IsZero() && time.Now().After(o.WallDeadline) {
+			return errWallDeadline
+		}
+		return nil
+	}
+	e.SetAbortCheck(every, check)
+	return func() { e.SetAbortCheck(0, nil) }
+}
+
+// finishAborted converts a fired engine abort into the caller-facing
+// *AbortError, failing unfinished jobs so their handles and metrics are
+// clean, and re-arms the engine for reuse. Returns nil if no abort fired.
+func finishAborted(e *sim.Engine, d *jobsched.Driver) error {
+	reason := e.AbortErr()
+	if reason == nil {
+		return nil
+	}
+	e.ClearAbort()
+	aerr := &AbortError{Reason: reason, At: e.Now()}
+	d.AbortAll(aerr)
+	return aerr
 }
 
 // startTelemetry attaches a sampler per Options, returning a finish hook.
@@ -131,8 +222,20 @@ func DriverWith(c *cluster.Cluster, fs *dfs.FS, execs []task.Executor) (*jobsche
 }
 
 // Jobs executes specs (submitted together, so they run concurrently) and
-// returns their metrics in submission order.
+// returns their metrics in submission order. Options deadlines (virtual or
+// wall-clock) are honoured; for cancellation from a caller's context use
+// JobsContext.
 func Jobs(c *cluster.Cluster, fs *dfs.FS, o Options, specs ...*task.JobSpec) ([]*task.JobMetrics, error) {
+	return JobsContext(context.Background(), c, fs, o, specs...)
+}
+
+// JobsContext is Jobs with cooperative cancellation: the run aborts cleanly
+// when ctx is cancelled or an Options deadline passes, returning the partial
+// metrics together with an *AbortError (unfinished jobs are marked failed
+// and end-stamped at the abort time). The check rides the engine's event
+// loop, so an un-cancelled run is byte-identical to one executed without a
+// context.
+func JobsContext(ctx context.Context, c *cluster.Cluster, fs *dfs.FS, o Options, specs ...*task.JobSpec) ([]*task.JobMetrics, error) {
 	d, err := Driver(c, fs, o)
 	if err != nil {
 		return nil, err
@@ -140,11 +243,17 @@ func Jobs(c *cluster.Cluster, fs *dfs.FS, o Options, specs ...*task.JobSpec) ([]
 	finish := o.startTelemetry(c, d)
 	for _, s := range specs {
 		if _, err := d.Submit(s); err != nil {
+			finish()
 			return nil, err
 		}
 	}
+	disarm := installAbort(ctx, c.Engine, o)
 	ms := d.Run()
+	disarm()
 	finish()
+	if aerr := finishAborted(c.Engine, d); aerr != nil {
+		return ms, aerr
+	}
 	return ms, nil
 }
 
@@ -162,6 +271,21 @@ type Submission struct {
 // the job handles in schedule order; handle metrics measure sojourn time
 // (admission queueing included) from each job's arrival.
 func JobsAt(c *cluster.Cluster, fs *dfs.FS, o Options, subs []Submission) ([]*jobsched.JobHandle, error) {
+	return JobsAtContext(context.Background(), c, fs, o, subs)
+}
+
+// JobsAtContext is JobsAt with cooperative cancellation (see JobsContext).
+// An arrival schedule with a negative arrival time is rejected up front — it
+// cannot be scheduled, and letting it reach the engine would panic.
+func JobsAtContext(ctx context.Context, c *cluster.Cluster, fs *dfs.FS, o Options, subs []Submission) ([]*jobsched.JobHandle, error) {
+	for i, s := range subs {
+		if s.Spec == nil {
+			return nil, fmt.Errorf("run: submission %d has no job spec", i)
+		}
+		if s.At < c.Engine.Now() {
+			return nil, fmt.Errorf("run: submission %d (%q) arrives at t=%v, before the cluster clock %v", i, s.Spec.Name, s.At, c.Engine.Now())
+		}
+	}
 	d, err := Driver(c, fs, o)
 	if err != nil {
 		return nil, err
@@ -179,10 +303,16 @@ func JobsAt(c *cluster.Cluster, fs *dfs.FS, o Options, subs []Submission) ([]*jo
 			handles[i] = h
 		})
 	}
+	disarm := installAbort(ctx, c.Engine, o)
 	d.Run()
+	disarm()
 	finish()
+	aerr := finishAborted(c.Engine, d)
 	if submitErr != nil {
 		return nil, submitErr
+	}
+	if aerr != nil {
+		return handles, aerr
 	}
 	return handles, nil
 }

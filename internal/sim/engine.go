@@ -77,7 +77,22 @@ type Engine struct {
 	pending []*Event // indexed binary min-heap on (at, seq)
 	free    []*Event // recycled Event structs
 	running bool
+
+	// Cooperative cancellation: Run polls abortCheck every abortEvery events
+	// and stops early (recording abortErr) when it returns non-nil. The check
+	// runs between events, never inside one, so a fired abort cannot perturb
+	// event order — the events that did execute are exactly the prefix an
+	// uninterrupted run would have executed.
+	abortCheck func() error
+	abortEvery int
+	abortErr   error
 }
+
+// DefaultAbortInterval is how many events Run executes between abort-check
+// polls when SetAbortCheck is given a non-positive interval. Small enough
+// that a cancelled run stops within microseconds of real time, large enough
+// that the poll is invisible next to the event dispatch itself.
+const DefaultAbortInterval = 256
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
@@ -191,14 +206,67 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until none remain.
+// SetAbortCheck installs (or, with a nil check, removes) a cooperative
+// cancellation hook: while Run drains the queue it calls check every `every`
+// events (DefaultAbortInterval when every <= 0) and stops early when check
+// returns a non-nil error, which is then available from AbortErr. The check
+// runs between events — never mid-callback — so the executed prefix is
+// byte-identical to the same prefix of an uninterrupted run, and a run that
+// is never aborted is unaffected entirely. The polling itself allocates
+// nothing; the check function should not either (a context poll or a clock
+// comparison is the intended shape).
+func (e *Engine) SetAbortCheck(every int, check func() error) {
+	if every <= 0 {
+		every = DefaultAbortInterval
+	}
+	e.abortCheck = check
+	e.abortEvery = every
+}
+
+// AbortErr reports the error that stopped the last Run early, or nil if no
+// abort has fired. While AbortErr is non-nil, Run returns immediately;
+// ClearAbort re-arms the engine.
+func (e *Engine) AbortErr() error { return e.abortErr }
+
+// ClearAbort resets a fired abort so the engine can be driven again. The
+// pending queue is untouched: a cleared engine resumes exactly where the
+// abort paused it, which is what makes an aborted simulation resumable (and
+// testable — resuming must reproduce the uninterrupted event sequence).
+func (e *Engine) ClearAbort() { e.abortErr = nil }
+
+// Run executes events until none remain, or — when an abort check is
+// installed — until the check fails, leaving the remaining events pending
+// and the reason on AbortErr.
 func (e *Engine) Run() {
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
 	e.running = true
 	defer func() { e.running = false }()
+	if e.abortCheck == nil {
+		for e.Step() {
+		}
+		return
+	}
+	if e.abortErr != nil {
+		return
+	}
+	// Check once before the first event so an already-fired source (a
+	// pre-cancelled context, an expired deadline) aborts a run of any size.
+	if err := e.abortCheck(); err != nil {
+		e.abortErr = err
+		return
+	}
+	budget := e.abortEvery
 	for e.Step() {
+		budget--
+		if budget <= 0 {
+			if err := e.abortCheck(); err != nil {
+				e.abortErr = err
+				return
+			}
+			budget = e.abortEvery
+		}
 	}
 }
 

@@ -18,10 +18,13 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // defaultWorkers is the process-wide worker count used by Run. It is atomic
@@ -44,6 +47,68 @@ func SetParallelism(n int) {
 	defaultWorkers.Store(int64(n))
 }
 
+// deadline is the process-wide wall-clock cutoff for sweep cells (zero =
+// none). Cells not yet started when it passes fail with a deadline error
+// instead of running; in-flight cells are aborted cooperatively by runners
+// that thread Deadline() into run.Options.WallDeadline (internal/figures
+// does). This is the mechanism behind monobench --timeout.
+var deadline atomic.Value // time.Time
+
+// SetDeadline installs (or, with a zero time, clears) the process-wide cell
+// deadline.
+func SetDeadline(t time.Time) { deadline.Store(t) }
+
+// Deadline reports the current cell deadline (zero when none is set).
+func Deadline() time.Time {
+	t, _ := deadline.Load().(time.Time)
+	return t
+}
+
+// errSweepDeadline fails cells that were never started. It matches
+// context.DeadlineExceeded via errors.Is, like the run layer's own deadline
+// aborts, so callers can treat every timeout shape alike.
+var errSweepDeadline = fmt.Errorf("sweep deadline exceeded before the cell started: %w", context.DeadlineExceeded)
+
+// deadlinePassed reports whether the sweep deadline is set and behind us.
+func deadlinePassed() bool {
+	t := Deadline()
+	return !t.IsZero() && time.Now().After(t)
+}
+
+// runCell executes one cell, converting a panic into a per-cell error so a
+// crashing configuration is reported as a failed cell in the sweep's result
+// instead of killing the whole process.
+func runCell[T any](fn func(cell int) (T, error), i int) (v T, err error) {
+	if deadlinePassed() {
+		return v, errSweepDeadline
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell panicked: %v", r)
+		}
+	}()
+	return fn(i)
+}
+
+// joinCellErrors aggregates per-cell failures in cell order (lowest index
+// first), so the combined error is deterministic and names every failed
+// cell. Returns nil when no cell failed.
+func joinCellErrors(errs []error) error {
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("sweep: cell %d: %w", i, err))
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	if len(failed) == 1 {
+		return failed[0]
+	}
+	return fmt.Errorf("sweep: %d cells failed: %w", len(failed), errors.Join(failed...))
+}
+
 // Run executes cells 0..cells-1 with fn using the process-wide default
 // parallelism and returns the results indexed by cell. See RunWorkers.
 func Run[T any](cells int, fn func(cell int) (T, error)) ([]T, error) {
@@ -56,30 +121,29 @@ func Run[T any](cells int, fn func(cell int) (T, error)) ([]T, error) {
 // state across cells.
 //
 // Determinism contract: the returned slice is ordered by cell index, and
-// when any cells fail, the reported error is the failing cell with the
-// lowest index — both independent of goroutine scheduling. A panic in a
-// cell is re-raised on the calling goroutine (again lowest-index first),
-// annotated with the cell number.
+// when any cells fail, the combined error lists the failing cells in
+// ascending index order — both independent of goroutine scheduling. A panic
+// in a cell is recovered into that cell's error, annotated with the cell
+// number, so one crashing configuration marks its cell failed instead of
+// killing the sweep; healthy cells still run and their results are returned
+// alongside the error. When a SetDeadline cutoff passes mid-sweep, cells
+// not yet started fail with a deadline error (matching
+// context.DeadlineExceeded) rather than running.
 func RunWorkers[T any](workers, cells int, fn func(cell int) (T, error)) ([]T, error) {
 	if cells <= 0 {
 		return nil, nil
 	}
 	results := make([]T, cells)
+	errs := make([]error, cells)
 	if workers > cells {
 		workers = cells
 	}
 	if workers <= 1 {
 		for i := 0; i < cells; i++ {
-			v, err := fn(i)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: cell %d: %w", i, err)
-			}
-			results[i] = v
+			results[i], errs[i] = runCell(fn, i)
 		}
-		return results, nil
+		return results, joinCellErrors(errs)
 	}
-	errs := make([]error, cells)
-	panics := make([]any, cells)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -91,27 +155,10 @@ func RunWorkers[T any](workers, cells int, fn func(cell int) (T, error)) ([]T, e
 				if i >= cells {
 					return
 				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							panics[i] = r
-						}
-					}()
-					results[i], errs[i] = fn(i)
-				}()
+				results[i], errs[i] = runCell(fn, i)
 			}
 		}()
 	}
 	wg.Wait()
-	for i, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("sweep: cell %d panicked: %v", i, p))
-		}
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sweep: cell %d: %w", i, err)
-		}
-	}
-	return results, nil
+	return results, joinCellErrors(errs)
 }

@@ -1,11 +1,13 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestResultsInCellOrder(t *testing.T) {
@@ -25,10 +27,10 @@ func TestResultsInCellOrder(t *testing.T) {
 	}
 }
 
-func TestLowestIndexErrorWins(t *testing.T) {
+func TestFailedCellsReportedInOrder(t *testing.T) {
 	wantErr := errors.New("boom")
 	for _, workers := range []int{1, 4} {
-		_, err := RunWorkers(workers, 20, func(i int) (int, error) {
+		got, err := RunWorkers(workers, 20, func(i int) (int, error) {
 			if i == 7 || i == 13 {
 				return 0, fmt.Errorf("cell says %d: %w", i, wantErr)
 			}
@@ -40,28 +42,55 @@ func TestLowestIndexErrorWins(t *testing.T) {
 		if !errors.Is(err, wantErr) {
 			t.Fatalf("workers=%d: error %v does not wrap the cell error", workers, err)
 		}
-		if !strings.Contains(err.Error(), "cell 7") {
-			t.Fatalf("workers=%d: error %q should name the lowest failing cell 7", workers, err)
+		// Every failing cell is named, lowest first.
+		msg := err.Error()
+		p7, p13 := strings.Index(msg, "cell 7"), strings.Index(msg, "cell 13")
+		if p7 < 0 || p13 < 0 || p7 > p13 {
+			t.Fatalf("workers=%d: error %q should name cells 7 and 13 in order", workers, msg)
+		}
+		// Healthy cells still ran and returned results alongside the error.
+		if len(got) != 20 || got[6] != 6 || got[19] != 19 {
+			t.Fatalf("workers=%d: healthy results lost: %v", workers, got)
 		}
 	}
 }
 
-func TestPanicIsReRaisedWithCell(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("panic was swallowed")
+func TestPanicBecomesCellError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got, err := RunWorkers(workers, 10, func(i int) (int, error) {
+			if i == 3 {
+				panic("kaput")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: cell panic not reported", workers)
 		}
-		if !strings.Contains(fmt.Sprint(r), "cell 3") {
-			t.Fatalf("panic %v should name cell 3", r)
+		msg := err.Error()
+		if !strings.Contains(msg, "cell 3") || !strings.Contains(msg, "kaput") {
+			t.Fatalf("workers=%d: error %q should name cell 3 and the panic value", workers, msg)
 		}
-	}()
-	_, _ = RunWorkers(4, 10, func(i int) (int, error) {
-		if i == 3 {
-			panic("kaput")
+		if len(got) != 10 || got[9] != 9 {
+			t.Fatalf("workers=%d: healthy results lost after a cell panic: %v", workers, got)
 		}
+	}
+}
+
+func TestDeadlineFailsUnstartedCells(t *testing.T) {
+	defer SetDeadline(time.Time{})
+	SetDeadline(time.Now().Add(-time.Second))
+	_, err := RunWorkers(4, 8, func(i int) (int, error) {
+		t.Errorf("cell %d ran past the deadline", i)
 		return i, nil
 	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired sweep deadline: want DeadlineExceeded in chain, got %v", err)
+	}
+	// Clearing the deadline restores normal operation.
+	SetDeadline(time.Time{})
+	if _, err := RunWorkers(4, 8, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatalf("after clearing deadline: %v", err)
+	}
 }
 
 func TestEveryCellRunsExactlyOnce(t *testing.T) {

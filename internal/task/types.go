@@ -136,8 +136,12 @@ func (s *StageSpec) TotalCPU() float64 {
 	return float64(s.NumTasks) * (s.DeserCPU + s.OpCPU + s.SerCPU)
 }
 
-// Validate reports structural errors.
+// Validate reports structural errors. Safe on a nil receiver — a nil stage
+// is an input error to report, not an invariant to panic on.
 func (s *StageSpec) Validate() error {
+	if s == nil {
+		return fmt.Errorf("task: nil stage spec")
+	}
 	if s.NumTasks <= 0 {
 		return fmt.Errorf("task: stage %q needs tasks, got %d", s.Name, s.NumTasks)
 	}
@@ -163,8 +167,13 @@ type JobSpec struct {
 }
 
 // Validate checks the whole job: stage IDs must be dense indices and
-// parents must precede children (topological order).
+// parents must precede children (topological order). Safe on a nil receiver:
+// specs arrive from user-facing APIs (monospark, the what-if service), so a
+// nil or malformed spec must surface as an error, never a panic.
 func (j *JobSpec) Validate() error {
+	if j == nil {
+		return fmt.Errorf("task: nil job spec")
+	}
 	if len(j.Stages) == 0 {
 		return fmt.Errorf("task: job %q has no stages", j.Name)
 	}
@@ -294,6 +303,9 @@ func (s *StageMetrics) Duration() sim.Duration { return s.End - s.Start }
 func (s *StageMetrics) MonotaskSeconds(r Resource, kind Kind) float64 {
 	var sum float64
 	for _, t := range s.Tasks {
+		if t == nil { // task slot not finished (aborted or mid-run stage)
+			continue
+		}
 		for _, m := range t.Monotasks {
 			if m.Resource != r {
 				continue
@@ -312,6 +324,9 @@ func (s *StageMetrics) MonotaskSeconds(r Resource, kind Kind) float64 {
 func (s *StageMetrics) MonotaskBytes(r Resource, kind Kind) int64 {
 	var sum int64
 	for _, t := range s.Tasks {
+		if t == nil {
+			continue
+		}
 		for _, m := range t.Monotasks {
 			if m.Resource != r {
 				continue

@@ -1,0 +1,69 @@
+package whatifsvc
+
+import (
+	"container/list"
+	"sync"
+)
+
+// memoCache is a bounded LRU over rendered response bodies, keyed by request
+// fingerprint. It stores the exact bytes that were sent, so a hit is
+// byte-identical to the fresh run by construction — and because the
+// simulator is deterministic, also byte-identical to what a fresh run would
+// produce now. Hits are served before admission, which makes the memo an
+// overload valve: repeated questions cost nothing even while the cluster of
+// simulation slots is saturated.
+type memoCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recent
+}
+
+type memoEntry struct {
+	key  string
+	body []byte
+}
+
+func newMemo(capacity int) *memoCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &memoCache{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// Get returns the memoized body for key, or nil.
+func (c *memoCache) Get(key string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*memoEntry).body
+}
+
+// Put stores body under key, evicting the least-recently-used entry when
+// over capacity. The caller must not mutate body afterwards.
+func (c *memoCache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*memoEntry).body = body
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&memoEntry{key: key, body: body})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*memoEntry).key)
+	}
+}
+
+// Len reports the number of memoized responses.
+func (c *memoCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

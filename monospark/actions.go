@@ -1,6 +1,7 @@
 package monospark
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -14,7 +15,18 @@ import (
 // Collect evaluates the dataset and returns every record (partition order,
 // deterministic) together with the run's performance record.
 func (d *Dataset) Collect() ([]any, *JobRun, error) {
-	stages, run, err := d.runAction("collect", false)
+	return d.CollectContext(context.Background())
+}
+
+// CollectContext is Collect with cooperative cancellation: if ctx is
+// cancelled (or its deadline passes) while the virtual cluster is
+// simulating, the run aborts cleanly with an error that unwraps to the
+// context's. The data plane has already executed by then — cancellation
+// bounds the simulation, which is the expensive phase for large clusters.
+// After a cancelled run the Context is spent (its engine holds the aborted
+// jobs' undrained events); further actions return a descriptive error.
+func (d *Dataset) CollectContext(ctx context.Context) ([]any, *JobRun, error) {
+	stages, run, err := d.runAction(ctx, "collect", false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -28,7 +40,12 @@ func (d *Dataset) Collect() ([]any, *JobRun, error) {
 
 // Count evaluates the dataset and returns its record count.
 func (d *Dataset) Count() (int64, *JobRun, error) {
-	stages, run, err := d.runAction("count", false)
+	return d.CountContext(context.Background())
+}
+
+// CountContext is Count with cooperative cancellation (see CollectContext).
+func (d *Dataset) CountContext(ctx context.Context) (int64, *JobRun, error) {
+	stages, run, err := d.runAction(ctx, "count", false)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -42,7 +59,7 @@ func (d *Dataset) Count() (int64, *JobRun, error) {
 // Reduce folds all records with f (associative, commutative) and returns
 // the result, or an error on an empty dataset.
 func (d *Dataset) Reduce(f func(a, b any) any) (any, *JobRun, error) {
-	stages, run, err := d.runAction("reduce", false)
+	stages, run, err := d.runAction(context.Background(), "reduce", false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -66,7 +83,7 @@ func (d *Dataset) Reduce(f func(a, b any) any) (any, *JobRun, error) {
 
 // CountByKey evaluates a Pair dataset and returns per-key record counts.
 func (d *Dataset) CountByKey() (map[string]int64, *JobRun, error) {
-	stages, run, err := d.runAction("countByKey", false)
+	stages, run, err := d.runAction(context.Background(), "countByKey", false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -87,7 +104,7 @@ func (d *Dataset) CountByKey() (map[string]int64, *JobRun, error) {
 // the named output file on the distributed filesystem (paying output disk
 // I/O), and returns the written lines.
 func (d *Dataset) SaveAsTextFile(name string) ([]string, *JobRun, error) {
-	stages, run, err := d.runAction("save:"+name, true)
+	stages, run, err := d.runAction(context.Background(), "save:"+name, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -100,8 +117,9 @@ func (d *Dataset) SaveAsTextFile(name string) ([]string, *JobRun, error) {
 	return lines, run, nil
 }
 
-// runAction plans, evaluates, simulates, and packages a job.
-func (d *Dataset) runAction(action string, writesOutput bool) ([]*stagePlan, *JobRun, error) {
+// runAction plans, evaluates, simulates, and packages a job under ctx's
+// cancellation.
+func (d *Dataset) runAction(ctx context.Context, action string, writesOutput bool) ([]*stagePlan, *JobRun, error) {
 	c := d.ctx
 	c.jobSeq++
 	name := fmt.Sprintf("job%d-%s", c.jobSeq, action)
@@ -113,7 +131,7 @@ func (d *Dataset) runAction(action string, writesOutput bool) ([]*stagePlan, *Jo
 	if err != nil {
 		return nil, nil, err
 	}
-	jm, err := c.runJob(spec)
+	jm, err := c.runJobContext(ctx, spec)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package monospark
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/jobsched"
@@ -96,8 +97,21 @@ func (c *Context) submitAsync(d *Dataset, action string, writesOutput bool, opts
 // action hit; per-action results stay available on each AsyncAction either
 // way. Await with nothing pending is a no-op.
 func (c *Context) Await() ([]*JobRun, error) {
+	return c.AwaitContext(context.Background())
+}
+
+// AwaitContext is Await with cooperative cancellation: if ctx is cancelled
+// while the shared driver is simulating, the batch aborts between event
+// batches — every in-flight action fails with an error that unwraps to the
+// context's, completed actions keep their results, and the Context becomes
+// unusable for further runs (its engine holds the aborted jobs' undrained
+// events; create a fresh Context to continue).
+func (c *Context) AwaitContext(ctx context.Context) ([]*JobRun, error) {
 	if len(c.pendingAsync) == 0 {
 		return nil, nil
+	}
+	if err := c.usable(); err != nil {
+		return nil, err
 	}
 	batch := c.pendingAsync
 	c.pendingAsync = nil
@@ -128,7 +142,10 @@ func (c *Context) Await() ([]*JobRun, error) {
 		}
 		handles[i] = h
 	}
-	d.Run()
+	c.runDriver(ctx, d)
+	if aerr := c.aborted; aerr != nil && firstErr == nil {
+		firstErr = aerr
+	}
 	var runs []*JobRun
 	for i, a := range batch {
 		h := handles[i]

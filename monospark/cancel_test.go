@@ -1,0 +1,139 @@
+package monospark
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCollectContextPreCancelled: a dead context aborts before the simulation
+// runs, the error unwraps to context.Canceled, and the Context is poisoned —
+// the shared engine still holds the aborted job's events, so further actions
+// must refuse cleanly instead of interleaving with stale state.
+func TestCollectContextPreCancelled(t *testing.T) {
+	sc := testContext(t, Monotasks)
+	ds := wordCountDataset(t, sc, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := ds.CollectContext(ctx)
+	if err == nil {
+		t.Fatal("cancelled context: Collect succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
+	}
+	// The Context is now spent: a plain Collect must fail with a descriptive
+	// error, not panic or corrupt the next run.
+	_, _, err = ds.Collect()
+	if err == nil {
+		t.Fatal("poisoned Context accepted another action")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("poisoned-Context error should carry the original cause: %v", err)
+	}
+}
+
+func TestCollectContextExpiredDeadline(t *testing.T) {
+	sc := testContext(t, Monotasks)
+	ds := wordCountDataset(t, sc, 300)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err := ds.CountContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: want DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestCollectContextUncancelledIdentical: passing a live context must not
+// change the simulation at all — same records, same virtual duration as the
+// plain Collect on an identical fresh Context.
+func TestCollectContextUncancelledIdentical(t *testing.T) {
+	plain := testContext(t, Monotasks)
+	recsWant, runWant, err := wordCountDataset(t, plain, 300).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx := testContext(t, Monotasks)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	recsGot, runGot, err := wordCountDataset(t, withCtx, 300).CollectContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recsGot) != len(recsWant) {
+		t.Fatalf("record counts differ: %d with context vs %d without", len(recsGot), len(recsWant))
+	}
+	if runGot.Duration() != runWant.Duration() {
+		t.Fatalf("virtual durations differ: %v with context vs %v without", runGot.Duration(), runWant.Duration())
+	}
+}
+
+func TestAwaitContextCancelledPoisonsContext(t *testing.T) {
+	sc := asyncContext(t)
+	a1, err := wordCountDataset(t, sc, 300).CollectAsync(JobOptions{Pool: "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := wordCountDataset(t, sc, 300).CountAsync(JobOptions{Pool: "adhoc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sc.AwaitContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Await: want context.Canceled in chain, got %v", err)
+	}
+	for _, a := range []*AsyncAction{a1, a2} {
+		if !a.Done() {
+			t.Fatalf("action %s not finalized after cancelled Await", a.Name)
+		}
+		if a.Err() == nil {
+			t.Fatalf("action %s reported success under a cancelled Await", a.Name)
+		}
+	}
+	// The shared driver aborted mid-batch: the Context must refuse new work.
+	if _, err := wordCountDataset(t, sc, 100).CollectAsync(JobOptions{}); err == nil {
+		if _, err := sc.Await(); err == nil {
+			t.Fatal("poisoned Context ran another Await batch")
+		}
+	}
+}
+
+// TestAsyncNegativeDeadlineRejected: a malformed scheduling tag (inverted
+// dispatch window) surfaces as a submit error through the public API instead
+// of panicking inside the scheduler.
+func TestAsyncNegativeDeadlineRejected(t *testing.T) {
+	sc := asyncContext(t)
+	if _, err := wordCountDataset(t, sc, 100).CollectAsync(JobOptions{Pool: "prod", DeadlineSeconds: -5}); err != nil {
+		t.Fatal(err) // submission only parks the job; the error comes from Await
+	}
+	_, err := sc.Await()
+	if err == nil {
+		t.Fatal("negative deadline accepted by the scheduler")
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("validation error mislabelled as cancellation: %v", err)
+	}
+	// Validation failures reject the job without running it — the Context
+	// stays usable.
+	if _, _, err := wordCountDataset(t, sc, 100).Count(); err != nil {
+		t.Fatalf("Context unusable after a rejected submission: %v", err)
+	}
+}
+
+// TestAsyncUndeclaredPoolKeepsContextUsable extends the undeclared-pool case:
+// the rejection is an error (not a panic) and later jobs still run.
+func TestAsyncUndeclaredPoolKeepsContextUsable(t *testing.T) {
+	sc := asyncContext(t)
+	if _, err := wordCountDataset(t, sc, 100).CollectAsync(JobOptions{Pool: "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Await(); err == nil {
+		t.Fatal("undeclared pool accepted")
+	}
+	if _, _, err := wordCountDataset(t, sc, 100).Count(); err != nil {
+		t.Fatalf("Context unusable after a rejected submission: %v", err)
+	}
+}

@@ -29,6 +29,10 @@ type Context struct {
 	// pendingAsync holds jobs queued by the Async actions until Await runs
 	// them concurrently on one shared driver.
 	pendingAsync []*AsyncAction
+	// aborted poisons the Context after a cancelled run: the shared engine
+	// still holds the aborted jobs' undrained events, so further runs on it
+	// would interleave with stale state. A fresh Context is the recovery.
+	aborted error
 }
 
 // New builds a Context over a fresh virtual cluster.

@@ -1,11 +1,13 @@
 package monospark
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/dfs"
 	"repro/internal/jobsched"
+	"repro/internal/run"
 	"repro/internal/task"
 	"repro/internal/workloads"
 )
@@ -381,6 +383,16 @@ func (c *Context) toJobSpec(name string, stages []*stagePlan) (*task.JobSpec, er
 // abort (retry budget exhausted, unrecoverable data loss); the driver's
 // descriptive error is returned instead of a result.
 func (c *Context) runJob(spec *task.JobSpec) (*task.JobMetrics, error) {
+	return c.runJobContext(context.Background(), spec)
+}
+
+// runJobContext is runJob with cooperative cancellation: when ctx is
+// cancelled mid-simulation the run aborts between event batches, the job is
+// failed cleanly, and the Context is poisoned (see Context.aborted).
+func (c *Context) runJobContext(ctx context.Context, spec *task.JobSpec) (*task.JobMetrics, error) {
+	if err := c.usable(); err != nil {
+		return nil, err
+	}
 	d, err := jobsched.NewWithConfig(c.cluster, c.fs, c.execs, c.driverConfig())
 	if err != nil {
 		return nil, err
@@ -397,9 +409,45 @@ func (c *Context) runJob(spec *task.JobSpec) (*task.JobMetrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	ms := d.Run()
+	ms := c.runDriver(ctx, d)
+	if err := c.aborted; err != nil {
+		return nil, fmt.Errorf("monospark: %s: %w", spec.Name, err)
+	}
 	if err := h.Err(); err != nil {
 		return nil, err
 	}
 	return ms[0], nil
+}
+
+// usable rejects further runs on a Context poisoned by a cancelled run.
+func (c *Context) usable() error {
+	if c.aborted != nil {
+		return fmt.Errorf("monospark: context unusable after a cancelled run (%w); create a fresh Context", c.aborted)
+	}
+	return nil
+}
+
+// runDriver drains d under ctx's cancellation. On abort it fails the
+// in-flight jobs with a descriptive *run.AbortError and poisons the Context.
+func (c *Context) runDriver(ctx context.Context, d *jobsched.Driver) []*task.JobMetrics {
+	eng := c.cluster.Engine
+	if done := ctx.Done(); done != nil {
+		eng.SetAbortCheck(0, func() error {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+				return nil
+			}
+		})
+		defer eng.SetAbortCheck(0, nil)
+	}
+	ms := d.Run()
+	if reason := eng.AbortErr(); reason != nil {
+		eng.ClearAbort()
+		aerr := &run.AbortError{Reason: reason, At: eng.Now()}
+		d.AbortAll(aerr)
+		c.aborted = aerr
+	}
+	return ms
 }
