@@ -54,13 +54,14 @@ var experiments = map[string]func() ([]printer, error){
 	"failure":   figFailure,
 	"chaos":     figChaos,
 	"multijob":  wrap1(figMultijob),
+	"memory":    wrap1(figMemory),
 }
 
 // order lists experiments in paper order for `monobench all`.
 var order = []string{
 	"fig2", "sort", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig11", "fig12", "sec63", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"ablations", "failure", "chaos", "multijob",
+	"ablations", "failure", "chaos", "multijob", "memory",
 }
 
 // csvDir, when set, receives each experiment's data as CSV files.

@@ -102,3 +102,5 @@ func figChaos() ([]printer, error) {
 }
 
 func figMultijob() (*figures.MultijobResult, error) { return figures.Multijob(*smoke) }
+
+func figMemory() (*figures.MemoryResult, error) { return figures.Memory(*smoke) }

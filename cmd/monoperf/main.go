@@ -3,7 +3,7 @@
 // and a serial-vs-parallel sweep of the chaos matrix, then writes the numbers
 // to a BENCH_*.json report.
 //
-//	monoperf -out BENCH_4.json                                # full run
+//	monoperf -out BENCH_5.json                                # full run
 //	monoperf -quick -baseline BENCH_4.json -out BENCH_ci.json # CI-sized run
 //
 // The exit status doubles as two gates: if the parallel sweep's rendered
@@ -42,7 +42,7 @@ func benchSortEndToEnd(b *testing.B) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "report path")
+	out := flag.String("out", "BENCH_5.json", "report path")
 	quick := flag.Bool("quick", false, "CI-sized run: fewer chaos seeds")
 	workers := flag.Int("parallel", 0,
 		"worker count for the parallel sweep leg (0 = min(8, NumCPU): more workers than cores only measures time-slicing overhead)")
@@ -105,8 +105,8 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("%-24s serial %.0f ms, parallel(%d) %.0f ms, speedup %.2fx, identical %v\n",
-		"sweep:"+sw.Experiment, sw.SerialMs, sw.Workers, sw.ParallelMs, sw.Speedup, sw.Identical)
+	fmt.Printf("%-24s serial %.0f ms, parallel(%d) %.0f ms on %d CPUs, speedup %.2fx, identical %v\n",
+		"sweep:"+sw.Experiment, sw.SerialMs, sw.Workers, sw.ParallelMs, sw.NumCPU, sw.Speedup, sw.Identical)
 	if sw.Flagged {
 		fmt.Fprintf(os.Stderr,
 			"monoperf: warning: parallel sweep speedup %.2fx < 1 with %d workers on %d CPUs — number is an overhead measurement, not a win\n",

@@ -139,17 +139,28 @@ func runSim(cfg config) error {
 		job.Name, cfg.machines, cfg.cores, len(spec.Disks), cfg.netGbps, cfg.mode)
 	fmt.Printf("job time: %s\n\n", units.FormatSeconds(float64(jm.Duration())))
 
-	fmt.Printf("%-22s %10s %8s %8s %8s %10s\n", "stage", "actual(s)", "cpu*", "disk*", "net*", "bottleneck")
 	res := model.ClusterResources(c)
+	memModeled := res.MemBW > 0
+	if memModeled {
+		fmt.Printf("%-22s %10s %8s %8s %8s %8s %10s\n", "stage", "actual(s)", "cpu*", "disk*", "net*", "mem*", "bottleneck")
+	} else {
+		fmt.Printf("%-22s %10s %8s %8s %8s %10s\n", "stage", "actual(s)", "cpu*", "disk*", "net*", "bottleneck")
+	}
 	profile := model.FromMetrics(jm, res)
 	monotasksRun := opts.Mode == run.Monotasks
 	for i, st := range jm.Stages {
-		if monotasksRun {
+		switch {
+		case monotasksRun && memModeled:
 			sp := profile.Stages[i]
-			cpu, disk, net := sp.IdealTimes(res)
+			cpu, disk, net, mem := sp.IdealTimes(res)
+			fmt.Printf("%-22s %10.1f %8.1f %8.1f %8.1f %8.1f %10v\n",
+				st.Spec.Name, float64(st.Duration()), cpu, disk, net, mem, sp.Bottleneck(res))
+		case monotasksRun:
+			sp := profile.Stages[i]
+			cpu, disk, net, _ := sp.IdealTimes(res)
 			fmt.Printf("%-22s %10.1f %8.1f %8.1f %8.1f %10v\n",
 				st.Spec.Name, float64(st.Duration()), cpu, disk, net, sp.Bottleneck(res))
-		} else {
+		default:
 			fmt.Printf("%-22s %10.1f %8s %8s %8s %10s\n",
 				st.Spec.Name, float64(st.Duration()), "-", "-", "-", "(opaque)")
 		}

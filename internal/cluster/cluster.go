@@ -23,6 +23,11 @@ type MachineSpec struct {
 	NetBW       float64 // bytes/second, full duplex
 	MemBytes    int64
 	SpeedFactor float64
+
+	// Mem enables the fourth-resource memory model (bandwidth ceiling,
+	// capacity-pressure spill, seeded GC pauses). The zero value disables it
+	// entirely — the machine behaves exactly as before this knob existed.
+	Mem resource.MemorySpec
 }
 
 // Degraded returns a copy of the spec slowed to the given factor.
@@ -55,6 +60,10 @@ func (s MachineSpec) Validate() error {
 			return fmt.Errorf("cluster: disk %d has no bandwidth", i)
 		}
 	}
+	if s.Mem.BandwidthBPS < 0 || s.Mem.CapacityBytes < 0 ||
+		s.Mem.GCEveryBytes < 0 || s.Mem.GCPauseSec < 0 {
+		return fmt.Errorf("cluster: negative memory-model knob")
+	}
 	return nil
 }
 
@@ -84,6 +93,32 @@ func I2_2XLarge(ssds int) MachineSpec {
 	}
 }
 
+// FatNode is the scale-up machine the data-volume studies ran on: one box
+// with many cores, SSDs, a fast NIC — and, unlike the scale-out specs, an
+// enabled memory model, because on a single fat node memory bandwidth and GC
+// are what the trio of CPU/disk/network cannot explain. 32 cores, 4 SSDs,
+// 10 Gb/s, 25 GB/s memory bandwidth, 48 GB usable task-buffer capacity,
+// a GC pause every ~16 GB allocated.
+func FatNode() MachineSpec {
+	disks := make([]resource.DiskSpec, 4)
+	for i := range disks {
+		disks[i] = resource.DefaultSSD()
+	}
+	return MachineSpec{
+		Cores:    32,
+		Disks:    disks,
+		NetBW:    units.Gbps(10),
+		MemBytes: 64 * units.GB,
+		Mem: resource.MemorySpec{
+			BandwidthBPS:  25e9,
+			CapacityBytes: 48 * units.GB,
+			GCEveryBytes:  16 * units.GB,
+			GCPauseSec:    0.4,
+			GCSeed:        1,
+		},
+	}
+}
+
 // Machine is one assembled worker.
 type Machine struct {
 	ID    int
@@ -91,6 +126,10 @@ type Machine struct {
 	CPU   *resource.CPU
 	Disks []*resource.Disk
 	NIC   *netsim.NIC
+
+	// Memory is the fourth-resource model; nil on machines whose spec left
+	// it disabled (the default), so every consumer must gate on nil.
+	Memory *resource.Memory
 
 	memInUse int64
 	memPeak  int64
@@ -177,6 +216,17 @@ func NewHetero(specs []MachineSpec) (*Cluster, error) {
 			ds.SeqBW *= s.speed()
 			m.Disks = append(m.Disks, resource.NewDisk(eng, ds))
 		}
+		if s.Mem.Enabled() {
+			ms := s.Mem
+			ms.BandwidthBPS *= s.speed()
+			// Mix the machine ID into the GC seed so identical machines do
+			// not pause in lockstep; the mix is fixed, so replays see the
+			// same schedule.
+			ms.GCSeed = ms.GCSeed*1000003 + int64(i) + 1
+			m.Memory = resource.NewMemory(eng, ms)
+			cpu := m.CPU
+			m.Memory.OnGC(func(pause sim.Duration) { cpu.Pause(pause) })
+		}
 		c.Machines = append(c.Machines, m)
 	}
 	return c, nil
@@ -202,6 +252,9 @@ func (c *Cluster) SetMachineSpeed(m int, factor float64) {
 	mach.CPU.SetSpeedFactor(factor)
 	for _, d := range mach.Disks {
 		d.SetSpeedFactor(factor)
+	}
+	if mach.Memory != nil {
+		mach.Memory.SetSpeedFactor(factor)
 	}
 	c.Fabric.SetLinkSpeed(m, factor)
 }
@@ -238,6 +291,19 @@ func (c *Cluster) TotalNetBW() float64 {
 	var bw float64
 	for _, m := range c.Machines {
 		bw += m.NIC.IngressBW()
+	}
+	return bw
+}
+
+// TotalMemBW reports the cluster-wide memory-bandwidth ceiling — the
+// denominator of the ideal memory time. Zero when no machine enables the
+// memory model.
+func (c *Cluster) TotalMemBW() float64 {
+	var bw float64
+	for _, m := range c.Machines {
+		if m.Memory != nil {
+			bw += m.Memory.Spec().BandwidthBPS
+		}
 	}
 	return bw
 }

@@ -33,6 +33,12 @@ type monotask struct {
 	deser   float64    // compute monotasks: core-seconds per part
 	op      float64
 	ser     float64
+	// Memory leg of a compute monotask (machines with the memory model
+	// enabled only): bytes moved through the memory system and the task's
+	// per-stream bandwidth cap (<= 0 uncapped). The compute monotask holds
+	// its core until both the CPU work and the memory movement finish.
+	memBytes int64
+	memBW    float64
 
 	// DAG wiring.
 	waiting    int // unfinished dependencies
@@ -70,6 +76,10 @@ type multitask struct {
 	// and output between resources (§3.5), so the worker charges it up
 	// front and releases it at completion.
 	bufBytes int64
+	// memHeld is the portion of bufBytes the memory model admitted as
+	// resident (the rest spilled to disk); released at completion. Always
+	// zero on machines without the memory model.
+	memHeld int64
 	// netEntry is the network scheduler's per-multitask admission record,
 	// stored here so the scheduler needs no map.
 	netEntry *netEntry
@@ -160,6 +170,27 @@ func (w *Worker) decompose(mt *multitask) []*monotask {
 		}
 	}
 
+	// Memory model (fourth resource): charge the task's buffer against the
+	// machine's capacity; bytes that do not fit are staged to a local disk
+	// as a spill monotask the compute must wait for. Charging also drives
+	// the seeded GC schedule. Diskless machines absorb the overflow (there
+	// is nowhere to spill), matching their hardening elsewhere.
+	if mem := w.machine.Memory; mem != nil {
+		held, spill := mem.Charge(mt.bufBytes)
+		mt.memHeld = held
+		if spill > 0 && len(w.disks) > 0 {
+			sp := w.newMonotask(mt)
+			sp.resource = task.DiskResource
+			sp.kind = task.KindMemSpill
+			sp.phase = phaseInput
+			sp.bytes = spill
+			sp.diskIdx = w.nextWriteDisk()
+			compute.dependsOn(sp)
+			ready = append(ready, sp)
+			count++
+		}
+	}
+
 	// Output monotasks from the template. Write-disk choice is dynamic
 	// (round-robin or load-aware cursors), so it is stamped here.
 	for i := range tp.outputs {
@@ -193,6 +224,10 @@ func (w *Worker) finish(m *monotask, metric task.MonotaskMetric) {
 	if mt.remaining == 0 {
 		mt.metrics.End = w.eng.Now()
 		mt.worker.machine.MemFree(mt.bufBytes)
+		if mem := mt.worker.machine.Memory; mem != nil {
+			mem.Release(mt.memHeld)
+			mt.memHeld = 0
+		}
 		// Defer the completion callback to the engine so the driver's
 		// follow-on launches see consistent scheduler state.
 		w.eng.After(0, mt.completeFn)

@@ -20,12 +20,18 @@ type computeScheduler struct {
 	QueueLen resource.Tracker
 }
 
-// computeOp carries one admitted compute monotask through its CPU job. The
+// computeOp carries one admitted compute monotask through its CPU job — and,
+// on machines with the memory model, the monotask's memory stream. The two
+// legs join: the monotask holds its core until both the CPU work and the
+// memory movement finish, so memory contention is visible as longer compute
+// service times (the stall a memory-bound task really experiences). The
 // struct and its completion thunk are pooled so pump never allocates.
 type computeOp struct {
-	cs *computeScheduler
-	m  *monotask
-	fn func() // op.done, bound once per struct
+	cs       *computeScheduler
+	m        *monotask
+	pending  int    // outstanding legs (CPU, and memory when modeled)
+	memBytes int64  // bytes the memory leg moved, for the metric
+	fn       func() // op.legDone, bound once per struct
 }
 
 func (cs *computeScheduler) takeOp() *computeOp {
@@ -36,13 +42,24 @@ func (cs *computeScheduler) takeOp() *computeOp {
 		return op
 	}
 	op := &computeOp{cs: cs}
-	op.fn = op.done
+	op.fn = op.legDone
 	return op
+}
+
+// legDone fires once per leg; the last leg completes the monotask.
+func (op *computeOp) legDone() {
+	op.pending--
+	if op.pending > 0 {
+		return
+	}
+	op.done()
 }
 
 func (op *computeOp) done() {
 	cs, m := op.cs, op.m
+	memBytes := op.memBytes
 	op.m = nil
+	op.memBytes = 0
 	cs.ops = append(cs.ops, op)
 	cs.running--
 	metric := task.MonotaskMetric{
@@ -55,6 +72,7 @@ func (op *computeOp) done() {
 		DeserSec: m.deser,
 		OpSec:    m.op,
 		SerSec:   m.ser,
+		MemBytes: memBytes,
 	}
 	cs.pump()
 	cs.w.finish(m, metric)
@@ -87,6 +105,12 @@ func (cs *computeScheduler) pump() {
 		cs.running++
 		op := cs.takeOp()
 		op.m = m
+		op.pending = 1
+		if mem := cs.w.machine.Memory; mem != nil && m.memBytes > 0 {
+			op.pending = 2
+			op.memBytes = m.memBytes
+			mem.Stream(m.memBytes, m.memBW, op.fn)
+		}
 		cs.w.machine.CPU.Run(m.cpuSeconds(), op.fn)
 	}
 }
@@ -191,7 +215,7 @@ func (ds *diskScheduler) pump() {
 		}
 		ds.running++
 		switch m.kind {
-		case task.KindShuffleWrite, task.KindOutputWrite:
+		case task.KindShuffleWrite, task.KindOutputWrite, task.KindMemSpill:
 			ds.disk.Write(total, op.fn)
 		default:
 			ds.disk.Read(total, op.fn)
@@ -210,7 +234,7 @@ func (ds *diskScheduler) gatherBatch(op *diskOp, m *monotask) {
 		return
 	}
 	switch m.kind {
-	case task.KindShuffleWrite, task.KindOutputWrite:
+	case task.KindShuffleWrite, task.KindOutputWrite, task.KindMemSpill:
 		return // reads only: writes already land where the head is
 	}
 	for len(op.batch) < batchLimit && ds.queue.len() > 0 {

@@ -16,6 +16,8 @@ type nodeSpec struct {
 	deser    float64
 	op       float64
 	ser      float64
+	memBytes int64
+	memBW    float64
 }
 
 // dagTemplate memoizes the static skeleton of one stage's monotask DAG on
@@ -52,6 +54,8 @@ func (w *Worker) dagTemplateFor(spec *task.StageSpec) *dagTemplate {
 		deser:    spec.DeserCPU,
 		op:       spec.OpCPU,
 		ser:      spec.SerCPU,
+		memBytes: spec.MemBytesPerTask,
+		memBW:    spec.MemBWPerTask,
 	}
 	// Output monotasks are write-through disk writes (§3.1, principle 4).
 	if spec.ShuffleOutBytes > 0 && !spec.ShuffleInMemory {
@@ -130,6 +134,8 @@ func (w *Worker) stampNode(mt *multitask, spec *nodeSpec) *monotask {
 	m.deser = spec.deser
 	m.op = spec.op
 	m.ser = spec.ser
+	m.memBytes = spec.memBytes
+	m.memBW = spec.memBW
 	return m
 }
 

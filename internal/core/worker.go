@@ -147,8 +147,11 @@ func (w *Worker) Launch(t *task.Task, done func(*task.TaskMetrics)) {
 	mt.worker = w
 	mt.done = done
 	mt.bufBytes = bufferBytes(t)
-	mt.metrics = task.NewTaskMetrics(t.Stage.ID, t.Index, t.Machine, w.eng.Now(),
-		w.dagTemplateFor(t.Stage).metricsCap(t))
+	mcap := w.dagTemplateFor(t.Stage).metricsCap(t)
+	if w.machine.Memory != nil && len(w.disks) > 0 {
+		mcap++ // capacity pressure may add a mem-spill write
+	}
+	mt.metrics = task.NewTaskMetrics(t.Stage.ID, t.Index, t.Machine, w.eng.Now(), mcap)
 	w.machine.MemAlloc(mt.bufBytes)
 	ready := w.decompose(mt)
 	if len(ready) == 0 {

@@ -78,6 +78,9 @@ const (
 	Disk ResourceName = "disk"
 	// Network is the NIC utilization series.
 	Network ResourceName = "network"
+	// Memory is the memory-bandwidth utilization series (machines with the
+	// fourth-resource model enabled only).
+	Memory ResourceName = "memory"
 )
 
 // UtilSamples pools utilization samples for one resource across all
@@ -123,6 +126,11 @@ func MachineUtilSamples(m *cluster.Machine, r ResourceName, t0, t1 sim.Time, n i
 			}
 		}
 		return acc
+	case Memory:
+		if m.Memory == nil {
+			return nil
+		}
+		return m.Memory.Util.Samples(t0, t1, n)
 	case Network:
 		if m.NIC == nil {
 			return nil
@@ -179,7 +187,16 @@ func StageUtil(c *cluster.Cluster, t0, t1 sim.Time, samplesPerMachine int) Stage
 		mean    float64
 	}
 	entries := []entry{}
-	for _, r := range []ResourceName{CPU, Disk, Network} {
+	names := []ResourceName{CPU, Disk, Network}
+	for _, m := range c.Machines {
+		if m.Memory != nil {
+			// Only clusters that model memory rank it; on the rest the
+			// series does not exist and must not perturb the top-2 ranking.
+			names = append(names, Memory)
+			break
+		}
+	}
+	for _, r := range names {
 		s := UtilSamples(c, r, t0, t1, samplesPerMachine)
 		entries = append(entries, entry{name: r, samples: s, mean: mean(s)})
 	}
@@ -202,6 +219,10 @@ type MeasuredUsage struct {
 	DiskReadBytes  int64
 	DiskWriteBytes int64
 	NetBytes       int64
+	// MemBytes is memory-system traffic; zero (and omitted from JSON) on
+	// clusters without the memory model, so existing streams stay
+	// byte-identical.
+	MemBytes int64 `json:"MemBytes,omitempty"`
 }
 
 // Measure snapshots cluster-wide resource use over [t0, t1). Machines
@@ -222,6 +243,9 @@ func Measure(c *cluster.Cluster, t0, t1 sim.Time) MeasuredUsage {
 		}
 		if m.NIC != nil {
 			u.NetBytes += int64(m.NIC.BytesInCum.Delta(t0, t1))
+		}
+		if m.Memory != nil {
+			u.MemBytes += int64(m.Memory.TrafficCum.Delta(t0, t1))
 		}
 	}
 	return u
@@ -260,6 +284,7 @@ func (u MeasuredUsage) Add(v MeasuredUsage) MeasuredUsage {
 	u.DiskReadBytes += v.DiskReadBytes
 	u.DiskWriteBytes += v.DiskWriteBytes
 	u.NetBytes += v.NetBytes
+	u.MemBytes += v.MemBytes
 	return u
 }
 

@@ -22,16 +22,17 @@ type JobAttribution struct {
 	// Usage is the job's own resource consumption inside the window: CPU
 	// monotask service seconds, disk bytes split read/write, network bytes.
 	Usage metrics.MeasuredUsage
-	// CPUShare, DiskShare, NetShare are the job's fraction of all attributed
-	// use of each resource across the concurrent jobs (0 when no job used
-	// the resource). These are the live contention shares: "job 3 holds 61%
-	// of the disk traffic right now".
-	CPUShare, DiskShare, NetShare float64
-	// IdealCPU, IdealDisk, IdealNet are the job's per-resource ideal
-	// completion times for the attributed usage (§6.1): how long the window's
-	// work would take if the job had the whole cluster's capacity for that
-	// one resource.
-	IdealCPU, IdealDisk, IdealNet float64
+	// CPUShare, DiskShare, NetShare, MemShare are the job's fraction of all
+	// attributed use of each resource across the concurrent jobs (0 when no
+	// job used the resource). These are the live contention shares: "job 3
+	// holds 61% of the disk traffic right now".
+	CPUShare, DiskShare, NetShare, MemShare float64
+	// IdealCPU, IdealDisk, IdealNet, IdealMem are the job's per-resource
+	// ideal completion times for the attributed usage (§6.1): how long the
+	// window's work would take if the job had the whole cluster's capacity
+	// for that one resource. IdealMem stays zero on clusters without the
+	// memory model.
+	IdealCPU, IdealDisk, IdealNet, IdealMem float64
 }
 
 // Attribute divides a window [t0, t1) of concurrent execution between jobs
@@ -54,12 +55,16 @@ func Attribute(jobs []*task.JobMetrics, t0, t1 sim.Time, res Resources) []JobAtt
 		if res.NetBW > 0 {
 			out[i].IdealNet = float64(u.NetBytes) / res.NetBW
 		}
+		if res.MemBW > 0 {
+			out[i].IdealMem = float64(u.MemBytes) / res.MemBW
+		}
 	}
-	var cpu, disk, net float64
+	var cpu, disk, net, mem float64
 	for _, a := range out {
 		cpu += a.Usage.CPUSeconds
 		disk += float64(a.Usage.DiskReadBytes + a.Usage.DiskWriteBytes)
 		net += float64(a.Usage.NetBytes)
+		mem += float64(a.Usage.MemBytes)
 	}
 	for i := range out {
 		if cpu > 0 {
@@ -70,6 +75,9 @@ func Attribute(jobs []*task.JobMetrics, t0, t1 sim.Time, res Resources) []JobAtt
 		}
 		if net > 0 {
 			out[i].NetShare = float64(out[i].Usage.NetBytes) / net
+		}
+		if mem > 0 {
+			out[i].MemShare = float64(out[i].Usage.MemBytes) / mem
 		}
 	}
 	return out
@@ -83,7 +91,7 @@ func Attribute(jobs []*task.JobMetrics, t0, t1 sim.Time, res Resources) []JobAtt
 // per window the tiled sum stays within half a byte per window of the whole.
 func windowUsage(jm *task.JobMetrics, t0, t1 sim.Time) metrics.MeasuredUsage {
 	var u metrics.MeasuredUsage
-	var read, write, net float64
+	var read, write, net, mem float64
 	for _, sm := range jm.Stages {
 		for _, tm := range sm.Tasks {
 			if tm == nil {
@@ -97,9 +105,13 @@ func windowUsage(jm *task.JobMetrics, t0, t1 sim.Time) metrics.MeasuredUsage {
 				switch m.Resource {
 				case task.CPUResource:
 					u.CPUSeconds += f * float64(m.End-m.Start)
+					// The compute monotask's memory traffic pro-rates over
+					// the same span: the memory stream runs while the core
+					// is held.
+					mem += f * float64(m.MemBytes)
 				case task.DiskResource:
 					switch m.Kind {
-					case task.KindShuffleWrite, task.KindOutputWrite:
+					case task.KindShuffleWrite, task.KindOutputWrite, task.KindMemSpill:
 						write += f * float64(m.Bytes)
 					default: // input reads and shuffle serve reads
 						read += f * float64(m.Bytes)
@@ -113,6 +125,7 @@ func windowUsage(jm *task.JobMetrics, t0, t1 sim.Time) metrics.MeasuredUsage {
 	u.DiskReadBytes = int64(math.Round(read))
 	u.DiskWriteBytes = int64(math.Round(write))
 	u.NetBytes = int64(math.Round(net))
+	u.MemBytes = int64(math.Round(mem))
 	return u
 }
 
@@ -171,6 +184,9 @@ func AttributionError(got, truth metrics.MeasuredUsage) float64 {
 		worst = e
 	}
 	if e := rel(float64(got.NetBytes), float64(truth.NetBytes)); e > worst {
+		worst = e
+	}
+	if e := rel(float64(got.MemBytes), float64(truth.MemBytes)); e > worst {
 		worst = e
 	}
 	return worst

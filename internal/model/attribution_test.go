@@ -153,15 +153,21 @@ func TestAttributionErrorPhantomUsage(t *testing.T) {
 func TestAttributeWindowTiling(t *testing.T) {
 	// Byte volumes chosen so every window boundary splits monotasks at
 	// non-integer byte fractions (the truncation-sensitive case).
+	memCompute := mono(task.CPUResource, task.KindCompute, 0.25, 9.75, 0)
+	memCompute.MemBytes = 1511 // memory traffic pro-rated over the compute span
 	j := jobWith("tile",
 		mono(task.DiskResource, task.KindInputRead, 0, 7, 1003),
 		mono(task.DiskResource, task.KindShuffleWrite, 1, 8, 977),
 		mono(task.DiskResource, task.KindInputRead, 2.5, 9.5, 331),
 		mono(task.NetworkResource, task.KindNetFetch, 0.5, 9, 1999),
 		mono(task.CPUResource, task.KindCompute, 0, 10, 0),
+		memCompute,
 	)
 	jobs := []*task.JobMetrics{j}
 	whole := Attribute(jobs, 0, 10, Resources{})[0].Usage
+	if whole.MemBytes == 0 {
+		t.Fatal("whole-run attribution dropped the compute monotask's memory traffic")
+	}
 
 	for _, nWindows := range []int{2, 3, 7, 16, 50} {
 		var sum metrics.MeasuredUsage
@@ -182,7 +188,8 @@ func TestAttributeWindowTiling(t *testing.T) {
 		}
 		if !within(sum.DiskReadBytes, whole.DiskReadBytes) ||
 			!within(sum.DiskWriteBytes, whole.DiskWriteBytes) ||
-			!within(sum.NetBytes, whole.NetBytes) {
+			!within(sum.NetBytes, whole.NetBytes) ||
+			!within(sum.MemBytes, whole.MemBytes) {
 			t.Fatalf("%d windows: tiled sum %+v drifts beyond ±%d bytes from whole %+v",
 				nWindows, sum, tol, whole)
 		}
@@ -202,6 +209,7 @@ func TestAttributeWindowTiling(t *testing.T) {
 			sum.DiskReadBytes - whole.DiskReadBytes,
 			sum.DiskWriteBytes - whole.DiskWriteBytes,
 			sum.NetBytes - whole.NetBytes,
+			sum.MemBytes - whole.MemBytes,
 		} {
 			if d < -2 || d > 2 {
 				t.Fatalf("split at %v: tiled %+v vs whole %+v", tm, sum, whole)

@@ -18,6 +18,10 @@ type Resources struct {
 	TotalCores float64
 	DiskBW     float64 // aggregate sequential disk bandwidth, bytes/s
 	NetBW      float64 // aggregate unidirectional network bandwidth, bytes/s
+	// MemBW is the aggregate memory-bandwidth ceiling, bytes/s; zero on
+	// clusters without the memory model, which keeps the memory column out
+	// of every ideal-time and bottleneck computation.
+	MemBW float64
 }
 
 // ClusterResources extracts Resources from a virtual cluster.
@@ -26,6 +30,7 @@ func ClusterResources(c *cluster.Cluster) Resources {
 		TotalCores: float64(c.TotalCores()),
 		DiskBW:     c.TotalDiskBW(),
 		NetBW:      c.TotalNetBW(),
+		MemBW:      c.TotalMemBW(),
 	}
 }
 
@@ -47,13 +52,17 @@ type StageProfile struct {
 	InputReadBytes int64
 	// NetBytes is total network traffic.
 	NetBytes int64
+	// MemBytes is total memory-system traffic recorded by compute monotasks;
+	// zero on clusters without the memory model.
+	MemBytes int64
 	// ActualSeconds is the stage's measured wall-clock duration, which
 	// predictions scale (§6.2: scaling corrects for unmodeled effects).
 	ActualSeconds float64
 }
 
 // IdealTimes returns the stage's ideal per-resource completion times (§6.1).
-func (s StageProfile) IdealTimes(res Resources) (cpu, disk, net float64) {
+// The memory column is zero unless the cluster models memory bandwidth.
+func (s StageProfile) IdealTimes(res Resources) (cpu, disk, net, mem float64) {
 	cpu = s.CPUSeconds / res.TotalCores
 	if res.DiskBW > 0 {
 		disk = float64(s.DiskBytes) / res.DiskBW
@@ -61,14 +70,17 @@ func (s StageProfile) IdealTimes(res Resources) (cpu, disk, net float64) {
 	if res.NetBW > 0 {
 		net = float64(s.NetBytes) / res.NetBW
 	}
-	return cpu, disk, net
+	if res.MemBW > 0 {
+		mem = float64(s.MemBytes) / res.MemBW
+	}
+	return cpu, disk, net, mem
 }
 
 // ModelTime is the stage's ideal completion time: the maximum ideal resource
 // time, skipping excluded resources (used for "infinitely fast X" bounds,
 // §6.5).
 func (s StageProfile) ModelTime(res Resources, exclude map[task.Resource]bool) float64 {
-	cpu, disk, net := s.IdealTimes(res)
+	cpu, disk, net, mem := s.IdealTimes(res)
 	best := 0.0
 	if !exclude[task.CPUResource] && cpu > best {
 		best = cpu
@@ -79,17 +91,24 @@ func (s StageProfile) ModelTime(res Resources, exclude map[task.Resource]bool) f
 	if !exclude[task.NetworkResource] && net > best {
 		best = net
 	}
+	if !exclude[task.MemoryResource] && mem > best {
+		best = mem
+	}
 	return best
 }
 
-// Bottleneck is the resource with the largest ideal time.
+// Bottleneck is the resource with the largest ideal time. Ties break
+// disk > network > memory > CPU; with a zero memory column (clusters that do
+// not model memory) the choice is identical to the three-resource rule.
 func (s StageProfile) Bottleneck(res Resources) task.Resource {
-	cpu, disk, net := s.IdealTimes(res)
+	cpu, disk, net, mem := s.IdealTimes(res)
 	switch {
-	case disk >= cpu && disk >= net:
+	case disk >= cpu && disk >= net && disk >= mem:
 		return task.DiskResource
-	case net >= cpu:
+	case net >= cpu && net >= mem:
 		return task.NetworkResource
+	case mem >= cpu:
+		return task.MemoryResource
 	default:
 		return task.CPUResource
 	}
@@ -115,6 +134,7 @@ func FromMetrics(jm *task.JobMetrics, res Resources) *JobProfile {
 			CPUSeconds:    sm.MonotaskSeconds(task.CPUResource, -1),
 			DiskBytes:     sm.MonotaskBytes(task.DiskResource, -1),
 			NetBytes:      sm.MonotaskBytes(task.NetworkResource, -1),
+			MemBytes:      sm.MonotaskMemBytes(),
 			ActualSeconds: float64(sm.Duration()),
 		}
 		sp.InputReadBytes = sm.MonotaskBytes(task.DiskResource, task.KindInputRead)

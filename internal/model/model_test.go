@@ -19,7 +19,7 @@ func TestIdealTimes(t *testing.T) {
 	// The §6.1 worked example: 20 minutes of CPU monotasks over 80 cores =
 	// 15 s ideal CPU time; 20 GB over 10 disks × 100 MB/s = 20 s ideal disk.
 	s := StageProfile{CPUSeconds: 20 * 60, DiskBytes: 20e9}
-	cpu, disk, net := s.IdealTimes(res)
+	cpu, disk, net, mem := s.IdealTimes(res)
 	if !approx(cpu, 15) {
 		t.Fatalf("ideal cpu = %v, want 15", cpu)
 	}
@@ -28,6 +28,9 @@ func TestIdealTimes(t *testing.T) {
 	}
 	if net != 0 {
 		t.Fatalf("ideal net = %v, want 0", net)
+	}
+	if mem != 0 {
+		t.Fatalf("ideal mem = %v, want 0 (memory not modeled)", mem)
 	}
 	if got := s.ModelTime(res, nil); !approx(got, 20) {
 		t.Fatalf("model time = %v, want 20 (disk bound)", got)

@@ -65,6 +65,13 @@ func (c *CPU) Run(coreSeconds float64, done func()) *Job {
 // injection uses to degrade and heal machines.
 func (c *CPU) SetSpeedFactor(factor float64) { c.srv.setSpeed(factor) }
 
+// Pause stalls every core for d of virtual time — the stop-the-world pause a
+// garbage-collection event inflicts on a machine (§7 discussion; the memory
+// model's GC knob drives this). In-flight compute is caught up at the
+// pre-pause rate first, so the stall is exact; overlapping pauses coalesce to
+// the later end time.
+func (c *CPU) Pause(d sim.Duration) { c.srv.pause(d) }
+
 // Cancel abandons an in-flight job.
 func (c *CPU) Cancel(j *Job) { c.srv.Remove(j) }
 

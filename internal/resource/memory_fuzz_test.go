@@ -1,0 +1,146 @@
+package resource
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzMemoryEvents replays random schedules of every memory-device operation
+// — stream admission, cancellation, capacity charges and releases, speed
+// degradation — against a GC-enabled device, twice each, and requires the
+// two event logs to be bit-identical. This is the replay guarantee the
+// golden corpus rests on, probed far outside the shapes real workloads
+// produce.
+func FuzzMemoryEvents(f *testing.F) {
+	for s := int64(1); s <= 8; s++ {
+		f.Add(s, uint8(40))
+	}
+	f.Add(int64(99), uint8(0))
+	f.Add(int64(7), uint8(255))
+
+	f.Fuzz(func(t *testing.T, seed int64, nOps uint8) {
+		a := memoryEventLog(seed, int(nOps))
+		b := memoryEventLog(seed, int(nOps))
+		if a != b {
+			al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+			for i := 0; i < len(al) && i < len(bl); i++ {
+				if al[i] != bl[i] {
+					t.Fatalf("seed %d nOps %d: replay diverged at log line %d:\n  first:  %s\n  second: %s",
+						seed, nOps, i+1, al[i], bl[i])
+				}
+			}
+			t.Fatalf("seed %d nOps %d: replay logs differ in length: %d vs %d lines",
+				seed, nOps, len(al), len(bl))
+		}
+	})
+}
+
+// memoryEventLog builds one deterministic random schedule from (seed, nOps),
+// runs it to completion, and serializes everything observable: stream
+// completion order and times, GC pauses, and the device's final counters.
+func memoryEventLog(seed int64, nOps int) string {
+	rng := rand.New(rand.NewSource(seed))
+	spec := MemorySpec{
+		BandwidthBPS:  (0.5 + rng.Float64()) * 1e9,
+		CapacityBytes: 1 << 26,
+		GCEveryBytes:  1 << 22,
+		GCPauseSec:    0.001 + 0.01*rng.Float64(),
+		GCSeed:        seed*7919 + 1,
+	}
+
+	// Pre-generate the whole op list from the seeded rng so the schedule is a
+	// pure function of the inputs; execution-time choices (which live stream
+	// to cancel) index deterministic state with pre-drawn randomness.
+	type op struct {
+		at     sim.Time
+		kind   int
+		bytes  int64
+		demand float64
+		pick   int
+	}
+	ops := make([]op, nOps%97)
+	at := sim.Time(0)
+	for i := range ops {
+		at += sim.Time(rng.Float64() * 0.05)
+		ops[i] = op{
+			at:     at,
+			kind:   rng.Intn(5),
+			bytes:  1 + rng.Int63n(1<<27),
+			demand: rng.Float64() * spec.BandwidthBPS, // may exceed any fair share
+			pick:   rng.Int(),
+		}
+		if rng.Float64() < 0.25 {
+			ops[i].demand = 0 // uncapped
+		}
+	}
+
+	eng := sim.NewEngine()
+	m := NewMemory(eng, spec)
+	var log strings.Builder
+	m.OnGC(func(p sim.Duration) {
+		fmt.Fprintf(&log, "gc @%.12g pause=%.12g\n", float64(eng.Now()), float64(p))
+	})
+
+	// live tracks streams admitted but not yet completed or canceled; the
+	// device recycles MemStream structs after completion, so only live
+	// entries may be passed back to Cancel.
+	var live []*MemStream
+	var liveIDs []int
+	nextID := 0
+	charged := int64(0)
+
+	for _, o := range ops {
+		o := o
+		eng.After(sim.Duration(o.at), func() {
+			switch o.kind {
+			case 0, 1: // admit a stream (twice as likely as the others)
+				id := nextID
+				nextID++
+				var st *MemStream
+				st = m.Stream(o.bytes, o.demand, func() {
+					fmt.Fprintf(&log, "done %d @%.12g\n", id, float64(eng.Now()))
+					for i, l := range live {
+						if l == st && liveIDs[i] == id {
+							live = append(live[:i], live[i+1:]...)
+							liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+							break
+						}
+					}
+				})
+				if st != nil {
+					live = append(live, st)
+					liveIDs = append(liveIDs, id)
+				}
+			case 2: // cancel a live stream
+				if len(live) > 0 {
+					i := o.pick % len(live)
+					fmt.Fprintf(&log, "cancel %d @%.12g\n", liveIDs[i], float64(eng.Now()))
+					m.Cancel(live[i])
+					live = append(live[:i], live[i+1:]...)
+					liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+				}
+			case 3: // capacity traffic: charge, sometimes release
+				held, spill := m.Charge(o.bytes)
+				charged += held
+				fmt.Fprintf(&log, "charge %d held=%d spill=%d @%.12g\n", o.bytes, held, spill, float64(eng.Now()))
+				if o.pick%2 == 0 && charged > 0 {
+					rel := charged / 2
+					m.Release(rel)
+					charged -= rel
+				}
+			case 4: // degrade or restore the ceiling
+				factor := 0.25 + 0.75*float64(o.pick%4)/3
+				m.SetSpeedFactor(factor)
+				fmt.Fprintf(&log, "speed %.12g @%.12g\n", factor, float64(eng.Now()))
+			}
+		})
+	}
+	eng.Run()
+	fmt.Fprintf(&log, "final moved=%d gc=%d inuse=%d peak=%d end=%.12g\n",
+		m.BytesMoved(), m.GCCount(), m.InUse(), m.Peak(), float64(eng.Now()))
+	return log.String()
+}

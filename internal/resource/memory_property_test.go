@@ -1,0 +1,230 @@
+package resource
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Property suite for the memory device's bandwidth sharing, mirroring
+// internal/netsim/property_test.go: across 250 seeded random cases the
+// allocation must be feasible, work-conserving, max-min fair (a single
+// water level explains every rate), and bit-identically independent of
+// stream insertion order.
+
+const memSeeds = 250
+
+// memCase is one random scenario: a machine ceiling plus per-stream demand
+// caps (<= 0 means uncapped — the stream takes whatever fair share allows).
+type memCase struct {
+	bw      float64
+	demands []float64
+}
+
+func randomMemCase(seed int64) memCase {
+	rng := rand.New(rand.NewSource(seed))
+	c := memCase{bw: (0.5 + 4*rng.Float64()) * 1e9}
+	n := 1 + rng.Intn(25)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			c.demands = append(c.demands, 0) // uncapped
+		} else {
+			c.demands = append(c.demands, (0.05+rng.Float64())*c.bw)
+		}
+	}
+	return c
+}
+
+// openMemStreams admits every stream (in the given order) with effectively
+// infinite bytes and never runs the engine, so the instantaneous allocation
+// can be inspected. Rates are returned indexed by case position, not
+// admission position.
+func openMemStreams(c memCase, order []int) []float64 {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemorySpec{BandwidthBPS: c.bw})
+	streams := make([]*MemStream, len(c.demands))
+	for _, i := range order {
+		streams[i] = m.Stream(1<<50, c.demands[i], func() {})
+	}
+	rates := make([]float64, len(streams))
+	for i, st := range streams {
+		rates[i] = st.Rate()
+	}
+	return rates
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+func reversedOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	return order
+}
+
+func shuffledOrder(n int, seed int64) []int {
+	order := identityOrder(n)
+	rand.New(rand.NewSource(seed)).Shuffle(n, func(i, j int) {
+		order[i], order[j] = order[j], order[i]
+	})
+	return order
+}
+
+// TestMemorySharingFeasible: no stream exceeds its demand cap, and the sum
+// of rates never exceeds the machine ceiling.
+func TestMemorySharingFeasible(t *testing.T) {
+	for seed := int64(0); seed < memSeeds; seed++ {
+		c := randomMemCase(seed)
+		rates := openMemStreams(c, identityOrder(len(c.demands)))
+		var total float64
+		for i, r := range rates {
+			if r < 0 {
+				t.Fatalf("seed %d: stream %d has negative rate %v", seed, i, r)
+			}
+			if d := c.demands[i]; d > 0 && r > d*(1+1e-9) {
+				t.Fatalf("seed %d: stream %d rate %v exceeds its demand cap %v", seed, i, r, d)
+			}
+			total += r
+		}
+		if total > c.bw*(1+1e-9) {
+			t.Fatalf("seed %d: total rate %v exceeds ceiling %v", seed, total, c.bw)
+		}
+	}
+}
+
+// TestMemorySharingWorkConserving: the device serves min(ceiling, sum of
+// demands); with any uncapped stream present it must saturate the ceiling.
+func TestMemorySharingWorkConserving(t *testing.T) {
+	for seed := int64(0); seed < memSeeds; seed++ {
+		c := randomMemCase(seed)
+		rates := openMemStreams(c, identityOrder(len(c.demands)))
+		var total, demandSum float64
+		uncapped := false
+		for i, r := range rates {
+			total += r
+			if c.demands[i] <= 0 {
+				uncapped = true
+			} else {
+				demandSum += c.demands[i]
+			}
+		}
+		want := c.bw
+		if !uncapped && demandSum < c.bw {
+			want = demandSum
+		}
+		if math.Abs(total-want) > want*1e-9 {
+			t.Fatalf("seed %d: total rate %v, want work-conserving %v (ceiling %v, demand sum %v, uncapped %v)",
+				seed, total, want, c.bw, demandSum, uncapped)
+		}
+	}
+}
+
+// TestMemorySharingIsWaterFilling: max-min fairness means one water level L
+// explains every allocation — each stream gets min(demand, L), and every
+// uncapped stream gets exactly L.
+func TestMemorySharingIsWaterFilling(t *testing.T) {
+	for seed := int64(0); seed < memSeeds; seed++ {
+		c := randomMemCase(seed)
+		rates := openMemStreams(c, identityOrder(len(c.demands)))
+		// The water level is the largest allocation handed out.
+		level := 0.0
+		for _, r := range rates {
+			if r > level {
+				level = r
+			}
+		}
+		for i, r := range rates {
+			want := level
+			if d := c.demands[i]; d > 0 && d < level {
+				want = d
+			}
+			if math.Abs(r-want) > want*1e-9+1e-12 {
+				t.Fatalf("seed %d: stream %d rate %v, want min(demand, level) = %v (demand %v, level %v)",
+					seed, i, r, want, c.demands[i], level)
+			}
+		}
+	}
+}
+
+// TestMemorySharingOrderIndependent: admitting the same open streams in
+// reversed or shuffled order yields bit-identical per-stream rates. This is
+// what makes the simulation replayable regardless of scheduler dispatch
+// order.
+func TestMemorySharingOrderIndependent(t *testing.T) {
+	for seed := int64(0); seed < memSeeds; seed++ {
+		c := randomMemCase(seed)
+		n := len(c.demands)
+		base := openMemStreams(c, identityOrder(n))
+		for name, order := range map[string][]int{
+			"reversed": reversedOrder(n),
+			"shuffled": shuffledOrder(n, seed+1),
+		} {
+			got := openMemStreams(c, order)
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("seed %d: %s insertion order changed stream %d rate: %v vs %v",
+						seed, name, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMemorySharingDeterministic: the same case replayed twice produces
+// bit-identical rates — no map iteration or pointer ordering leaks in.
+func TestMemorySharingDeterministic(t *testing.T) {
+	for seed := int64(0); seed < memSeeds; seed++ {
+		c := randomMemCase(seed)
+		order := identityOrder(len(c.demands))
+		a := openMemStreams(c, order)
+		b := openMemStreams(c, order)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: replay changed stream %d rate: %v vs %v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestMemoryDrainOrderIndependent runs full simulations (finite streams,
+// engine to completion) under different admission orders within one event
+// dispatch and requires identical completion times per stream identity.
+func TestMemoryDrainOrderIndependent(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		c := randomMemCase(seed)
+		n := len(c.demands)
+		rng := rand.New(rand.NewSource(seed + 9000))
+		bytes := make([]int64, n)
+		for i := range bytes {
+			bytes[i] = int64((0.1 + rng.Float64()) * 1e9)
+		}
+		runOrder := func(order []int) []sim.Time {
+			eng := sim.NewEngine()
+			m := NewMemory(eng, MemorySpec{BandwidthBPS: c.bw})
+			times := make([]sim.Time, n)
+			for _, i := range order {
+				i := i
+				m.Stream(bytes[i], c.demands[i], func() { times[i] = eng.Now() })
+			}
+			eng.Run()
+			return times
+		}
+		base := runOrder(identityOrder(n))
+		rev := runOrder(reversedOrder(n))
+		for i := range base {
+			if base[i] != rev[i] {
+				t.Fatalf("seed %d: admission order changed stream %d completion: %v vs %v",
+					seed, i, base[i], rev[i])
+			}
+		}
+	}
+}

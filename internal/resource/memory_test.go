@@ -1,0 +1,263 @@
+package resource
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestMemoryDisabledSpec pins the opt-in contract: a zero spec builds
+// nothing, and the constructor refuses a zero-bandwidth spec rather than
+// producing a device that can never serve.
+func TestMemoryDisabledSpec(t *testing.T) {
+	if (MemorySpec{}).Enabled() {
+		t.Fatal("zero MemorySpec reports enabled")
+	}
+	if !(MemorySpec{BandwidthBPS: 1e9}).Enabled() {
+		t.Fatal("bandwidth-only spec reports disabled")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMemory accepted a zero-bandwidth spec")
+		}
+	}()
+	NewMemory(sim.NewEngine(), MemorySpec{})
+}
+
+// TestMemoryStreamAlone: one uncapped stream gets the whole ceiling, and its
+// completion lands exactly at bytes/bandwidth.
+func TestMemoryStreamAlone(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemorySpec{BandwidthBPS: 1e9})
+	var doneAt sim.Time
+	m.Stream(2e9, 0, func() { doneAt = eng.Now() })
+	eng.Run()
+	if math.Abs(float64(doneAt)-2) > 1e-9 {
+		t.Fatalf("lone 2 GB stream over 1 GB/s finished at %v, want 2 s", doneAt)
+	}
+	if m.BytesMoved() != 2e9 {
+		t.Fatalf("bytes moved %d, want 2e9", m.BytesMoved())
+	}
+}
+
+// TestMemoryDemandCap: a stream never exceeds its per-stream cap even with
+// the ceiling to itself, and the residue goes to uncapped competitors.
+func TestMemoryDemandCap(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemorySpec{BandwidthBPS: 1e9})
+	capped := m.Stream(1<<50, 2e8, func() {})
+	if got := capped.Rate(); math.Abs(got-2e8) > 1 {
+		t.Fatalf("capped lone stream rate %v, want its 2e8 cap", got)
+	}
+	uncapped := m.Stream(1<<50, 0, func() {})
+	if got := uncapped.Rate(); math.Abs(got-8e8) > 1 {
+		t.Fatalf("uncapped stream rate %v, want the 8e8 residue", got)
+	}
+	if got := capped.Rate(); math.Abs(got-2e8) > 1 {
+		t.Fatalf("capped stream rate drifted to %v after competitor arrived", got)
+	}
+}
+
+// TestMemoryEqualSplit: n uncapped streams share the ceiling equally.
+func TestMemoryEqualSplit(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemorySpec{BandwidthBPS: 1e9})
+	streams := make([]*MemStream, 4)
+	for i := range streams {
+		streams[i] = m.Stream(1<<50, 0, func() {})
+	}
+	for i, st := range streams {
+		if math.Abs(st.Rate()-2.5e8) > 1 {
+			t.Fatalf("stream %d rate %v, want equal split 2.5e8", i, st.Rate())
+		}
+	}
+	if m.Streams() != 4 {
+		t.Fatalf("in-service count %d, want 4", m.Streams())
+	}
+}
+
+// TestMemoryCancelRestoresShare: canceling a stream immediately rerates the
+// survivors.
+func TestMemoryCancelRestoresShare(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemorySpec{BandwidthBPS: 1e9})
+	a := m.Stream(1<<50, 0, func() {})
+	b := m.Stream(1<<50, 0, func() {})
+	m.Cancel(a)
+	if math.Abs(b.Rate()-1e9) > 1 {
+		t.Fatalf("survivor rate %v after cancel, want full ceiling", b.Rate())
+	}
+	m.Cancel(a) // canceling again is a no-op
+	if m.Streams() != 1 {
+		t.Fatalf("in-service count %d, want 1", m.Streams())
+	}
+}
+
+// TestMemoryZeroByteStream completes on the next dispatch without joining
+// the shared allocation.
+func TestMemoryZeroByteStream(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemorySpec{BandwidthBPS: 1e9})
+	fired := false
+	m.Stream(0, 0, func() { fired = true })
+	if m.Streams() != 0 {
+		t.Fatalf("zero-byte stream joined service: %d streams", m.Streams())
+	}
+	eng.Run()
+	if !fired {
+		t.Fatal("zero-byte stream never completed")
+	}
+}
+
+// TestMemoryCapacityPressure: charges beyond capacity spill; releases free
+// the space again; zero capacity means unlimited.
+func TestMemoryCapacityPressure(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemorySpec{BandwidthBPS: 1e9, CapacityBytes: 100})
+	held, spill := m.Charge(80)
+	if held != 80 || spill != 0 {
+		t.Fatalf("first charge held/spill = %d/%d, want 80/0", held, spill)
+	}
+	held, spill = m.Charge(50)
+	if held != 20 || spill != 30 {
+		t.Fatalf("overflow charge held/spill = %d/%d, want 20/30", held, spill)
+	}
+	if m.InUse() != 100 || m.Peak() != 100 {
+		t.Fatalf("in-use/peak = %d/%d, want 100/100", m.InUse(), m.Peak())
+	}
+	m.Release(80)
+	held, spill = m.Charge(60)
+	if held != 60 || spill != 0 {
+		t.Fatalf("post-release charge held/spill = %d/%d, want 60/0", held, spill)
+	}
+
+	// Zero capacity: never spills.
+	unlimited := NewMemory(eng, MemorySpec{BandwidthBPS: 1e9})
+	held, spill = unlimited.Charge(1 << 40)
+	if held != 1<<40 || spill != 0 {
+		t.Fatalf("unlimited charge held/spill = %d/%d, want all held", held, spill)
+	}
+}
+
+// TestMemoryGCScheduleIsSeeded: the same seed replays the same GC event
+// count at every allocation step; a different seed diverges somewhere.
+func TestMemoryGCScheduleIsSeeded(t *testing.T) {
+	trace := func(seed int64) []int {
+		m := NewMemory(sim.NewEngine(), MemorySpec{
+			BandwidthBPS: 1e9, GCEveryBytes: 1 << 20, GCPauseSec: 0.01, GCSeed: seed,
+		})
+		var counts []int
+		for i := 0; i < 200; i++ {
+			m.Charge(123_457)
+			counts = append(counts, m.GCCount())
+		}
+		return counts
+	}
+	a, b := trace(7), trace(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d: %d vs %d GCs", i, a[i], b[i])
+		}
+	}
+	c := trace(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different GC seeds produced identical schedules")
+	}
+}
+
+// TestMemoryGCPauseStallsCPU wires OnGC to a CPU the way cluster assembly
+// does and checks the stall arithmetic end to end: all pauses fired by one
+// big charge land at the same instant and coalesce into a single 0.5 s
+// stop-the-world window, so a 1 core-second job finishes at 1.5 s.
+func TestMemoryGCPauseStallsCPU(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 1)
+	m := NewMemory(eng, MemorySpec{
+		BandwidthBPS: 1e9, GCEveryBytes: 1000, GCPauseSec: 0.5, GCSeed: 1,
+	})
+	m.OnGC(func(p sim.Duration) { cpu.Pause(p) })
+	var doneAt sim.Time
+	cpu.Run(1, func() { doneAt = eng.Now() })
+	eng.After(0.25, func() { m.Charge(10_000) }) // well past any seeded gap: fires ≥ 1 GC
+	eng.Run()
+	if m.GCCount() < 1 {
+		t.Fatal("charge past GCEveryBytes fired no GC")
+	}
+	// Simultaneous equal-length pauses coalesce to one window.
+	if math.Abs(float64(doneAt)-1.5) > 1e-9 {
+		t.Fatalf("paused job finished at %v, want 1.5 (1 s work + one coalesced 0.5 s pause)", doneAt)
+	}
+}
+
+// TestServerPauseCoalesces: overlapping pauses extend to the later end, and
+// a shorter pause inside a longer one changes nothing.
+func TestServerPauseCoalesces(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, 1)
+	var doneAt sim.Time
+	cpu.Run(1, func() { doneAt = eng.Now() })
+	eng.After(0.1, func() {
+		cpu.Pause(1.0)
+		cpu.Pause(0.3) // inside the first: no effect
+	})
+	eng.After(0.6, func() { cpu.Pause(1.0) }) // overlaps: extends to 1.6
+	eng.Run()
+	// 0.1 s of work done, paused 0.1→1.6, then 0.9 s of work: ends at 2.5.
+	if math.Abs(float64(doneAt)-2.5) > 1e-9 {
+		t.Fatalf("coalesced pauses: job finished at %v, want 2.5", doneAt)
+	}
+}
+
+// TestMemorySetSpeedFactor: degrading the ceiling mid-stream stretches the
+// remaining bytes exactly.
+func TestMemorySetSpeedFactor(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemorySpec{BandwidthBPS: 1e9})
+	var doneAt sim.Time
+	m.Stream(1e9, 0, func() { doneAt = eng.Now() })
+	eng.After(0.5, func() { m.SetSpeedFactor(0.25) })
+	eng.Run()
+	// 0.5 GB at 1 GB/s, then 0.5 GB at 0.25 GB/s = 0.5 + 2 s.
+	if math.Abs(float64(doneAt)-2.5) > 1e-9 {
+		t.Fatalf("degraded stream finished at %v, want 2.5 s", doneAt)
+	}
+}
+
+// TestMemoryCompletionOrderIsAdmissionOrder: simultaneous completions fire
+// their callbacks in admission order, the discipline every other device
+// follows.
+func TestMemoryCompletionOrderIsAdmissionOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemorySpec{BandwidthBPS: 1e9})
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		m.Stream(3e8, 0, func() { order = append(order, i) })
+	}
+	eng.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("simultaneous completions fired in order %v, want [0 1 2]", order)
+	}
+}
+
+// TestMemoryUtilTracksAllocation: the Util series reflects allocated/ceiling.
+func TestMemoryUtilTracksAllocation(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemorySpec{BandwidthBPS: 1e9})
+	st := m.Stream(1<<50, 25e7, func() {})
+	if got := m.Util.At(0); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("util with one quarter-rate stream %v, want 0.25", got)
+	}
+	m.Cancel(st)
+	if got := m.Util.At(0); got != 0 {
+		t.Fatalf("util after cancel %v, want 0", got)
+	}
+}

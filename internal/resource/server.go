@@ -58,6 +58,13 @@ type server struct {
 	lastUpdate sim.Time
 	completion sim.EventRef
 	completeFn func() // s.complete, bound once so reschedule never allocates
+	// paused stops all progress until pauseEnd — the stop-the-world knob GC
+	// events use. In-service jobs keep their remaining work; advance drains
+	// nothing and reschedule arms no completion while paused.
+	paused   bool
+	pauseEnd sim.Time
+	resumeEv sim.EventRef
+	resumeFn func() // s.resume, bound once
 	finished   []*Job // reusable scratch for complete()
 	pool       []*Job // recycled Job structs
 	// onCount is invoked whenever the in-service job count changes, with the
@@ -73,7 +80,41 @@ func newServer(eng *sim.Engine, aggregate AggregateFunc, onCount func(k int)) *s
 		onCount:   onCount,
 	}
 	s.completeFn = s.complete
+	s.resumeFn = s.resume
 	return s
+}
+
+// pause halts all service for d of virtual time from now — a stop-the-world
+// event (GC). In-service jobs are caught up at the pre-pause rate first, so
+// the stall is exact. Overlapping pauses coalesce: a new pause extends the
+// stall only if it ends later than the one in progress.
+func (s *server) pause(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.advance()
+	end := s.eng.Now() + sim.Time(d)
+	if s.paused {
+		if end <= s.pauseEnd {
+			return
+		}
+		s.eng.Cancel(s.resumeEv)
+	} else {
+		s.paused = true
+		s.eng.Cancel(s.completion)
+		s.completion = sim.EventRef{}
+	}
+	s.pauseEnd = end
+	s.resumeEv = s.eng.After(sim.Duration(end-s.eng.Now()), s.resumeFn)
+}
+
+// resume ends a pause: time spent stalled drained nothing (advance sees a
+// zero rate while paused), so jobs simply pick up where they stopped.
+func (s *server) resume() {
+	s.advance()
+	s.paused = false
+	s.resumeEv = sim.EventRef{}
+	s.reschedule()
 }
 
 // setSpeed rescales the server's aggregate rate by factor (relative to its
@@ -181,7 +222,7 @@ func (s *server) Count() int { return len(s.jobs) }
 // perJobRate returns the current drain rate of each job.
 func (s *server) perJobRate() float64 {
 	k := len(s.jobs)
-	if k == 0 {
+	if k == 0 || s.paused {
 		return 0
 	}
 	return s.speed * s.aggregate(s.classCount[0], s.classCount[1]) / float64(k)
@@ -215,7 +256,8 @@ func (s *server) advance() {
 func (s *server) reschedule() {
 	s.eng.Cancel(s.completion)
 	s.completion = sim.EventRef{}
-	if len(s.jobs) == 0 {
+	if len(s.jobs) == 0 || s.paused {
+		// While paused no job makes progress; resume() reschedules.
 		return
 	}
 	minRemaining := math.MaxFloat64

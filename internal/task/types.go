@@ -17,7 +17,7 @@ import (
 	"repro/internal/sim"
 )
 
-// Resource identifies one of the three resources a monotask can use.
+// Resource identifies one of the four resources a monotask can use.
 type Resource int
 
 const (
@@ -27,6 +27,10 @@ const (
 	DiskResource
 	// NetworkResource is the machine's NIC.
 	NetworkResource
+	// MemoryResource is the machine's memory-bandwidth system. Monotasks
+	// never run on it alone; compute monotasks with a memory demand hold a
+	// core while their data movement shares the machine's bandwidth ceiling.
+	MemoryResource
 )
 
 // String names the resource.
@@ -38,6 +42,8 @@ func (r Resource) String() string {
 		return "disk"
 	case NetworkResource:
 		return "network"
+	case MemoryResource:
+		return "memory"
 	default:
 		return fmt.Sprintf("resource(%d)", int(r))
 	}
@@ -62,6 +68,9 @@ const (
 	KindOutputWrite
 	// KindNetFetch fetches remote shuffle data over the network.
 	KindNetFetch
+	// KindMemSpill stages task buffer bytes that exceeded the machine's
+	// memory capacity out to a local disk (memory-pressure spill).
+	KindMemSpill
 )
 
 // String names the monotask kind.
@@ -79,6 +88,8 @@ func (k Kind) String() string {
 		return "output-write"
 	case KindNetFetch:
 		return "net-fetch"
+	case KindMemSpill:
+		return "mem-spill"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -121,6 +132,14 @@ type StageSpec struct {
 	// the local disk.
 	OutputBytes int64
 	OutputToMem bool
+
+	// Memory demand per task, honoured only on machines whose spec enables
+	// the memory model (both zero otherwise — the default keeps memory out
+	// of the simulation entirely). MemBytesPerTask is the data the compute
+	// monotask moves through the memory system; MemBWPerTask caps the rate
+	// one task can drive (<= 0 for uncapped), modelling per-core limits.
+	MemBytesPerTask int64
+	MemBWPerTask    float64
 }
 
 // HasShuffleInput reports whether tasks read shuffled data.
@@ -156,6 +175,9 @@ func (s *StageSpec) Validate() error {
 	}
 	if s.ShuffleOutBytes < 0 || s.OutputBytes < 0 {
 		return fmt.Errorf("task: stage %q has negative output bytes", s.Name)
+	}
+	if s.MemBytesPerTask < 0 {
+		return fmt.Errorf("task: stage %q has negative memory bytes", s.Name)
 	}
 	return nil
 }
@@ -247,6 +269,9 @@ type MonotaskMetric struct {
 	Bytes    int64
 	// Compute split (KindCompute only), in core-seconds.
 	DeserSec, OpSec, SerSec float64
+	// MemBytes records the bytes the monotask moved through the machine's
+	// memory system (KindCompute only; zero on memoryless machines).
+	MemBytes int64
 }
 
 // Duration is the service time (excludes queueing).
@@ -335,6 +360,23 @@ func (s *StageMetrics) MonotaskBytes(r Resource, kind Kind) int64 {
 				continue
 			}
 			sum += m.Bytes
+		}
+	}
+	return sum
+}
+
+// MonotaskMemBytes sums the memory-system traffic recorded by the stage's
+// monotasks. Kept separate from MonotaskBytes: a compute monotask's Bytes
+// field stays zero (it moves no I/O bytes), while its MemBytes records the
+// memory traffic the fourth-resource model charged it.
+func (s *StageMetrics) MonotaskMemBytes() int64 {
+	var sum int64
+	for _, t := range s.Tasks {
+		if t == nil {
+			continue
+		}
+		for _, m := range t.Monotasks {
+			sum += m.MemBytes
 		}
 	}
 	return sum

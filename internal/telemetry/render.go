@@ -22,10 +22,32 @@ func Render(s *Snapshot) string {
 		s.Stage.Bottleneck, pct(s.Stage.BottleneckBox.P50), pct(s.Stage.BottleneckBox.P95),
 		s.Stage.Second, pct(s.Stage.SecondBox.P50))
 
+	// The MEM column exists only when some machine models memory as a fourth
+	// resource, so snapshots from memoryless clusters render exactly as they
+	// did before the memory model existed.
+	hasMem := false
+	for i := range s.Machines {
+		if s.Machines[i].Mem != nil {
+			hasMem = true
+			break
+		}
+	}
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "MACHINE\tCPU\tDISK\tNET")
+	if hasMem {
+		fmt.Fprintln(tw, "MACHINE\tCPU\tDISK\tNET\tMEM")
+	} else {
+		fmt.Fprintln(tw, "MACHINE\tCPU\tDISK\tNET")
+	}
 	for _, m := range s.Machines {
-		fmt.Fprintf(tw, "m%d\t%s\t%s\t%s\n", m.Machine, pct(m.CPU), pct(m.Disk), pct(m.Net))
+		if hasMem {
+			mem := -1.0
+			if m.Mem != nil {
+				mem = *m.Mem
+			}
+			fmt.Fprintf(tw, "m%d\t%s\t%s\t%s\t%s\n", m.Machine, pct(m.CPU), pct(m.Disk), pct(m.Net), pct(mem))
+		} else {
+			fmt.Fprintf(tw, "m%d\t%s\t%s\t%s\n", m.Machine, pct(m.CPU), pct(m.Disk), pct(m.Net))
+		}
 	}
 	tw.Flush()
 
@@ -42,13 +64,24 @@ func Render(s *Snapshot) string {
 	if len(s.Jobs) > 0 {
 		b.WriteByte('\n')
 		tw = tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-		fmt.Fprintln(tw, "JOB\tPOOL\tSTATE\tTASKS\tCPU%\tDISK%\tNET%\tIDEAL-CPU\tIDEAL-DISK\tIDEAL-NET")
+		if hasMem {
+			fmt.Fprintln(tw, "JOB\tPOOL\tSTATE\tTASKS\tCPU%\tDISK%\tNET%\tMEM%\tIDEAL-CPU\tIDEAL-DISK\tIDEAL-NET\tIDEAL-MEM")
+		} else {
+			fmt.Fprintln(tw, "JOB\tPOOL\tSTATE\tTASKS\tCPU%\tDISK%\tNET%\tIDEAL-CPU\tIDEAL-DISK\tIDEAL-NET")
+		}
 		for i := range s.Jobs {
 			j := &s.Jobs[i]
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%s\t%.2fs\t%.2fs\t%.2fs\n",
-				j.Name, j.Pool, jobState(j), j.LiveTasks,
-				pct(j.CPUShare), pct(j.DiskShare), pct(j.NetShare),
-				j.IdealCPU, j.IdealDisk, j.IdealNet)
+			if hasMem {
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%.2fs\t%.2fs\t%.2fs\t%.2fs\n",
+					j.Name, j.Pool, jobState(j), j.LiveTasks,
+					pct(j.CPUShare), pct(j.DiskShare), pct(j.NetShare), pct(j.MemShare),
+					j.IdealCPU, j.IdealDisk, j.IdealNet, j.IdealMem)
+			} else {
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%s\t%.2fs\t%.2fs\t%.2fs\n",
+					j.Name, j.Pool, jobState(j), j.LiveTasks,
+					pct(j.CPUShare), pct(j.DiskShare), pct(j.NetShare),
+					j.IdealCPU, j.IdealDisk, j.IdealNet)
+			}
 		}
 		tw.Flush()
 	}

@@ -63,6 +63,11 @@ type MachineUtil struct {
 	CPU     float64 `json:"cpu"`
 	Disk    float64 `json:"disk"`
 	Net     float64 `json:"net"`
+	// Mem is the memory-bandwidth utilization on machines that model memory
+	// as a fourth resource; nil (and absent from JSON) everywhere else, so
+	// streams from memoryless clusters are byte-identical to before the
+	// memory model existed.
+	Mem *float64 `json:"mem,omitempty"`
 }
 
 // PoolStat is one scheduling pool's live state: admission-queue depth,
@@ -88,6 +93,10 @@ type JobStat struct {
 	Usage                         metrics.MeasuredUsage `json:"usage"`
 	CPUShare, DiskShare, NetShare float64
 	IdealCPU, IdealDisk, IdealNet float64
+	// MemShare and IdealMem stay zero — and out of the JSON stream — on
+	// clusters without the memory model.
+	MemShare float64 `json:"MemShare,omitempty"`
+	IdealMem float64 `json:"IdealMem,omitempty"`
 }
 
 // Snapshot is one captured moment of a run: everything the sampler could
@@ -174,12 +183,19 @@ func (s *Sampler) capture() {
 
 	n := s.cfg.SamplesPerMachine
 	for _, m := range s.c.Machines {
-		snap.Machines = append(snap.Machines, MachineUtil{
+		mu := MachineUtil{
 			Machine: m.ID,
 			CPU:     meanOrAbsent(metrics.MachineUtilSamples(m, metrics.CPU, t0, t1, n)),
 			Disk:    meanOrAbsent(metrics.MachineUtilSamples(m, metrics.Disk, t0, t1, n)),
 			Net:     meanOrAbsent(metrics.MachineUtilSamples(m, metrics.Network, t0, t1, n)),
-		})
+		}
+		// The memory series only exists on machines that model it; a nil
+		// pointer keeps the field out of the stream everywhere else.
+		if samples := metrics.MachineUtilSamples(m, metrics.Memory, t0, t1, n); samples != nil {
+			v := meanOrAbsent(samples)
+			mu.Mem = &v
+		}
+		snap.Machines = append(snap.Machines, mu)
 	}
 	snap.Stage = metrics.StageUtil(s.c, t0, t1, n)
 
@@ -241,6 +257,8 @@ func (s *Sampler) jobStats(t0, t1 sim.Time) []JobStat {
 			IdealCPU:  a.IdealCPU,
 			IdealDisk: a.IdealDisk,
 			IdealNet:  a.IdealNet,
+			MemShare:  a.MemShare,
+			IdealMem:  a.IdealMem,
 		}
 	}
 	return out

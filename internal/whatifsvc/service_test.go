@@ -54,10 +54,10 @@ func TestServiceHappyPath(t *testing.T) {
 	if len(out.Jobs) != 1 || out.Jobs[0].Seconds <= 0 || !out.Jobs[0].Finished {
 		t.Fatalf("job result wrong: %+v", out.Jobs)
 	}
-	if len(out.Bottlenecks) != 3 {
-		t.Fatalf("want 3-resource bottleneck ranking, got %+v", out.Bottlenecks)
+	if len(out.Bottlenecks) != 4 {
+		t.Fatalf("want 4-resource bottleneck ranking, got %+v", out.Bottlenecks)
 	}
-	if out.Bottlenecks[0].IdealSeconds < out.Bottlenecks[2].IdealSeconds {
+	if out.Bottlenecks[0].IdealSeconds < out.Bottlenecks[3].IdealSeconds {
 		t.Fatalf("bottleneck ranking not sorted: %+v", out.Bottlenecks)
 	}
 	if len(out.Predictions) != 2 {

@@ -254,19 +254,20 @@ func runSession(ctx context.Context, req *Request) (*Response, error) {
 
 	// Aggregate bottleneck ranking: cluster-wide ideal completion times for
 	// the executed window, largest first.
-	var cpu, disk, net float64
+	var cpu, disk, net, mem float64
 	profiles := make([]*model.JobProfile, len(ms))
 	for i, jm := range ms {
 		profiles[i] = model.FromMetrics(jm, res)
 		for _, sp := range profiles[i].Stages {
-			ic, id, in := sp.IdealTimes(res)
-			cpu, disk, net = cpu+ic, disk+id, net+in
+			ic, id, in, im := sp.IdealTimes(res)
+			cpu, disk, net, mem = cpu+ic, disk+id, net+in, mem+im
 		}
 	}
 	resp.Bottlenecks = []ResourceRank{
 		{Resource: "cpu", IdealSeconds: cpu},
 		{Resource: "disk", IdealSeconds: disk},
 		{Resource: "network", IdealSeconds: net},
+		{Resource: "memory", IdealSeconds: mem},
 	}
 	sort.SliceStable(resp.Bottlenecks, func(i, j int) bool {
 		return resp.Bottlenecks[i].IdealSeconds > resp.Bottlenecks[j].IdealSeconds

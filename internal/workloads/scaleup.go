@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+	"repro/internal/units"
+)
+
+// ScaleUp is the scale-up-server data-volume scenario from the in-memory-
+// analytics characterizations (Awan et al.; "How Data Volume Affects
+// Spark"): one fat machine scans and aggregates a cached, deserialized
+// dataset. CPU cost is linear in the data, but memory-system traffic per
+// byte grows with the working-set size — larger heaps mean more cache
+// misses and more object churn per record — so sweeping TotalBytes on a
+// fixed machine migrates the bottleneck from CPU to memory bandwidth, the
+// regime the CPU/disk/network trio cannot express. On a cluster whose spec
+// leaves the memory model disabled the job still runs, as pure CPU work.
+type ScaleUp struct {
+	Name       string
+	TotalBytes int64
+	// NumTasks defaults to two waves (2 tasks per core): scale-up analytics
+	// engines partition coarsely — the dataset is local, so there is no
+	// locality or straggler pressure pushing toward many small tasks.
+	NumTasks int
+	// CPUPerByte is the compute cost of scanning one byte (default 6 ns/B,
+	// ~166 MB/s per core — aggregation-query territory).
+	CPUPerByte float64
+	// BasePasses is the memory traffic per data byte at negligible volume
+	// (default 2: read the record, write the aggregate).
+	BasePasses float64
+	// ChurnPassesPerGB is the extra traffic per byte added per GB of total
+	// working set (default 0.05; negative for none): the cache-miss and
+	// GC-churn amplification the data-volume studies measured growing with
+	// heap size.
+	ChurnPassesPerGB float64
+	// MemBWPerTask caps one task's memory-stream rate (default 4 GB/s, a
+	// single core's streaming limit). The machine ceiling is shared max-min
+	// across the running tasks' streams.
+	MemBWPerTask float64
+}
+
+// Passes reports the memory traffic per data byte this configuration
+// generates — the amplification curve the sweep rides up.
+func (s ScaleUp) Passes() float64 {
+	base := s.BasePasses
+	if base <= 0 {
+		base = 2
+	}
+	churn := s.ChurnPassesPerGB
+	if churn < 0 {
+		churn = 0
+	} else if churn == 0 {
+		churn = 0.05
+	}
+	return base + churn*float64(s.TotalBytes)/float64(units.GB)
+}
+
+// Build materializes the single-stage scan in env.
+func (s ScaleUp) Build(env *Env) (*task.JobSpec, error) {
+	if s.TotalBytes <= 0 {
+		return nil, fmt.Errorf("workloads: scale-up needs bytes, got %d", s.TotalBytes)
+	}
+	name := s.Name
+	if name == "" {
+		name = fmt.Sprintf("scaleup-%dgb", s.TotalBytes/units.GB)
+	}
+	tasks := s.NumTasks
+	if tasks <= 0 {
+		tasks = 2 * env.Cluster.TotalCores()
+	}
+	cpuPerByte := s.CPUPerByte
+	if cpuPerByte <= 0 {
+		cpuPerByte = 6e-9
+	}
+	memBW := s.MemBWPerTask
+	if memBW <= 0 {
+		memBW = 4e9
+	}
+	perTask := s.TotalBytes / int64(tasks)
+	if perTask <= 0 {
+		return nil, fmt.Errorf("workloads: scale-up %d bytes over %d tasks leaves empty tasks", s.TotalBytes, tasks)
+	}
+	stage := &task.StageSpec{
+		ID:       0,
+		Name:     name,
+		NumTasks: tasks,
+		// The dataset is cached deserialized (in-memory analytics): no disk
+		// read, no deser CPU — everything the trio sees is the scan itself.
+		InputFromMem:      true,
+		InputBytesPerTask: perTask,
+		OpCPU:             cpuPerByte * float64(perTask),
+		MemBytesPerTask:   int64(float64(perTask) * s.Passes()),
+		MemBWPerTask:      memBW,
+	}
+	return &task.JobSpec{Name: name, Stages: []*task.StageSpec{stage}}, nil
+}

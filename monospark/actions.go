@@ -198,6 +198,8 @@ type StageBreakdown struct {
 	IdealCPU   time.Duration
 	IdealDisk  time.Duration
 	IdealNet   time.Duration
+	// IdealMem stays zero on clusters without the memory model.
+	IdealMem   time.Duration
 	Bottleneck string
 }
 
@@ -210,13 +212,14 @@ func (r *JobRun) Explain() ([]StageBreakdown, error) {
 	secs := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 	var out []StageBreakdown
 	for _, sp := range p.Stages {
-		cpu, disk, net := sp.IdealTimes(p.Res)
+		cpu, disk, net, mem := sp.IdealTimes(p.Res)
 		out = append(out, StageBreakdown{
 			Stage:      sp.Name,
 			Actual:     secs(sp.ActualSeconds),
 			IdealCPU:   secs(cpu),
 			IdealDisk:  secs(disk),
 			IdealNet:   secs(net),
+			IdealMem:   secs(mem),
 			Bottleneck: sp.Bottleneck(p.Res).String(),
 		})
 	}
@@ -230,16 +233,18 @@ func (r *JobRun) Bottleneck() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	var cpu, disk, net float64
+	var cpu, disk, net, mem float64
 	for _, sp := range p.Stages {
-		c, d, n := sp.IdealTimes(p.Res)
-		cpu, disk, net = cpu+c, disk+d, net+n
+		c, d, n, m := sp.IdealTimes(p.Res)
+		cpu, disk, net, mem = cpu+c, disk+d, net+n, mem+m
 	}
 	switch {
-	case disk >= cpu && disk >= net:
+	case disk >= cpu && disk >= net && disk >= mem:
 		return "disk", nil
-	case net >= cpu:
+	case net >= cpu && net >= mem:
 		return "network", nil
+	case mem >= cpu:
+		return "memory", nil
 	default:
 		return "cpu", nil
 	}

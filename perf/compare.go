@@ -46,12 +46,25 @@ type SweepCompare struct {
 	SerialHash   string  `json:"serial_hash"`
 	ParallelHash string  `json:"parallel_hash"`
 	Identical    bool    `json:"identical"`
+	// NumCPU is the core count the comparison ran on — the context a reader
+	// needs to judge the speedup (BENCH_4.json was produced on a one-core
+	// host, where no parallel speedup is possible).
+	NumCPU int `json:"num_cpu,omitempty"`
 	// Flagged marks a comparison whose parallel leg was no faster than the
-	// serial leg (speedup < 1). That is expected when the worker count
-	// exceeds the machine's cores — goroutines just time-slice one CPU and
-	// pay the coordination overhead — and suspicious anywhere else, so
-	// consumers must treat a flagged speedup as a caveat, never a win.
+	// serial leg (speedup < 1) on a machine that has cores to parallelize
+	// over. On a single-core host goroutines just time-slice one CPU and pay
+	// the coordination overhead, so speedup < 1 is the expected outcome, not
+	// a regression, and is never flagged. Anywhere else consumers must treat
+	// a flagged speedup as a caveat, never a win.
 	Flagged bool `json:"flagged,omitempty"`
+}
+
+// flagSpeedup decides whether a serial-vs-parallel speedup is suspicious:
+// only sub-1 speedups on multi-core hosts are. A single-core host cannot
+// run sweep cells concurrently, so its parallel leg losing to serial is
+// physics, not a bug.
+func flagSpeedup(speedup float64, numCPU int) bool {
+	return speedup < 1 && numCPU > 1
 }
 
 // Report is the full BENCH_*.json payload.
@@ -175,7 +188,8 @@ func CompareSweep(experiment string, cells, workers int, render func() ([]byte, 
 		SerialHash:   hex.EncodeToString(sh[:]),
 		ParallelHash: hex.EncodeToString(ph[:]),
 		Identical:    bytes.Equal(serial, par),
-		Flagged:      speedup < 1,
+		NumCPU:       runtime.NumCPU(),
+		Flagged:      flagSpeedup(speedup, runtime.NumCPU()),
 	}, nil
 }
 

@@ -1,0 +1,29 @@
+package perf
+
+import "testing"
+
+// TestFlagSpeedup pins the single-core caveat: a sub-1 parallel speedup is
+// only suspicious on a host that could have parallelized. BENCH_4.json was
+// produced on a one-core machine, where the parallel leg losing to serial is
+// the expected outcome — flagging it there turned every baseline refresh
+// into a false alarm.
+func TestFlagSpeedup(t *testing.T) {
+	cases := []struct {
+		speedup float64
+		numCPU  int
+		want    bool
+	}{
+		{0.8, 1, false},  // single core: slowdown is physics, not a bug
+		{0.99, 1, false}, // still single core
+		{1.3, 1, false},  // faster anyway: never flagged
+		{0.8, 2, true},   // multi-core slowdown: suspicious
+		{0.99, 8, true},  // multi-core, even marginal: suspicious
+		{1.0, 8, false},  // break-even: not flagged
+		{3.5, 8, false},  // genuine win
+	}
+	for _, c := range cases {
+		if got := flagSpeedup(c.speedup, c.numCPU); got != c.want {
+			t.Errorf("flagSpeedup(%v, %d) = %v, want %v", c.speedup, c.numCPU, got, c.want)
+		}
+	}
+}
