@@ -80,6 +80,13 @@ var parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for exp
 // experiment reports failed instead of hanging the whole benchmark run.
 var timeout = flag.Duration("timeout", 0, "per-experiment wall-clock budget (0 = none), e.g. 90s")
 
+// shards, when above 1, runs every experiment's simulations on the sharded
+// engine: machines partition into that many shards advancing in parallel
+// within a topology-derived lookahead. Unlike --parallel (which runs whole
+// grid cells concurrently), --shards parallelizes inside a single run.
+// Results are bit-identical at any setting.
+var shards = flag.Int("shards", 0, "engine shards per simulation (0/1 = serial engine)")
+
 // telemetryOut, when set, attaches a live sampler to every experiment run and
 // writes all captured snapshots to this file as JSON Lines (cmd/monotop reads
 // the format). Output bytes are identical at any --parallel setting.
@@ -160,6 +167,23 @@ func main() {
 			setParallelArg(args[i])
 			continue
 		}
+		if v, ok := strings.CutPrefix(a, "--shards="); ok {
+			setShardsArg(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(a, "-shards="); ok {
+			setShardsArg(v)
+			continue
+		}
+		if a == "--shards" || a == "-shards" {
+			if i+1 >= len(args) {
+				fmt.Fprintf(os.Stderr, "monobench: %s needs a value\n", a)
+				os.Exit(2)
+			}
+			i++
+			setShardsArg(args[i])
+			continue
+		}
 		if v, ok := strings.CutPrefix(a, "--telemetry="); ok {
 			*telemetryOut = v
 			continue
@@ -198,6 +222,7 @@ func main() {
 	}
 	args = kept
 	sweep.SetParallelism(*parallel)
+	figures.SetShards(*shards)
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
@@ -304,6 +329,16 @@ func setTimeoutArg(v string) {
 		os.Exit(2)
 	}
 	*timeout = d
+}
+
+// setShardsArg parses a trailing --shards value into the flag.
+func setShardsArg(v string) {
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		fmt.Fprintf(os.Stderr, "monobench: bad --shards value %q\n", v)
+		os.Exit(2)
+	}
+	*shards = n
 }
 
 // setParallelArg parses a trailing --parallel value into the flag.

@@ -3,12 +3,13 @@
 // and a serial-vs-parallel sweep of the chaos matrix, then writes the numbers
 // to a BENCH_*.json report.
 //
-//	monoperf -out BENCH_5.json                                # full run
-//	monoperf -quick -baseline BENCH_4.json -out BENCH_ci.json # CI-sized run
+//	monoperf -out BENCH_6.json                                # full run
+//	monoperf -quick -baseline BENCH_5.json -out BENCH_ci.json # CI-sized run
 //
-// The exit status doubles as two gates: if the parallel sweep's rendered
-// output is not byte-identical to the serial run's, or if -baseline names an
-// earlier report and SortEndToEnd's allocs/op regressed more than 10%
+// The exit status doubles as three gates: if the parallel sweep's rendered
+// output is not byte-identical to the serial run's, if any sharded-engine
+// comparison's checksums diverge from its serial leg, or if -baseline names
+// an earlier report and SortEndToEnd's allocs/op regressed more than 10%
 // against it, monoperf exits non-zero.
 package main
 
@@ -42,7 +43,7 @@ func benchSortEndToEnd(b *testing.B) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "report path")
+	out := flag.String("out", "BENCH_6.json", "report path")
 	quick := flag.Bool("quick", false, "CI-sized run: fewer chaos seeds")
 	workers := flag.Int("parallel", 0,
 		"worker count for the parallel sweep leg (0 = min(8, NumCPU): more workers than cores only measures time-slicing overhead)")
@@ -67,6 +68,24 @@ func main() {
 		perf.Bench("SortEndToEnd", benchSortEndToEnd),
 		perf.Bench("DriverSubmit", perf.BenchDriverSubmit),
 		perf.Bench("MultiJobSteadyState", perf.BenchMultiJobSteadyState),
+		perf.Bench("EngineSharded4", perf.BenchEngineSharded(4)),
+	}
+	// Serial-vs-sharded engine table: every workload shape at 1/2/4/8 shards
+	// (the EXPERIMENTS.md speedup table). Event counts are scaled down by
+	// -quick.
+	shardEvents := 1 << 20
+	if *quick {
+		shardEvents = 1 << 17
+	}
+	for _, workload := range []string{"sort", "chaos", "memory"} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			sc, err := perf.CompareShardedEngine(workload, 8, shards, shardEvents)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "monoperf: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Sharded = append(rep.Sharded, sc)
+		}
 	}
 	sw, err := perf.CompareSweep("chaos", seeds*2, *workers, func() ([]byte, error) {
 		res, err := figures.Chaos(seeds)
@@ -107,6 +126,14 @@ func main() {
 	}
 	fmt.Printf("%-24s serial %.0f ms, parallel(%d) %.0f ms on %d CPUs, speedup %.2fx, identical %v\n",
 		"sweep:"+sw.Experiment, sw.SerialMs, sw.Workers, sw.ParallelMs, sw.NumCPU, sw.Speedup, sw.Identical)
+	shardedOK := true
+	for _, sc := range rep.Sharded {
+		fmt.Printf("%-24s serial %.0f ms, sharded(%d) %.0f ms, speedup %.2fx, identical %v\n",
+			"shard:"+sc.Workload, sc.SerialMs, sc.Shards, sc.ShardedMs, sc.Speedup, sc.Identical)
+		if !sc.Identical {
+			shardedOK = false
+		}
+	}
 	if sw.Flagged {
 		fmt.Fprintf(os.Stderr,
 			"monoperf: warning: parallel sweep speedup %.2fx < 1 with %d workers on %d CPUs — number is an overhead measurement, not a win\n",
@@ -115,6 +142,10 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 	if !sw.Identical {
 		fmt.Fprintln(os.Stderr, "monoperf: parallel sweep output diverged from serial run")
+		os.Exit(1)
+	}
+	if !shardedOK {
+		fmt.Fprintln(os.Stderr, "monoperf: sharded engine checksums diverged from serial run")
 		os.Exit(1)
 	}
 	if base != nil {

@@ -259,6 +259,27 @@ func (c *Cluster) SetMachineSpeed(m int, factor float64) {
 	c.Fabric.SetLinkSpeed(m, factor)
 }
 
+// LookaheadHorizon derives the cluster's conservative lookahead: the minimum
+// virtual time within which no machine can affect another. Machines interact
+// only through the fabric, and the smallest interaction the shuffle planner
+// ever puts on the wire is a single byte, so the horizon is one byte over the
+// fastest link (netsim.Fabric.MinTransferLatency). A scheduler that knows the
+// upcoming stage shapes can tighten this with shuffle.Tracker.MinFetchBytes;
+// this static floor is valid for any workload.
+func (c *Cluster) LookaheadHorizon() sim.Duration {
+	return c.Fabric.MinTransferLatency(1)
+}
+
+// ConfigureSharding partitions the engine into one lane per machine, grouped
+// into the given number of shards, with the topology-derived lookahead from
+// LookaheadHorizon. Shards outside [1, machines] are clamped. Sharding is an
+// execution strategy, not a model change: the engine guarantees bit-identical
+// event order at any shard count, which TestGoldenShardedVsSerial pins over
+// the golden corpora.
+func (c *Cluster) ConfigureSharding(shards int) {
+	c.Engine.ConfigureShards(len(c.Machines), shards, c.LookaheadHorizon())
+}
+
 // Spec returns the per-machine specification.
 func (c *Cluster) Spec() MachineSpec { return c.spec }
 

@@ -1,0 +1,68 @@
+package figures
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestGoldenShardedVsSerial locks the sharded engine's equivalence contract:
+// the golden corpus (sort + big data benchmark), a two-seed chaos matrix
+// (fault injection, retries, machine exclusion), and the memory-model sweep
+// (GC pauses, bandwidth ceilings, spill) must render byte-identical output on
+// the serial engine and on the sharded engine at 1, 2, 4, and 8 shards.
+// Sharding is an execution strategy, not a model change; any divergence means
+// the windowed scheduler reordered product events.
+func TestGoldenShardedVsSerial(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		buf.Write(goldenOutput(t))
+		cr, err := Chaos(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr.Fprint(&buf)
+		mr, err := Memory(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr.Fprint(&buf)
+		// Full-precision rows: Fprint rounds for humans, but the equivalence
+		// contract is bitwise.
+		for _, row := range mr.Rows {
+			fmt.Fprintf(&buf, "mem gb=%.9f dur=%.9f gc=%d spill=%d peak=%d attrib=%.9f\n",
+				row.GB, row.Seconds, row.GCPauses, row.SpillBytes, row.PeakResident, row.AttribErrPct)
+		}
+		return buf.Bytes()
+	}
+	defer SetShards(0)
+	SetShards(0)
+	serial := render()
+	for _, shards := range []int{1, 2, 4, 8} {
+		SetShards(shards)
+		if got := render(); !bytes.Equal(got, serial) {
+			t.Fatalf("shards=%d output diverged from serial engine at:\n%s",
+				shards, firstDiffLine(got, serial))
+		}
+	}
+}
+
+// TestGoldenShardedTelemetry extends the sharded equivalence gate to the live
+// telemetry bus: the full snapshot stream of the golden corpus + chaos matrix
+// must be byte-identical on the serial engine and at 4 shards. Sampling rides
+// the engine's event queue, so this pins that the windowed scheduler fires
+// sampler events at the same virtual instants in the same order.
+func TestGoldenShardedTelemetry(t *testing.T) {
+	defer SetShards(0)
+	SetShards(0)
+	serial := telemetryStream(t)
+	if len(serial) == 0 {
+		t.Fatal("empty telemetry stream")
+	}
+	SetShards(4)
+	sharded := telemetryStream(t)
+	if !bytes.Equal(serial, sharded) {
+		t.Fatalf("telemetry stream diverged between serial and 4-shard engines at:\n%s",
+			firstDiffLine(sharded, serial))
+	}
+}

@@ -70,6 +70,14 @@ type Options struct {
 	// callers use to collect the snapshot ring. Only called when Telemetry is
 	// set.
 	OnTelemetry func(*telemetry.Sampler)
+	// Shards, when above 1, runs the simulation on the sharded engine:
+	// machines are partitioned into that many shards (clamped to the machine
+	// count), each advancing its own event timeline up to a lookahead horizon
+	// derived from the cluster topology (cluster.LookaheadHorizon), with
+	// cross-shard effects synchronized at fabric boundaries. Sharding is an
+	// execution strategy, not a model change — results are bit-identical to
+	// the serial engine at any shard count (TestGoldenShardedVsSerial).
+	Shards int
 	// Deadline, when positive, bounds the run in virtual time: once the
 	// simulation clock passes it the run aborts with an *AbortError carrying
 	// the partial results accumulated so far.
@@ -161,6 +169,16 @@ func finishAborted(e *sim.Engine, d *jobsched.Driver) error {
 	return aerr
 }
 
+// applySharding configures the cluster's engine per Options.Shards. A value
+// of 1 explicitly selects the windowed scheduler with a single shard (useful
+// for isolating windowing overhead from parallelism); 0 leaves the engine in
+// its plain serial mode.
+func applySharding(c *cluster.Cluster, o Options) {
+	if o.Shards > 0 {
+		c.ConfigureSharding(o.Shards)
+	}
+}
+
 // startTelemetry attaches a sampler per Options, returning a finish hook.
 func (o Options) startTelemetry(c *cluster.Cluster, d *jobsched.Driver) func() {
 	if o.Telemetry == nil {
@@ -236,6 +254,7 @@ func Jobs(c *cluster.Cluster, fs *dfs.FS, o Options, specs ...*task.JobSpec) ([]
 // loop, so an un-cancelled run is byte-identical to one executed without a
 // context.
 func JobsContext(ctx context.Context, c *cluster.Cluster, fs *dfs.FS, o Options, specs ...*task.JobSpec) ([]*task.JobMetrics, error) {
+	applySharding(c, o)
 	d, err := Driver(c, fs, o)
 	if err != nil {
 		return nil, err
@@ -286,6 +305,7 @@ func JobsAtContext(ctx context.Context, c *cluster.Cluster, fs *dfs.FS, o Option
 			return nil, fmt.Errorf("run: submission %d (%q) arrives at t=%v, before the cluster clock %v", i, s.Spec.Name, s.At, c.Engine.Now())
 		}
 	}
+	applySharding(c, o)
 	d, err := Driver(c, fs, o)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,466 @@
+package sim
+
+// Conservative parallel discrete-event simulation.
+//
+// An engine configured with ConfigureShards carries, next to its global
+// timeline, L lanes: independent event queues with their own clocks and
+// sequence counters. Lanes are grouped into S shards; each shard advances
+// its lanes on its own goroutine. The scheduler is conservative in the
+// classic Chandy–Misra sense: a window [W0, W1) is opened with
+//
+//	W0 = earliest pending lane event,
+//	W1 = min(W0 + lookahead, earliest pending global event),
+//
+// and every shard executes its lanes' events with time < W1 with no
+// cross-shard communication. That is safe because the only way one lane can
+// affect another is Lane.Send, which imposes a delay of at least the
+// lookahead: an effect emitted inside the window lands at or after
+// W0 + lookahead ≥ W1, i.e. never inside the window that emitted it.
+// Cross-lane sends are captured in per-lane outboxes and merged at the
+// window barrier.
+//
+// Determinism argument, in three parts:
+//
+//  1. Within a lane, events execute in (time, lane-sequence) order — each
+//     lane is a serial engine in miniature.
+//  2. Within a shard, lanes interleave in (time, lane ID) order. Because
+//     lanes share no state (the caller's contract: a lane callback touches
+//     only state owned by its lane, and communicates via Send), this order
+//     is observable only in traces, and it is a pure function of the lane
+//     contents — not of the shard count. A shard with one lane and a shard
+//     with eight lanes execute any given lane's events identically.
+//  3. At each barrier, that window's outbox posts are merged in
+//     (deliver-time, sender lane, sender send-sequence) order — all three
+//     components are decided by lane-local execution. Posts from earlier
+//     windows were injected at earlier barriers, and window boundaries are
+//     themselves shard-count-independent (see below), so the sequence
+//     numbers deliveries receive in their target lanes — hence the order of
+//     same-instant deliveries — are a pure function of lane-local
+//     quantities, identical at any shard count.
+//
+// Window boundaries themselves are shard-count-independent: W0 is a minimum
+// over all lanes and W1 folds in the global queue, neither of which depends
+// on how lanes are grouped. The net result is the property the tests pin
+// down: a lane workload replays bit-identically at 1, 2, 4, or 8 shards,
+// and a global-only workload (which is what production runs schedule today)
+// executes in exactly the serial engine's (time, seq) order.
+//
+// Global events are the synchronization points: an engine-level event at
+// time G runs only after every lane has drained strictly past... precisely,
+// after every lane event with time < G has executed, and no lane event at
+// time ≥ G runs before it. Device models whose effects are instantaneous
+// across machines (the netsim fabric's max-min rerate) therefore stay on
+// the global timeline and serialize, which is what keeps them exact.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// post is one cross-lane delivery captured in a sender's outbox during a
+// window. (at, from, seq) is the deterministic merge key; to and fn say
+// where and what to deliver.
+type post struct {
+	at   Time
+	from int
+	seq  uint64
+	to   int
+	fn   func()
+}
+
+// Lane is one shard lane: an independent serial timeline inside a sharded
+// engine, typically owned by one simulated machine. Lane methods are safe
+// from the lane's own callbacks while a window executes, and from the
+// coordinating goroutine between windows (setup code, global events). They
+// are not safe from other lanes' callbacks — lanes communicate only via
+// Send.
+type Lane struct {
+	eng     *Engine
+	id      int
+	q       eventQueue
+	now     Time
+	horizon Time // current window's exclusive upper bound
+	outbox  []post
+	sendSeq uint64
+}
+
+// ID reports the lane's index within its engine.
+func (ln *Lane) ID() int { return ln.id }
+
+// Now reports the lane's clock: the time of the event being executed, or the
+// end of the last drained window.
+func (ln *Lane) Now() Time { return ln.now }
+
+// Horizon reports the exclusive upper bound of the window the lane is
+// currently allowed to advance through. Events never execute at or past it;
+// the property tests assert exactly that.
+func (ln *Lane) Horizon() Time { return ln.horizon }
+
+// Pending reports the lane's pending event count.
+func (ln *Lane) Pending() int { return ln.q.len() }
+
+// At schedules fn on this lane at absolute virtual time t. Like Engine.At,
+// scheduling in the lane's past panics.
+func (ln *Lane) At(t Time, fn func()) EventRef {
+	if t < ln.now {
+		panic(fmt.Sprintf("sim: lane %d: scheduling event at %v before lane now %v", ln.id, t, ln.now))
+	}
+	return ln.q.schedule(t, fn)
+}
+
+// After schedules fn on this lane d seconds from the lane's now.
+func (ln *Lane) After(d Duration, fn func()) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: lane %d: negative delay %v", ln.id, d))
+	}
+	return ln.At(ln.now+d, fn)
+}
+
+// Cancel removes a pending event scheduled on this lane. Zero and stale refs
+// are ignored, exactly like Engine.Cancel.
+func (ln *Lane) Cancel(r EventRef) {
+	if !r.Scheduled() {
+		return
+	}
+	if r.ev.owner != &ln.q {
+		panic(fmt.Sprintf("sim: lane %d: cancelling an event owned by another queue", ln.id))
+	}
+	ln.q.remove(r)
+}
+
+// Send delivers fn to lane `to` after at least d of virtual time. d must be
+// at least the engine's lookahead — that bound is what makes the window
+// protocol conservative, so violating it panics rather than silently
+// breaking determinism. Sends are not cancellable: they model messages
+// already on the wire.
+func (ln *Lane) Send(to int, d Duration, fn func()) {
+	s := ln.eng.shards
+	if to < 0 || to >= len(s.lanes) {
+		panic(fmt.Sprintf("sim: lane %d: send to lane %d of %d", ln.id, to, len(s.lanes)))
+	}
+	if d < s.lookahead {
+		panic(fmt.Sprintf("sim: lane %d: send delay %v under lookahead %v breaks the conservative horizon", ln.id, d, s.lookahead))
+	}
+	ln.sendSeq++
+	ln.outbox = append(ln.outbox, post{at: ln.now + d, from: ln.id, seq: ln.sendSeq, to: to, fn: fn})
+}
+
+// shardSet is the windowed scheduler's state: the lanes, their grouping into
+// shards, and the scratch the coordinator reuses between windows.
+type shardSet struct {
+	lanes     []*Lane
+	groups    [][]*Lane // groups[s] = the lanes shard s advances
+	lookahead Duration
+
+	inbox  []post // merge scratch, reused across windows
+	counts []int  // per-group events executed in the current window
+	panics []any  // per-group recovered panic values
+	wg     sync.WaitGroup
+}
+
+// ConfigureShards equips the engine with `lanes` shard lanes advanced by
+// `shards` parallel executors under the given conservative lookahead
+// horizon. Lanes are partitioned into contiguous, near-equal groups — lane
+// i belongs to shard i*shards/lanes — mirroring how a cluster partitions
+// machines. shards is clamped to [1, lanes]; lanes and lookahead must be
+// positive.
+//
+// Reconfiguring with identical parameters while no lane events are pending
+// is a no-op (the per-action reuse pattern: every run of a long-lived
+// session passes the same options). Any other reconfiguration with pending
+// lane events panics — it would orphan them.
+func (e *Engine) ConfigureShards(lanes, shards int, lookahead Duration) {
+	if e.running {
+		panic("sim: ConfigureShards during Run")
+	}
+	if lanes <= 0 {
+		panic(fmt.Sprintf("sim: ConfigureShards needs lanes, got %d", lanes))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: ConfigureShards needs a positive lookahead, got %v", lookahead))
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > lanes {
+		shards = lanes
+	}
+	if s := e.shards; s != nil {
+		if len(s.lanes) == lanes && len(s.groups) == shards && s.lookahead == lookahead {
+			return
+		}
+		for _, ln := range s.lanes {
+			if ln.q.len() > 0 {
+				panic(fmt.Sprintf("sim: ConfigureShards would orphan %d pending events on lane %d", ln.q.len(), ln.id))
+			}
+		}
+	}
+	s := &shardSet{
+		lookahead: lookahead,
+		lanes:     make([]*Lane, lanes),
+		groups:    make([][]*Lane, shards),
+		counts:    make([]int, shards),
+		panics:    make([]any, shards),
+	}
+	for i := range s.lanes {
+		s.lanes[i] = &Lane{eng: e, id: i, now: e.now}
+		g := i * shards / lanes
+		s.groups[g] = append(s.groups[g], s.lanes[i])
+	}
+	e.shards = s
+}
+
+// DisableShards removes the lane layer, returning the engine to the pure
+// serial scheduler. Panics if lane events are still pending.
+func (e *Engine) DisableShards() {
+	if e.running {
+		panic("sim: DisableShards during Run")
+	}
+	if e.shards == nil {
+		return
+	}
+	for _, ln := range e.shards.lanes {
+		if ln.q.len() > 0 {
+			panic(fmt.Sprintf("sim: DisableShards would orphan %d pending events on lane %d", ln.q.len(), ln.id))
+		}
+	}
+	e.shards = nil
+}
+
+// LaneCount reports the number of configured lanes (0 when unsharded).
+func (e *Engine) LaneCount() int {
+	if e.shards == nil {
+		return 0
+	}
+	return len(e.shards.lanes)
+}
+
+// ShardCount reports the number of parallel shard executors (0 when
+// unsharded).
+func (e *Engine) ShardCount() int {
+	if e.shards == nil {
+		return 0
+	}
+	return len(e.shards.groups)
+}
+
+// Lookahead reports the conservative horizon (0 when unsharded).
+func (e *Engine) Lookahead() Duration {
+	if e.shards == nil {
+		return 0
+	}
+	return e.shards.lookahead
+}
+
+// Lane returns lane i. Panics when unsharded or out of range.
+func (e *Engine) Lane(i int) *Lane {
+	if e.shards == nil {
+		panic("sim: Lane on an unsharded engine")
+	}
+	return e.shards.lanes[i]
+}
+
+// laneMin reports the earliest pending lane event across all lanes.
+func (s *shardSet) laneMin() Time {
+	min := Forever
+	for _, ln := range s.lanes {
+		if t := ln.q.peek(); t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// drainGroup advances group g's lanes through [their current clocks, w1):
+// repeatedly pick the group-wide earliest (time, lane ID) event under w1 and
+// execute it. Runs on the shard's goroutine; touches only group-g lanes. A
+// callback panic is captured into s.panics[g] so the coordinator can re-raise
+// it deterministically after the barrier.
+func (s *shardSet) drainGroup(g int, w1 Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics[g] = r
+		}
+	}()
+	lanes := s.groups[g]
+	n := 0
+	for {
+		var best *Lane
+		bt := w1
+		for _, ln := range lanes {
+			// Strict < keeps the tie rule: events exactly at w1 belong to the
+			// next window (after any global event at w1).
+			if t := ln.q.peek(); t < bt {
+				bt, best = t, ln
+			}
+		}
+		if best == nil {
+			break
+		}
+		ev := best.q.pop()
+		best.now = ev.at
+		fn := ev.fn
+		best.q.recycle(ev)
+		fn()
+		n++
+	}
+	for _, ln := range lanes {
+		ln.now = w1
+	}
+	s.counts[g] = n
+}
+
+// mergeOutboxes gathers every lane's outbox into s.inbox sorted by
+// (deliver-time, sender lane, sender send-sequence) — a total order decided
+// entirely by lane-local execution, hence identical at any shard count —
+// and schedules the deliveries into their target lanes in that order.
+func (s *shardSet) mergeOutboxes() {
+	s.inbox = s.inbox[:0]
+	for _, ln := range s.lanes {
+		s.inbox = append(s.inbox, ln.outbox...)
+		for i := range ln.outbox {
+			ln.outbox[i].fn = nil
+		}
+		ln.outbox = ln.outbox[:0]
+	}
+	// Insertion sort: windows carry few posts, and unlike sort.Slice this
+	// allocates nothing.
+	for i := 1; i < len(s.inbox); i++ {
+		for j := i; j > 0 && postLess(s.inbox[j], s.inbox[j-1]); j-- {
+			s.inbox[j], s.inbox[j-1] = s.inbox[j-1], s.inbox[j]
+		}
+	}
+	for i := range s.inbox {
+		p := &s.inbox[i]
+		s.lanes[p.to].q.schedule(p.at, p.fn)
+		p.fn = nil
+	}
+	s.inbox = s.inbox[:0]
+}
+
+// postLess orders posts by (deliver-time, sender lane, sender sequence).
+func postLess(a, b post) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	return a.seq < b.seq
+}
+
+// runSharded is Run's windowed scheduler. Global events keep the serial
+// engine's exact semantics — executed one at a time in (time, seq) order
+// whenever no lane event precedes them, with the same abort-poll cadence —
+// so a run that schedules only global events (today's production executors)
+// is byte-identical to the unsharded engine. Lane events advance in
+// parallel windows between them.
+func (e *Engine) runSharded() {
+	s := e.shards
+	checked := e.abortCheck != nil
+	if checked {
+		if e.abortErr != nil {
+			return
+		}
+		if err := e.abortCheck(); err != nil {
+			e.abortErr = err
+			return
+		}
+	}
+	budget := e.abortEvery
+	for {
+		gt := e.q.peek()
+		lt := s.laneMin()
+		if gt == Forever && lt == Forever {
+			return
+		}
+		if gt <= lt {
+			// The global event precedes (ties included: lane events at the
+			// same instant wait behind it) — serial step.
+			ev := e.q.pop()
+			e.now = ev.at
+			fn := ev.fn
+			e.q.recycle(ev)
+			fn()
+			if checked {
+				budget--
+				if budget <= 0 {
+					if err := e.abortCheck(); err != nil {
+						e.abortErr = err
+						return
+					}
+					budget = e.abortEvery
+				}
+			}
+			continue
+		}
+		// Open the window [lt, w1).
+		w1 := lt + s.lookahead
+		if w1 < lt {
+			// lookahead overflow (lt near Forever): clamp to the global bound.
+			w1 = Forever
+		}
+		if gt < w1 {
+			w1 = gt
+		}
+		for _, ln := range s.lanes {
+			ln.horizon = w1
+		}
+		// Fan groups with work onto goroutines; the last busy group runs
+		// inline on the coordinator.
+		inline := -1
+		for g := range s.groups {
+			s.counts[g] = 0
+			s.panics[g] = nil
+			busy := false
+			for _, ln := range s.groups[g] {
+				if ln.q.peek() < w1 {
+					busy = true
+					break
+				}
+			}
+			if !busy {
+				for _, ln := range s.groups[g] {
+					ln.now = w1
+				}
+				continue
+			}
+			if inline >= 0 {
+				g := g
+				s.wg.Add(1)
+				go func() {
+					defer s.wg.Done()
+					s.drainGroup(g, w1)
+				}()
+			}
+			if inline < 0 {
+				inline = g
+			}
+		}
+		if inline >= 0 {
+			s.drainGroup(inline, w1)
+		}
+		s.wg.Wait()
+		for g, p := range s.panics {
+			if p != nil {
+				panic(fmt.Sprintf("sim: shard %d: lane callback panicked: %v", g, p))
+			}
+		}
+		s.mergeOutboxes()
+		if e.now < w1 && w1 < Forever {
+			e.now = w1
+		}
+		if checked {
+			for _, n := range s.counts {
+				budget -= n
+			}
+			if budget <= 0 {
+				if err := e.abortCheck(); err != nil {
+					e.abortErr = err
+					return
+				}
+				budget = e.abortEvery
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// FuzzShardedReplay feeds arbitrary (seed, lanes, shards) triples to the
+// randomized lane workload and requires two bit-identical guarantees: the
+// same inputs replay identically, and any shard count produces the same
+// trace as one shard. It is the fuzz face of TestShardProperties — the
+// property suite walks 250 fixed seeds, the fuzzer walks the corners
+// (degenerate lane counts, shard counts above the lane count, seeds that
+// shake out unusual window sequences).
+func FuzzShardedReplay(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(2))
+	f.Add(uint64(42), uint8(8), uint8(8))
+	f.Add(uint64(7), uint8(2), uint8(16)) // shards clamp to lanes
+	f.Add(uint64(99), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, lanes, shards uint8) {
+		l := int(lanes%16) + 1
+		s := int(shards%16) + 1
+		base, bh := runLaneWorkload(seed, l, 1)
+		for lane, b := range bh.breaches {
+			if b != 0 {
+				t.Fatalf("seed %d lanes=%d shards=1: lane %d: %d horizon/clock breaches", seed, l, lane, b)
+			}
+		}
+		replay, _ := runLaneWorkload(seed, l, 1)
+		if replay != base {
+			t.Fatalf("seed %d lanes=%d: serial replay diverged:\n%s", seed, l, firstTraceDiff(replay, base))
+		}
+		got, gh := runLaneWorkload(seed, l, s)
+		for lane, b := range gh.breaches {
+			if b != 0 {
+				t.Fatalf("seed %d lanes=%d shards=%d: lane %d: %d horizon/clock breaches", seed, l, s, lane, b)
+			}
+		}
+		if got != base {
+			t.Fatalf("seed %d lanes=%d: shards=%d diverged from shards=1:\n%s", seed, l, s, firstTraceDiff(got, base))
+		}
+		again, _ := runLaneWorkload(seed, l, s)
+		if again != got {
+			t.Fatalf("seed %d lanes=%d shards=%d: sharded replay diverged:\n%s", seed, l, s, firstTraceDiff(again, got))
+		}
+	})
+}

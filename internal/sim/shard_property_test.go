@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The property suite drives randomized lane workloads — self-rescheduling
+// local events, cross-lane sends at or above the lookahead, and a sprinkle
+// of global events — and checks the windowed scheduler's three contracts:
+//
+//  1. Horizon safety: no lane event executes at or past its lane's window
+//     horizon, and lane clocks never go backwards.
+//  2. Shard-count independence: the per-lane execution traces (and the
+//     global trace) are bit-identical at 1, 2, 4, and 8 shards.
+//  3. Replay determinism: the same seed replays bit-identically.
+//
+// All randomness is derived per event from a splitmix-style hash of
+// (seed, lane, event id), so an event's behaviour is a pure function of its
+// identity — never of scheduling order or shared RNG state.
+
+// mix64 is splitmix64's finalizer: a cheap, high-quality hash for deriving
+// per-event randomness.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4b9d9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// laneHarness owns the per-lane trace buffers and violation counters for
+// one workload execution. Each lane writes only its own slot, which is the
+// lane contract the scheduler itself relies on.
+type laneHarness struct {
+	eng       *Engine
+	lookahead Duration
+	traces    []strings.Builder
+	global    strings.Builder
+	breaches  []int // horizon/monotonicity violations per lane
+	lastAt    []Time
+	spawned   []int // per-lane event-id allocator
+}
+
+// runLaneWorkload executes the seeded workload on `lanes` lanes at the given
+// shard count and returns the concatenated trace.
+func runLaneWorkload(seed uint64, lanes, shards int) (string, *laneHarness) {
+	const lookahead = Duration(4)
+	e := NewEngine()
+	e.ConfigureShards(lanes, shards, lookahead)
+	h := &laneHarness{
+		eng:       e,
+		lookahead: lookahead,
+		traces:    make([]strings.Builder, lanes),
+		breaches:  make([]int, lanes),
+		lastAt:    make([]Time, lanes),
+		spawned:   make([]int, lanes),
+	}
+	// Seed: a few initial events per lane, depth-bounded so the workload
+	// terminates. Depth 5 with ≤3 children per event bounds the tree.
+	for l := 0; l < lanes; l++ {
+		n := int(mix64(seed^uint64(l))%3) + 2
+		for i := 0; i < n; i++ {
+			at := Time(mix64(seed^uint64(l*1000+i))%32) / 4
+			h.schedule(l, at, 5)
+		}
+	}
+	// A few global events: they interleave with windows and reseed lanes,
+	// exercising the barrier rule.
+	for g := 0; g < 3; g++ {
+		g := g
+		at := Time(mix64(seed^uint64(0x60+g*7))%64) / 2
+		e.At(at, func() {
+			fmt.Fprintf(&h.global, "G%d@%.6f;", g, float64(e.Now()))
+			// Global callbacks run with every lane quiesced at a clock ≤ now,
+			// so reseeding lanes from here is legal.
+			lane := int(mix64(seed^uint64(g)) % uint64(lanes))
+			h.schedule(lane, e.Now()+Time(g)+1, 2)
+		})
+	}
+	e.Run()
+	var sb strings.Builder
+	for l := range h.traces {
+		fmt.Fprintf(&sb, "lane%d: %s\n", l, h.traces[l].String())
+	}
+	fmt.Fprintf(&sb, "global: %s\n", h.global.String())
+	fmt.Fprintf(&sb, "end: %.6f\n", float64(e.Now()))
+	return sb.String(), h
+}
+
+// schedule places one workload event on lane l. Must run either lane-locally
+// (from l's own callbacks) or from quiesced contexts (setup, global events).
+func (h *laneHarness) schedule(l int, at Time, depth int) {
+	ln := h.eng.Lane(l)
+	h.spawned[l]++
+	id := h.spawned[l]
+	ln.At(at, func() { h.fire(ln, id, depth) })
+}
+
+// fire is one workload event: record the trace, verify the horizon and clock
+// contracts, then derive children — local reschedules and cross-lane sends —
+// from the event's identity hash.
+func (h *laneHarness) fire(ln *Lane, id, depth int) {
+	l := ln.ID()
+	now := ln.Now()
+	if now >= ln.Horizon() {
+		h.breaches[l]++
+	}
+	if now < h.lastAt[l] {
+		h.breaches[l]++
+	}
+	h.lastAt[l] = now
+	fmt.Fprintf(&h.traces[l], "%d@%.6f;", id, float64(now))
+	if depth <= 0 {
+		return
+	}
+	r := mix64(uint64(l)<<32 ^ uint64(id)<<8 ^ uint64(depth))
+	children := int(r % 3)
+	for c := 0; c < children; c++ {
+		cr := mix64(r ^ uint64(c+1))
+		h.schedule(l, now+Time(cr%23)/8, depth-1)
+	}
+	if r&0x18 == 0 { // ~1 in 4 events emits a cross-lane message
+		to := int(mix64(r^0xfeed) % uint64(len(h.eng.shards.lanes)))
+		delay := h.lookahead + Time(mix64(r^0xbeef)%17)/4
+		h.spawned[l]++ // reserve an id on the sender; receiver gets it in the closure
+		id := h.spawned[l]
+		d := depth - 1
+		ln.Send(to, delay, func() { h.fire(h.eng.Lane(to), id, d) })
+	}
+}
+
+// TestShardProperties runs 250 seeded workloads and asserts horizon safety,
+// shard-count independence, and replay determinism.
+func TestShardProperties(t *testing.T) {
+	const seeds = 250
+	for seed := uint64(1); seed <= seeds; seed++ {
+		lanes := int(mix64(seed)%7) + 2 // 2..8 lanes
+		base, bh := runLaneWorkload(seed, lanes, 1)
+		for l, b := range bh.breaches {
+			if b != 0 {
+				t.Fatalf("seed %d shards=1: lane %d: %d horizon/clock breaches", seed, l, b)
+			}
+		}
+		replay, _ := runLaneWorkload(seed, lanes, 1)
+		if replay != base {
+			t.Fatalf("seed %d: shards=1 replay diverged:\n%s", seed, firstTraceDiff(replay, base))
+		}
+		for _, shards := range []int{2, 4, 8} {
+			got, gh := runLaneWorkload(seed, lanes, shards)
+			for l, b := range gh.breaches {
+				if b != 0 {
+					t.Fatalf("seed %d shards=%d: lane %d: %d horizon/clock breaches", seed, shards, l, b)
+				}
+			}
+			if got != base {
+				t.Fatalf("seed %d: shards=%d trace diverged from shards=1:\n%s", seed, shards, firstTraceDiff(got, base))
+			}
+		}
+	}
+}
+
+// TestShardDeliveryOrderDeterministic floods one receiver lane from many
+// senders at identical delivery times, so the (deliver-time, sender lane,
+// sender sequence) merge rule is the only thing separating them — then
+// checks the receiver observes the same order at every shard count.
+func TestShardDeliveryOrderDeterministic(t *testing.T) {
+	run := func(shards int) string {
+		const lanes = 8
+		e := NewEngine()
+		e.ConfigureShards(lanes, shards, 2)
+		var got strings.Builder
+		recv := e.Lane(0)
+		for l := 1; l < lanes; l++ {
+			ln := e.Lane(l)
+			for i := 0; i < 4; i++ {
+				l, i := l, i
+				// All sends converge on the same delivery instant: sender at
+				// time l (staggered), delay chosen so at+delay == 12.
+				ln.At(Time(l), func() {
+					ln.Send(0, Time(12-l), func() {
+						fmt.Fprintf(&got, "%d.%d@%.1f;", l, i, float64(recv.Now()))
+					})
+				})
+			}
+		}
+		e.Run()
+		return got.String()
+	}
+	want := run(1)
+	if !strings.Contains(want, "@12.0") {
+		t.Fatalf("deliveries missed the convergence instant: %s", want)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		if got := run(shards); got != want {
+			t.Fatalf("shards=%d delivery order diverged:\n got: %s\nwant: %s", shards, got, want)
+		}
+	}
+}
+
+// firstTraceDiff reports the first differing line of two traces.
+func firstTraceDiff(got, want string) string {
+	g := strings.Split(got, "\n")
+	w := strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(got), len(want))
+}

@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestShardSerialGlobalEquivalence pins the central product guarantee: an
+// engine with lanes configured but only global events scheduled executes in
+// exactly the serial engine's order, at any shard count.
+func TestShardSerialGlobalEquivalence(t *testing.T) {
+	trace := func(configure func(e *Engine)) string {
+		e := NewEngine()
+		if configure != nil {
+			configure(e)
+		}
+		var sb strings.Builder
+		var schedule func(depth int, at Time, id int)
+		schedule = func(depth int, at Time, id int) {
+			e.At(at, func() {
+				fmt.Fprintf(&sb, "%d@%.3f;", id, float64(e.Now()))
+				if depth > 0 {
+					schedule(depth-1, at+Time(id%3)+1, id*2+1)
+					schedule(depth-1, at+Time(id%5)+1, id*2+2)
+				}
+			})
+		}
+		for i := 0; i < 4; i++ {
+			schedule(4, Time(i), i)
+		}
+		e.Run()
+		return sb.String()
+	}
+	want := trace(nil)
+	for _, shards := range []int{1, 2, 4, 8} {
+		got := trace(func(e *Engine) { e.ConfigureShards(8, shards, 0.5) })
+		if got != want {
+			t.Fatalf("shards=%d: global-event order diverged from serial engine\n got: %s\nwant: %s", shards, got, want)
+		}
+	}
+}
+
+// TestShardLaneBasics drives a two-lane engine through schedule, cancel, and
+// send and checks clocks, horizons, and delivery.
+func TestShardLaneBasics(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureShards(2, 2, 1.0)
+	if e.LaneCount() != 2 || e.ShardCount() != 2 || e.Lookahead() != 1.0 {
+		t.Fatalf("accessors: lanes=%d shards=%d lookahead=%v", e.LaneCount(), e.ShardCount(), e.Lookahead())
+	}
+	a, b := e.Lane(0), e.Lane(1)
+	// Lanes run concurrently, so each records into its own log (the caller
+	// contract: lane callbacks touch only lane-owned state).
+	var logs [2][]string
+	a.At(1, func() {
+		logs[0] = append(logs[0], fmt.Sprintf("a1@%.1f", float64(a.Now())))
+		a.Send(1, 1.0, func() {
+			logs[1] = append(logs[1], fmt.Sprintf("b-recv@%.1f", float64(b.Now())))
+		})
+	})
+	cancelled := a.At(1.5, func() { logs[0] = append(logs[0], "cancelled") })
+	a.Cancel(cancelled)
+	b.At(1.25, func() { logs[1] = append(logs[1], fmt.Sprintf("b1@%.2f", float64(b.Now()))) })
+	e.Run()
+	got := strings.Join(logs[0], " ") + " | " + strings.Join(logs[1], " ")
+	want := "a1@1.0 | b1@1.25 b-recv@2.0"
+	if got != want {
+		t.Fatalf("lane trace:\n got: %s\nwant: %s", got, want)
+	}
+	if a.Pending() != 0 || b.Pending() != 0 {
+		t.Fatalf("pending after drain: a=%d b=%d", a.Pending(), b.Pending())
+	}
+}
+
+// TestShardGlobalBarrier checks the tie rule: a global event at time G runs
+// after every lane event strictly before G and before any lane event at or
+// after G.
+func TestShardGlobalBarrier(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureShards(2, 2, 10) // lookahead far beyond the global event
+	var log []string
+	ln := e.Lane(0)
+	ln.At(1, func() { log = append(log, "lane@1") })
+	ln.At(5, func() { log = append(log, "lane@5") })
+	ln.At(9, func() { log = append(log, "lane@9") })
+	e.At(5, func() { log = append(log, "global@5") })
+	e.Run()
+	got := strings.Join(log, " ")
+	want := "lane@1 global@5 lane@5 lane@9"
+	if got != want {
+		t.Fatalf("barrier order:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestShardSendUnderLookaheadPanics pins the conservative contract: a send
+// closer than the lookahead must panic, because delivering it could land
+// inside the window that emitted it.
+func TestShardSendUnderLookaheadPanics(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureShards(2, 1, 1.0)
+	e.Lane(0).At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send under lookahead did not panic")
+			}
+		}()
+		e.Lane(0).Send(1, 0.5, func() {})
+	})
+	e.Run()
+}
+
+// TestShardLanePanicPropagates checks that a panic inside a lane callback
+// surfaces from Run (wrapped with the shard), not lost on a worker
+// goroutine.
+func TestShardLanePanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureShards(4, 4, 1.0)
+	e.Lane(2).At(1, func() { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lane panic did not propagate")
+		}
+		if !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Fatalf("panic lost its cause: %v", r)
+		}
+	}()
+	e.Run()
+}
+
+// TestShardReconfigure covers the reconfiguration rules: same-parameter
+// reconfiguration is a no-op, pending lane events block reshaping, and
+// DisableShards restores the serial engine.
+func TestShardReconfigure(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureShards(4, 2, 1.0)
+	lane := e.Lane(0)
+	e.ConfigureShards(4, 2, 1.0) // no-op: same parameters
+	if e.Lane(0) != lane {
+		t.Fatal("same-parameter reconfigure rebuilt the lanes")
+	}
+	lane.At(1, func() {})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reshaping with pending lane events did not panic")
+			}
+		}()
+		e.ConfigureShards(4, 4, 1.0)
+	}()
+	e.Run()
+	e.ConfigureShards(4, 4, 1.0) // drained: reshape allowed
+	if e.ShardCount() != 4 {
+		t.Fatalf("reshape did not apply: shards=%d", e.ShardCount())
+	}
+	e.DisableShards()
+	if e.ShardCount() != 0 || e.LaneCount() != 0 {
+		t.Fatal("DisableShards left shard state behind")
+	}
+}
+
+// TestShardLenCountsLanes checks Len includes lane events, so Ticker's
+// drain detection keeps working on sharded engines.
+func TestShardLenCountsLanes(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureShards(2, 2, 1.0)
+	e.Lane(0).At(1, func() {})
+	e.Lane(1).At(2, func() {})
+	e.At(3, func() {})
+	if got := e.Len(); got != 3 {
+		t.Fatalf("Len=%d, want 3", got)
+	}
+	e.Run()
+	if got := e.Len(); got != 0 {
+		t.Fatalf("Len after drain=%d, want 0", got)
+	}
+}
+
+// TestShardAbortBetweenWindows checks the cooperative abort fires between
+// windows, leaves the remaining lane events pending, and a cleared engine
+// resumes to the exact uninterrupted trace.
+func TestShardAbortBetweenWindows(t *testing.T) {
+	full := func(abortAfter int) (string, int) {
+		e := NewEngine()
+		e.ConfigureShards(2, 2, 1.0)
+		var bufs [2]strings.Builder
+		for l := 0; l < 2; l++ {
+			ln := e.Lane(l)
+			for i := 0; i < 8; i++ {
+				l, i := l, i
+				at := Time(i)*2 + Time(l)
+				ln.At(at, func() { fmt.Fprintf(&bufs[l], "%d@%v;", l, at) })
+			}
+		}
+		fired := 0
+		if abortAfter > 0 {
+			e.SetAbortCheck(1, func() error {
+				fired++
+				if fired > abortAfter {
+					return fmt.Errorf("stop")
+				}
+				return nil
+			})
+		}
+		e.Run()
+		aborts := 0
+		for e.AbortErr() != nil {
+			aborts++
+			e.ClearAbort()
+			e.SetAbortCheck(0, nil)
+			e.Run()
+		}
+		return bufs[0].String() + bufs[1].String(), aborts
+	}
+	want, _ := full(0)
+	got, aborts := full(3)
+	if aborts == 0 {
+		t.Fatal("abort never fired")
+	}
+	if got != want {
+		t.Fatalf("aborted+resumed trace diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// BenchmarkEngineSharded measures the windowed scheduler's wall-clock
+// scaling: 8 lanes of self-rescheduling events with device-model-sized
+// arithmetic per event and an occasional cross-lane send, at 1/2/4/8
+// shards. The acceptance bar tracked in BENCH_6.json is ≥2× at 4 shards on
+// a multi-core host.
+func BenchmarkEngineSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			events := b.N
+			perLane := events / 8
+			if perLane < 1 {
+				perLane = 1
+			}
+			e := NewEngine()
+			e.ConfigureShards(8, shards, 64)
+			// One padded slot per lane: lanes accumulate concurrently, and
+			// sharing a cache line would serialize them for no reason.
+			var sinks [64]uint64
+			for l := 0; l < 8; l++ {
+				ln := e.Lane(l)
+				slot := l * 8
+				remaining := perLane
+				var step func()
+				step = func() {
+					// Device-model-sized payload: a short integer mix, the
+					// cost of computing one monotask completion.
+					x := uint64(remaining) | 1
+					for i := 0; i < 64; i++ {
+						x ^= x << 13
+						x ^= x >> 7
+						x ^= x << 17
+					}
+					sinks[slot] += x
+					remaining--
+					if remaining <= 0 {
+						return
+					}
+					if remaining%64 == 0 {
+						ln.Send((ln.ID()+1)%8, 64, func() {})
+					}
+					ln.After(Duration(1+x%3), step)
+				}
+				ln.After(Duration(l+1), step)
+			}
+			b.ResetTimer()
+			e.Run()
+			_ = sinks
+		})
+	}
+}

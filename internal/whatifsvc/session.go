@@ -207,6 +207,7 @@ func runSession(ctx context.Context, req *Request) (*Response, error) {
 	o := run.Options{
 		Mode:     run.Monotasks,
 		Deadline: sim.Time(req.VirtualDeadlineSeconds),
+		Shards:   req.Shards,
 	}
 	var sampler *telemetry.Sampler
 	if req.Telemetry {

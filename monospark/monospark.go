@@ -141,6 +141,12 @@ type Config struct {
 	// cluster: periodic snapshots of utilization, scheduler state, and
 	// per-job attribution, readable via Context.Telemetry while jobs run.
 	Telemetry *TelemetryConfig
+	// Shards, when above 1, runs the Context's simulation on the sharded
+	// engine: machines partition into that many shards (clamped to the
+	// machine count) that advance in parallel within a topology-derived
+	// lookahead horizon. Execution strategy only — job results and metrics
+	// are bit-identical to the serial engine at any shard count.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {

@@ -75,6 +75,9 @@ type Report struct {
 	NumCPU     int           `json:"num_cpu"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 	Sweep      SweepCompare  `json:"sweep"`
+	// Sharded is the intra-run sharded-engine comparison table (BENCH_6+):
+	// serial vs sharded wall-clock per workload shape and shard count.
+	Sharded []ShardCompare `json:"sharded,omitempty"`
 }
 
 // NewReport stamps the environment fields.

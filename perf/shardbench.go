@@ -1,0 +1,174 @@
+package perf
+
+// Sharded-engine measurements: the windowed scheduler's wall-clock scaling on
+// lane-affine workloads, and its bookkeeping overhead relative to the plain
+// serial engine. Three workload shapes mirror where the product spends events
+// — compute-heavy with rare cross-machine traffic (sort), send-heavy under
+// fault churn (chaos), and array-walking under memory pressure (memory) — so
+// the speedup table in EXPERIMENTS.md measures shapes the simulator actually
+// runs, not a synthetic best case.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ShardCompare is one serial-vs-sharded engine comparison: the same lane
+// workload executed at 1 shard and at Shards shards, with per-lane checksums
+// proving the event order did not change.
+type ShardCompare struct {
+	Workload  string  `json:"workload"`
+	Lanes     int     `json:"lanes"`
+	Shards    int     `json:"shards"`
+	Events    int     `json:"events"`
+	SerialMs  float64 `json:"serial_ms"`
+	ShardedMs float64 `json:"sharded_ms"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+	// NumCPU is the core count the comparison ran on; on a single-core host
+	// shards time-slice one CPU and speedup ≤ 1 is physics, not a regression
+	// (same convention as SweepCompare).
+	NumCPU  int  `json:"num_cpu,omitempty"`
+	Flagged bool `json:"flagged,omitempty"`
+}
+
+// laneShape parameterizes one workload shape for the lane benchmark.
+type laneShape struct {
+	// payloadRounds is the xorshift iterations per event — the simulated
+	// device-model computation.
+	payloadRounds int
+	// sendEvery emits one cross-lane message every that many events (0 = never).
+	sendEvery int
+	// walkBytes, when positive, walks a per-lane buffer of that size on every
+	// event — the memory-pressure shape.
+	walkBytes int
+}
+
+// shardShapes maps workload names to event mixes.
+var shardShapes = map[string]laneShape{
+	// Sort: compute-dominated map/reduce monotasks, occasional shuffle.
+	"sort": {payloadRounds: 96, sendEvery: 128},
+	// Chaos: lighter per-event work, frequent cross-machine interactions
+	// (fetch retries, fault probes).
+	"chaos": {payloadRounds: 32, sendEvery: 16},
+	// Memory: per-event buffer walks modelling bandwidth-bound tasks.
+	"memory": {payloadRounds: 16, sendEvery: 128, walkBytes: 4 << 10},
+}
+
+// runLaneWorkload executes `events` events spread over `lanes` lanes at the
+// given shard count and returns a per-lane checksum (order-sensitive within a
+// lane) plus the wall-clock time of the Run call.
+func runLaneWorkload(shape laneShape, lanes, shards, events int) ([]uint64, time.Duration) {
+	const lookahead = sim.Duration(64)
+	e := sim.NewEngine()
+	e.ConfigureShards(lanes, shards, lookahead)
+	// Padded per-lane slots: lanes accumulate concurrently and must not share
+	// cache lines.
+	sums := make([]uint64, lanes*8)
+	walks := make([][]byte, lanes)
+	perLane := events / lanes
+	if perLane < 1 {
+		perLane = 1
+	}
+	for l := 0; l < lanes; l++ {
+		ln := e.Lane(l)
+		slot := l * 8
+		if shape.walkBytes > 0 {
+			walks[l] = make([]byte, shape.walkBytes)
+		}
+		remaining := perLane
+		var step func()
+		step = func() {
+			x := uint64(remaining) | 1
+			for i := 0; i < shape.payloadRounds; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+			}
+			if w := walks[ln.ID()]; w != nil {
+				for i := 0; i < len(w); i += 64 {
+					x += uint64(w[i])
+					w[i] = byte(x)
+				}
+			}
+			// Fold the lane clock in so the checksum is order-sensitive: a
+			// reordered window would change the mix, not just the sum.
+			sums[slot] = sums[slot]*1099511628211 ^ x ^ uint64(ln.Now())
+			remaining--
+			if remaining <= 0 {
+				return
+			}
+			if shape.sendEvery > 0 && remaining%shape.sendEvery == 0 {
+				ln.Send((ln.ID()+1)%lanes, lookahead, func() {})
+			}
+			ln.After(sim.Duration(1+x%3), step)
+		}
+		ln.After(sim.Duration(l+1), step)
+	}
+	start := time.Now()
+	e.Run()
+	dur := time.Since(start)
+	out := make([]uint64, lanes)
+	for l := range out {
+		out[l] = sums[l*8]
+	}
+	return out, dur
+}
+
+// CompareShardedEngine runs the named workload shape on the sharded engine at
+// 1 shard and at `shards` shards, and reports wall-clock times plus checksum
+// identity. Identical checksums are the determinism proof at benchmark scale:
+// the property suite and fuzz target in internal/sim pin the full traces.
+func CompareShardedEngine(workload string, lanes, shards, events int) (ShardCompare, error) {
+	shape, ok := shardShapes[workload]
+	if !ok {
+		return ShardCompare{}, fmt.Errorf("perf: unknown shard workload %q", workload)
+	}
+	serialSums, serialDur := runLaneWorkload(shape, lanes, 1, events)
+	shardedSums, shardedDur := runLaneWorkload(shape, lanes, shards, events)
+	identical := len(serialSums) == len(shardedSums)
+	for i := range serialSums {
+		if !identical || serialSums[i] != shardedSums[i] {
+			identical = false
+			break
+		}
+	}
+	speedup := float64(serialDur) / float64(shardedDur)
+	return ShardCompare{
+		Workload:  workload,
+		Lanes:     lanes,
+		Shards:    shards,
+		Events:    events,
+		SerialMs:  float64(serialDur.Microseconds()) / 1e3,
+		ShardedMs: float64(shardedDur.Microseconds()) / 1e3,
+		Speedup:   speedup,
+		Identical: identical,
+		NumCPU:    runtime.NumCPU(),
+		Flagged:   flagSpeedup(speedup, runtime.NumCPU()),
+	}, nil
+}
+
+// BenchEngineSharded returns a benchmark running the sort-shaped lane
+// workload at the given shard count — the BENCH_6.json trajectory entry whose
+// allocs/op the CI gate watches (steady-state sharded execution allocates
+// nothing: events and posts are pooled).
+func BenchEngineSharded(shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		runLaneWorkload(shardShapes["sort"], 8, shards, 4096) // warm the shape
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			n := b.N - done
+			if n > 1<<20 {
+				n = 1 << 20
+			}
+			runLaneWorkload(shardShapes["sort"], 8, shards, n)
+			done += n
+		}
+	}
+}
