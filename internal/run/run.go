@@ -171,12 +171,16 @@ func finishAborted(e *sim.Engine, d *jobsched.Driver) error {
 
 // applySharding configures the cluster's engine per Options.Shards. A value
 // of 1 explicitly selects the windowed scheduler with a single shard (useful
-// for isolating windowing overhead from parallelism); 0 leaves the engine in
-// its plain serial mode.
+// for isolating windowing overhead from parallelism); 0 selects the plain
+// serial scheduler, dropping any lane layer a previous run on a reused
+// engine configured (production runs drain every lane before finishing, so
+// this never orphans events).
 func applySharding(c *cluster.Cluster, o Options) {
 	if o.Shards > 0 {
 		c.ConfigureSharding(o.Shards)
+		return
 	}
+	c.Engine.DisableShards()
 }
 
 // startTelemetry attaches a sampler per Options, returning a finish hook.

@@ -151,8 +151,10 @@ func (tr *Tracker) Clear(stageID int) {
 
 // MinFetchBytes reports the smallest nonzero per-reducer fetch any reducer of
 // a numReducers-wide child stage could plan against the currently registered
-// map outputs: the smallest registered output, split over reducers, rounded
-// up for the remainder byte. Zero when nothing is registered.
+// map outputs. FetchesFor gives remainder bytes to the lowest-indexed
+// reducers, so the smallest fetch an output actually produces is its floor
+// share — or a single remainder byte when the floor is zero (zero-byte
+// fetches are never planned). Zero when nothing is registered.
 //
 // This is the shuffle layer's boundary export for the sharded engine: the
 // soonest a shuffle boundary can move data between machines is this many
@@ -170,10 +172,12 @@ func (tr *Tracker) MinFetchBytes(numReducers int) int64 {
 				continue
 			}
 			per := st.bytes / int64(numReducers)
-			if st.bytes%int64(numReducers) != 0 {
-				per++
+			if per == 0 {
+				// Fewer bytes than reducers: the low-indexed reducers each
+				// fetch one remainder byte, the rest fetch nothing.
+				per = 1
 			}
-			if per > 0 && (min == 0 || per < min) {
+			if min == 0 || per < min {
 				min = per
 			}
 		}

@@ -17,7 +17,9 @@ package sim
 // lookahead: an effect emitted inside the window lands at or after
 // W0 + lookahead ≥ W1, i.e. never inside the window that emitted it.
 // Cross-lane sends are captured in per-lane outboxes and merged at the
-// window barrier.
+// window barrier; sends issued from coordinator context (setup code, global
+// event callbacks) are merged before the scheduler's next window decision,
+// so they are never lost even when no window follows.
 //
 // Determinism argument, in three parts:
 //
@@ -369,6 +371,13 @@ func (e *Engine) runSharded() {
 	}
 	budget := e.abortEvery
 	for {
+		// Deliver sends issued from coordinator context — setup code before
+		// Run, or the global event callback that just executed. Those posts
+		// never reach a window barrier on their own; merging here makes them
+		// pending lane work visible to laneMin and the termination check
+		// below instead of silently dropped events. (After a window barrier
+		// the outboxes are already empty and this is a no-op.)
+		s.mergeOutboxes()
 		gt := e.q.peek()
 		lt := s.laneMin()
 		if gt == Forever && lt == Forever {
@@ -406,7 +415,7 @@ func (e *Engine) runSharded() {
 		for _, ln := range s.lanes {
 			ln.horizon = w1
 		}
-		// Fan groups with work onto goroutines; the last busy group runs
+		// Fan groups with work onto goroutines; the first busy group runs
 		// inline on the coordinator.
 		inline := -1
 		for g := range s.groups {

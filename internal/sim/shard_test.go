@@ -73,6 +73,35 @@ func TestShardLaneBasics(t *testing.T) {
 	}
 }
 
+// TestShardCoordinatorContextSend pins the Lane doc's promise that Send is
+// usable from the coordinating goroutine between windows: a post issued from
+// setup code or from a global event callback must be delivered even when no
+// lane events are pending to carry it to a window barrier.
+func TestShardCoordinatorContextSend(t *testing.T) {
+	t.Run("from-setup", func(t *testing.T) {
+		e := NewEngine()
+		e.ConfigureShards(2, 2, 1.0)
+		var at Time = -1
+		e.Lane(0).Send(1, 1.0, func() { at = e.Lane(1).Now() })
+		e.Run()
+		if at != 1.0 {
+			t.Fatalf("setup-context send delivered at %v, want 1.0 (dropped if -1)", at)
+		}
+	})
+	t.Run("from-global-event", func(t *testing.T) {
+		e := NewEngine()
+		e.ConfigureShards(2, 2, 1.0)
+		delivered := false
+		e.At(1, func() {
+			e.Lane(0).Send(1, 2.0, func() { delivered = true })
+		})
+		e.Run()
+		if !delivered {
+			t.Fatal("global-event-context send was dropped")
+		}
+	})
+}
+
 // TestShardGlobalBarrier checks the tie rule: a global event at time G runs
 // after every lane event strictly before G and before any lane event at or
 // after G.
