@@ -3,12 +3,13 @@
 // and a serial-vs-parallel sweep of the chaos matrix, then writes the numbers
 // to a BENCH_*.json report.
 //
-//	monoperf -out BENCH_6.json                                # full run
-//	monoperf -quick -baseline BENCH_5.json -out BENCH_ci.json # CI-sized run
+//	monoperf -out BENCH_7.json                                # full run
+//	monoperf -quick -baseline BENCH_6.json -out BENCH_ci.json # CI-sized run
 //
-// The exit status doubles as three gates: if the parallel sweep's rendered
+// The exit status doubles as four gates: if the parallel sweep's rendered
 // output is not byte-identical to the serial run's, if any sharded-engine
-// comparison's checksums diverge from its serial leg, or if -baseline names
+// comparison's checksums diverge from its serial leg, if a product run's
+// sharded output diverges from the serial engine's, or if -baseline names
 // an earlier report and SortEndToEnd's allocs/op regressed more than 10%
 // against it, monoperf exits non-zero.
 package main
@@ -43,7 +44,7 @@ func benchSortEndToEnd(b *testing.B) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "report path")
+	out := flag.String("out", "BENCH_7.json", "report path")
 	quick := flag.Bool("quick", false, "CI-sized run: fewer chaos seeds")
 	workers := flag.Int("parallel", 0,
 		"worker count for the parallel sweep leg (0 = min(8, NumCPU): more workers than cores only measures time-slicing overhead)")
@@ -86,6 +87,29 @@ func main() {
 			}
 			rep.Sharded = append(rep.Sharded, sc)
 		}
+	}
+	// Real-run sharding table: the golden sort end to end on the serial vs
+	// sharded engine, with the engine's lane-occupancy counters. Shards 1
+	// measures the sharded machinery's overhead; shards 4 is the product
+	// configuration the CI smoke leg exercises.
+	for _, shards := range []int{1, 4} {
+		pc, err := perf.CompareShardedProduct("golden-sort", shards, func(s int) (perf.ProductRun, error) {
+			st, err := figures.SortMonotasks(16*units.GB, 4, s)
+			if err != nil {
+				return perf.ProductRun{}, err
+			}
+			return perf.ProductRun{
+				Output:       st.Output,
+				LaneEvents:   st.LaneEvents,
+				GlobalEvents: st.GlobalEvents,
+				Occupancy:    st.Occupancy,
+			}, nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "monoperf: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Product = append(rep.Product, pc)
 	}
 	sw, err := perf.CompareSweep("chaos", seeds*2, *workers, func() ([]byte, error) {
 		res, err := figures.Chaos(seeds)
@@ -131,6 +155,13 @@ func main() {
 		fmt.Printf("%-24s serial %.0f ms, sharded(%d) %.0f ms, speedup %.2fx, identical %v\n",
 			"shard:"+sc.Workload, sc.SerialMs, sc.Shards, sc.ShardedMs, sc.Speedup, sc.Identical)
 		if !sc.Identical {
+			shardedOK = false
+		}
+	}
+	for _, pc := range rep.Product {
+		fmt.Printf("%-24s serial %.0f ms, sharded(%d) %.0f ms, speedup %.2fx, lane occupancy %.2f, identical %v\n",
+			"product:"+pc.Workload, pc.SerialMs, pc.Shards, pc.ShardedMs, pc.Speedup, pc.LaneOccupancy, pc.Identical)
+		if !pc.Identical {
 			shardedOK = false
 		}
 	}

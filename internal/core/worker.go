@@ -64,6 +64,13 @@ type Worker struct {
 	opts    Options
 	peers   func(int) *Worker
 
+	// sched is the timeline this worker's machine-local work runs on: the
+	// machine's lane in a sharded run, the engine otherwise. lane is non-nil
+	// only when sharded; cross-machine consequences route through it (see
+	// global).
+	sched sim.Scheduler
+	lane  *sim.Lane
+
 	compute *computeScheduler
 	disks   []*diskScheduler
 	network *networkScheduler
@@ -88,6 +95,7 @@ type Worker struct {
 func NewWorker(m *cluster.Machine, fabric *netsim.Fabric, eng *sim.Engine, opts Options) *Worker {
 	opts = opts.withDefaults()
 	w := &Worker{machine: m, eng: eng, fabric: fabric, opts: opts,
+		sched: m.Scheduler(), lane: m.Lane(),
 		templates: make(map[*task.StageSpec]*dagTemplate)}
 	w.compute = newComputeScheduler(w)
 	for _, d := range m.Disks {
@@ -99,6 +107,19 @@ func NewWorker(m *cluster.Machine, fabric *netsim.Fabric, eng *sim.Engine, opts 
 
 // SetPeers installs the lookup used to reach other machines' workers.
 func (w *Worker) SetPeers(lookup func(machineID int) *Worker) { w.peers = lookup }
+
+// global schedules fn on the global timeline after d. Work whose consequences
+// cross machines — multitask completion callbacks into the driver, shuffle
+// serves that start a fabric transfer — must not run on this machine's lane,
+// where peers' state is not safely reachable. In a serial run the engine is
+// the global timeline and the post is a plain After.
+func (w *Worker) global(d sim.Duration, fn func()) {
+	if w.lane != nil {
+		w.lane.Global(d, fn)
+		return
+	}
+	w.eng.After(d, fn)
+}
 
 func (w *Worker) peer(id int) *Worker {
 	if w.peers == nil {
@@ -137,7 +158,7 @@ func (w *Worker) Launch(t *task.Task, done func(*task.TaskMetrics)) {
 		panic(fmt.Sprintf("core: task for machine %d launched on %d", t.Machine, w.machine.ID))
 	}
 	if w.opts.Faults != nil {
-		if reason, after, failed := w.opts.Faults.AttemptFault(t, w.eng.Now()); failed {
+		if reason, after, failed := w.opts.Faults.AttemptFault(t, w.sched.Now()); failed {
 			w.failLaunch(t, reason, after, done)
 			return
 		}
@@ -151,7 +172,7 @@ func (w *Worker) Launch(t *task.Task, done func(*task.TaskMetrics)) {
 	if w.machine.Memory != nil && len(w.disks) > 0 {
 		mcap++ // capacity pressure may add a mem-spill write
 	}
-	mt.metrics = task.NewTaskMetrics(t.Stage.ID, t.Index, t.Machine, w.eng.Now(), mcap)
+	mt.metrics = task.NewTaskMetrics(t.Stage.ID, t.Index, t.Machine, w.sched.Now(), mcap)
 	w.machine.MemAlloc(mt.bufBytes)
 	ready := w.decompose(mt)
 	if len(ready) == 0 {
@@ -171,7 +192,7 @@ func (w *Worker) failLaunch(t *task.Task, reason string, after sim.Duration, don
 		StageID:    t.Stage.ID,
 		Index:      t.Index,
 		Machine:    t.Machine,
-		Start:      w.eng.Now(),
+		Start:      w.sched.Now(),
 		Failed:     true,
 		FailReason: reason,
 	}

@@ -1,0 +1,73 @@
+package figures
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// TestGoldenSortLaneOccupancy is the lane-migration meter: with the
+// per-machine subsystems (resource servers, monotask dispatch) scheduling on
+// their machine's lane, a majority of the golden sort's events must drain on
+// lanes rather than the global timeline. A regression here means some device
+// model quietly fell back to Engine.At and re-serialized the run.
+func TestGoldenSortLaneOccupancy(t *testing.T) {
+	st, err := SortMonotasks(16*units.GB, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LaneEvents == 0 || st.Windows == 0 {
+		t.Fatalf("sharded run drained no lane events (lane=%d global=%d windows=%d)",
+			st.LaneEvents, st.GlobalEvents, st.Windows)
+	}
+	if st.Occupancy < 0.5 {
+		t.Fatalf("lane occupancy %.3f < 0.50 (lane=%d global=%d): per-machine events are leaking back onto the global timeline",
+			st.Occupancy, st.LaneEvents, st.GlobalEvents)
+	}
+	t.Logf("lane occupancy %.3f (lane=%d global=%d windows=%d)",
+		st.Occupancy, st.LaneEvents, st.GlobalEvents, st.Windows)
+
+	// The sharded run's rendered timings must match the serial engine's —
+	// the same contract TestGoldenShardedVsSerial pins for the full corpus,
+	// re-checked here so this entry point cannot drift from the golden path.
+	serial, err := SortMonotasks(16*units.GB, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(st.Output, serial.Output) {
+		t.Fatalf("sharded output diverged from serial:\n%s%s", st.Output, serial.Output)
+	}
+	if serial.LaneEvents != 0 || serial.Windows != 0 {
+		t.Fatalf("serial run reported lane activity (lane=%d windows=%d)",
+			serial.LaneEvents, serial.Windows)
+	}
+}
+
+// TestGoldenSortSamplerWindowCadence pins the telemetry-under-sharding
+// interaction documented in package telemetry: every sampler tick is a
+// recurring global event, and each global event caps the parallel window at
+// min(lane horizon, next global event), so a hot sampler can serialize a
+// sharded run into one-event windows. At the default 1-second interval the
+// golden sort must still average multiple events per window — if this ratio
+// collapses toward 1, sampling cadence has started to dominate the window
+// schedule and the sharded engine is running serially with extra steps.
+func TestGoldenSortSamplerWindowCadence(t *testing.T) {
+	SetTelemetry(&telemetry.Config{}, func(*telemetry.Sampler) {})
+	defer SetTelemetry(nil, nil)
+	st, err := SortMonotasks(16*units.GB, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Windows == 0 {
+		t.Fatal("sharded run opened no windows")
+	}
+	perWindow := float64(st.LaneEvents+st.GlobalEvents) / float64(st.Windows)
+	if perWindow < 2 {
+		t.Fatalf("%.2f events per window with the default-interval sampler: tick cadence is serializing the sharded run (lane=%d global=%d windows=%d)",
+			perWindow, st.LaneEvents, st.GlobalEvents, st.Windows)
+	}
+	t.Logf("%.2f events per window under default-interval sampling (windows=%d)",
+		perWindow, st.Windows)
+}

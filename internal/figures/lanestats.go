@@ -1,0 +1,63 @@
+package figures
+
+// Lane-occupancy instrumentation for the sharded engine: run the golden
+// sort's Monotasks leg once and keep the engine's occupancy counters, so
+// tests and monoperf can measure how much of a real product run executes on
+// shard lanes versus the global timeline. The serial-vs-sharded wall-clock
+// rows in BENCH_7.json and the ≥50% occupancy gate both come through here.
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// SortLaneStats is one Monotasks-mode sort execution with the engine's
+// shard-occupancy counters retained alongside the job timings.
+type SortLaneStats struct {
+	// Job is the simulated job duration (virtual time, not wall clock).
+	Job sim.Duration
+	// LaneEvents, GlobalEvents, and Windows mirror Engine.OccupancyStats:
+	// events drained on shard lanes, events executed on the global timeline,
+	// and parallel windows opened. All three stay zero on a serial run.
+	LaneEvents   uint64
+	GlobalEvents uint64
+	Windows      uint64
+	// Occupancy is LaneEvents / (LaneEvents + GlobalEvents) — the fraction
+	// of the run's events that never touched the global timeline.
+	Occupancy float64
+	// Output is a full-precision render of the job's timings: the byte-
+	// identity probe a serial-vs-sharded comparison diffs. Human-facing
+	// renders round; the equivalence contract is bitwise.
+	Output []byte
+}
+
+// SortMonotasks runs the golden sort workload's Monotasks leg at the given
+// shard count (0 = serial engine) and reports the job timings plus the
+// engine's lane-occupancy counters. It executes exactly the code path the
+// golden corpus locks down, so its Output is comparable across engine modes:
+// TestGoldenShardedVsSerial pins the figure output, this entry point exposes
+// the wall-clock and occupancy side the golden bytes deliberately omit.
+func SortMonotasks(totalBytes int64, machines, shards int) (*SortLaneStats, error) {
+	res, err := execute(machines, cluster.M2_4XLarge(),
+		run.Options{Mode: run.Monotasks, Shards: shards},
+		workloads.Sort{TotalBytes: totalBytes, ValuesPerKey: 10}.Build)
+	if err != nil {
+		return nil, err
+	}
+	j := res.Jobs[0]
+	lane, global, windows := res.Cluster.Engine.OccupancyStats()
+	st := &SortLaneStats{
+		Job:          j.Duration(),
+		LaneEvents:   lane,
+		GlobalEvents: global,
+		Windows:      windows,
+		Occupancy:    res.Cluster.Engine.LaneOccupancy(),
+	}
+	st.Output = []byte(fmt.Sprintf("monotasks job=%.9f map=%.9f reduce=%.9f\n",
+		float64(j.Duration()), float64(j.Stages[0].Duration()), float64(j.Stages[1].Duration())))
+	return st, nil
+}

@@ -448,6 +448,11 @@ func (f *Fabric) complete() {
 		f.touchFlow(fl)
 	}
 	f.rerateTouched()
+	// Simultaneously-finishing flows retire in Transfer order (f.order is
+	// insertion-ordered): completion order drives requester-side admission
+	// chains, and Transfer order is deterministic — on a sharded engine the
+	// causal-key merge replays the serial engine's Transfer interleaving
+	// exactly (see sim.Lane.Global).
 	for _, fl := range finished {
 		fl.done()
 	}

@@ -1,0 +1,82 @@
+package pipeexec
+
+// Lane-affinity race coverage for the pipelined executor: workers whose
+// chunk I/O, compute, and buffer cache schedule on their machine's lane,
+// with shuffle fetches and task completions escaping to the global timeline
+// through Lane.Global. Run under -race (CI does): the sharded drain uses
+// real goroutines per shard, so any unsynchronized access in the migrated
+// worker shows up here. The cross-shard-count comparison doubles as the
+// determinism contract at the executor layer, including under
+// coordinator-context SetMachineSpeed — the PR 8 dropped-send regression
+// class.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/task"
+)
+
+// pipeShardRun executes a small shuffle-heavy workload on `machines`
+// lane-bound pipeexec workers at the given shard count and renders every
+// task's metrics at full precision.
+func pipeShardRun(t *testing.T, machines, shards int) string {
+	t.Helper()
+	c, err := cluster.New(machines, testSpec(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ConfigureSharding(shards)
+	g := NewGroup(c, Options{})
+
+	mapStage := &task.StageSpec{ID: 0, Name: "map", NumTasks: machines, OpCPU: 0.3, ShuffleOutBytes: 40e6}
+	redStage := &task.StageSpec{ID: 1, Name: "reduce", NumTasks: machines, OpCPU: 0.2}
+	var tasks []*task.Task
+	for m := 0; m < machines; m++ {
+		tasks = append(tasks, &task.Task{Stage: mapStage, Index: m, Machine: m, DiskReadBytes: 60e6})
+	}
+	for m := 0; m < machines; m++ {
+		fetches := make([]task.Fetch, 0, machines-1)
+		for from := 0; from < machines; from++ {
+			if from != m {
+				fetches = append(fetches, task.Fetch{From: from, Bytes: 15e6, Stage: 0})
+			}
+		}
+		tasks = append(tasks, &task.Task{Stage: redStage, Index: m, Machine: m, Fetches: fetches})
+	}
+
+	out := make([]*task.TaskMetrics, len(tasks))
+	for i, tk := range tasks {
+		i := i
+		g.Workers[tk.Machine].Launch(tk, func(m *task.TaskMetrics) { out[i] = m })
+	}
+	// Coordinator-context perturbation mid-run: a global event rescales a
+	// machine's lane-resident devices while chunks are in flight.
+	c.Engine.After(0.15, func() { c.SetMachineSpeed(1, 0.5) })
+	c.Engine.After(0.4, func() { c.SetMachineSpeed(1, 1.0) })
+	c.Engine.Run()
+
+	var buf []byte
+	for i, m := range out {
+		if m == nil {
+			t.Fatalf("shards=%d: task %d never completed", shards, i)
+		}
+		buf = append(buf, fmt.Sprintf("task=%d end=%.9f\n", i, float64(m.End))...)
+	}
+	return string(buf)
+}
+
+// TestPipeexecLaneShardInvariant pins that the pipelined executor on lanes
+// produces identical task timings at every shard count, with shuffle
+// fetches crossing machines and speed changes arriving from coordinator
+// context mid-flight.
+func TestPipeexecLaneShardInvariant(t *testing.T) {
+	const machines = 4
+	want := pipeShardRun(t, machines, 1)
+	for _, shards := range []int{2, 4} {
+		if got := pipeShardRun(t, machines, shards); got != want {
+			t.Fatalf("shards=%d task metrics diverged from 1-shard run:\ngot:\n%swant:\n%s", shards, got, want)
+		}
+	}
+}

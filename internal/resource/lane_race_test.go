@@ -1,0 +1,135 @@
+package resource
+
+// Lane-affinity race coverage: the migrated servers (CPU, disk, memory)
+// scheduling on shard lanes, driven under `go test -race` so the sharded
+// engine's real worker goroutines expose any unsynchronized access. The
+// checksum comparison across shard counts doubles as the determinism
+// contract at the resource layer: completion order must not depend on how
+// lanes are grouped into shards. Coordinator-context perturbations —
+// SetSpeedFactor and Pause posted from global events while lanes hold
+// pending work — are the PR 8 dropped-send regression class and get their
+// own schedule here.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// laneMachine is one lane's device set for the race workload.
+type laneMachine struct {
+	cpu  *CPU
+	disk *Disk
+	mem  *Memory
+}
+
+// laneServerChecksums runs an identical device workload on `lanes` lanes at
+// the given shard count and returns one order-sensitive checksum per lane.
+func laneServerChecksums(lanes, shards int) []uint64 {
+	eng := sim.NewEngine()
+	eng.ConfigureShards(lanes, shards, 1)
+	// Padded slots: lanes accumulate concurrently within a window.
+	sums := make([]uint64, lanes*8)
+	machines := make([]laneMachine, lanes)
+	for l := 0; l < lanes; l++ {
+		ln := eng.Lane(l)
+		slot := l * 8
+		m := laneMachine{
+			cpu:  NewCPU(ln, 2),
+			disk: NewDisk(ln, DefaultHDD()),
+			mem: NewMemory(ln, MemorySpec{
+				CapacityBytes: 1 << 30, BandwidthBPS: 8e9,
+				GCEveryBytes: 64 << 20, GCPauseSec: 0.002,
+			}),
+		}
+		// GC pauses stall the lane's CPU — the product wiring, exercised
+		// here from lane context.
+		m.mem.OnGC(func(d sim.Duration) { m.cpu.Pause(d) })
+		machines[l] = m
+		mix := func(tag uint64) {
+			sums[slot] = sums[slot]*1099511628211 ^ tag ^ uint64(float64(ln.Now())*1e9)
+		}
+		var submit func(i int)
+		submit = func(i int) {
+			tag := uint64(i)
+			switch i % 3 {
+			case 0:
+				m.cpu.Run(0.01+float64(i%7)*0.003, func() {
+					mix(tag)
+					if i < 96 {
+						submit(i + 3)
+					}
+				})
+			case 1:
+				m.disk.Write(int64(1<<20+(i%5)<<18), func() {
+					mix(tag << 1)
+					if i < 96 {
+						submit(i + 3)
+					}
+				})
+			default:
+				held, _ := m.mem.Charge(24 << 20)
+				m.mem.Stream(8<<20, 0, func() {
+					mix(tag << 2)
+					m.mem.Release(held)
+					if i < 96 {
+						submit(i + 3)
+					}
+				})
+			}
+		}
+		ln.After(sim.Duration(l+1)*0.001, func() {
+			for i := 0; i < 6; i++ {
+				submit(i)
+			}
+		})
+	}
+	// Coordinator-context perturbations: global events mutate lane-resident
+	// servers while they hold pending completions. The servers reschedule on
+	// their lane from coordinator context — the path PR 8's dropped-send bug
+	// lived on.
+	for k := 1; k <= 6; k++ {
+		k := k
+		eng.After(sim.Duration(k)*0.083, func() {
+			m := machines[k%lanes]
+			m.cpu.SetSpeedFactor(0.5 + float64(k)*0.2)
+			machines[(k+1)%lanes].disk.SetSpeedFactor(0.6 + float64(k)*0.15)
+			machines[(k+2)%lanes].mem.SetSpeedFactor(0.7 + float64(k)*0.1)
+			machines[(k+3)%lanes].cpu.Pause(0.005)
+		})
+	}
+	eng.Run()
+	out := make([]uint64, lanes)
+	for l := range out {
+		out[l] = sums[l*8]
+	}
+	return out
+}
+
+// TestLaneServersShardInvariant pins that CPU/disk/memory servers bound to
+// lanes complete in the same order at every shard count, including under
+// coordinator-context pause/speed changes. Run with -race (CI does): the
+// sharded drain uses real goroutines, so this is also the data-race gate for
+// the migrated servers.
+func TestLaneServersShardInvariant(t *testing.T) {
+	const lanes = 4
+	want := laneServerChecksums(lanes, 1)
+	allZero := true
+	for _, s := range want {
+		if s != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("workload produced no completions")
+	}
+	for _, shards := range []int{2, 4} {
+		got := laneServerChecksums(lanes, shards)
+		for l := range want {
+			if got[l] != want[l] {
+				t.Fatalf("shards=%d lane %d checksum %#x != 1-shard %#x: lane-resident server completions reordered",
+					shards, l, got[l], want[l])
+			}
+		}
+	}
+}

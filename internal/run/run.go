@@ -175,12 +175,30 @@ func finishAborted(e *sim.Engine, d *jobsched.Driver) error {
 // serial scheduler, dropping any lane layer a previous run on a reused
 // engine configured (production runs drain every lane before finishing, so
 // this never orphans events).
+//
+// Sharding is only applied to monotasks-mode runs. The pipelined executor
+// interleaves chunk-granularity cross-machine work — every ChunkBytes a task
+// may call into a peer's disks with zero virtual delay, far below any
+// achievable lookahead window — so lane-affine execution cannot reproduce
+// the serial event order for it. Rather than silently diverge, pipelined
+// runs always use the serial scheduler; EffectiveShards reports the outcome.
 func applySharding(c *cluster.Cluster, o Options) {
-	if o.Shards > 0 {
-		c.ConfigureSharding(o.Shards)
+	if s := o.EffectiveShards(); s > 0 {
+		c.ConfigureSharding(s)
 		return
 	}
-	c.Engine.DisableShards()
+	c.DisableSharding()
+}
+
+// EffectiveShards is the shard count a run with these options actually uses:
+// Shards for monotasks-mode runs, 0 (serial) otherwise. Diagnostic surfaces
+// (the what-if service's /stats, monoperf) report this rather than the
+// requested value.
+func (o Options) EffectiveShards() int {
+	if o.Shards > 0 && o.Mode == Monotasks {
+		return o.Shards
+	}
+	return 0
 }
 
 // startTelemetry attaches a sampler per Options, returning a finish hook.

@@ -38,6 +38,55 @@ type Duration = Time
 // Forever is a sentinel time later than any event the engine will execute.
 const Forever Time = math.MaxFloat64
 
+// keyCell is one link in an event's causal key (see Event.cell): the
+// instant the event was inserted, which event's callback inserted it
+// (parent, nil for setup-context roots), and the insertion's index among
+// the parent's insertions. Cells are immutable and shared — an event's cell
+// points at its parent's — so a cell chain is the event's full scheduling
+// ancestry.
+type keyCell struct {
+	parent *keyCell
+	at     Time
+	idx    uint64
+}
+
+// cellCompare orders two causal keys exactly as a serial engine's insertion
+// sequence numbers would order the corresponding events. A serial engine
+// numbers insertions in execution order, so event a was inserted before
+// event b iff a was inserted at an earlier instant, or at the same instant
+// by an earlier-ordered parent (recursively this same order), or by the same
+// parent at a smaller call index. The walk toward the roots terminates at
+// the first differing instant, at a shared parent (pointer equality — also
+// the common case, siblings), or at the setup roots (nil parents, ordered by
+// their root index). Distinct cells never compare equal: a parent's
+// insertion indices are unique.
+func cellCompare(a, b *keyCell) int {
+	for {
+		if a == b {
+			return 0
+		}
+		if a == nil {
+			return -1
+		}
+		if b == nil {
+			return 1
+		}
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.parent == b.parent {
+			if a.idx < b.idx {
+				return -1
+			}
+			return 1
+		}
+		a, b = a.parent, b.parent
+	}
+}
+
 // Event is one scheduled callback's storage. Event structs are pooled: after
 // an event fires or is cancelled its struct is recycled for a later At call,
 // so holding a *Event across its firing is unsafe — that is why the engine
@@ -49,6 +98,15 @@ type Event struct {
 	gen   uint32
 	fn    func()
 	owner *eventQueue // the queue whose free list recycles this struct
+
+	// Causal key, used only by sharded runs (see Lane.Global and
+	// cellCompare). It reconstructs the serial engine's insertion-order
+	// tie-break for same-instant events without a globally shared counter:
+	// the cell records when and by whom the event was scheduled, and chains
+	// of cells compare exactly as serial insertion sequence numbers do. Nil
+	// on unsharded engines — the serial scheduler orders by its own (at,
+	// seq) and never consults it.
+	cell *keyCell
 }
 
 // EventRef is a handle to a scheduled event, returned by At and After so
@@ -169,10 +227,12 @@ func (q *eventQueue) peek() Time {
 }
 
 // recycle retires an event struct to the free list, bumping its generation so
-// stale EventRefs can no longer reach it.
+// stale EventRefs can no longer reach it. The causal key is dropped so the
+// struct does not pin a retired event's ancestry chain in memory.
 func (q *eventQueue) recycle(ev *Event) {
 	ev.index = -1
 	ev.fn = nil
+	ev.cell = nil
 	ev.gen++
 	q.free = append(q.free, ev)
 }
@@ -255,6 +315,42 @@ type Engine struct {
 	abortCheck func() error
 	abortEvery int
 	abortErr   error
+
+	// Occupancy accounting (see OccupancyStats): events executed on shard
+	// lanes vs. the global timeline, and parallel windows opened. One counter
+	// bump per event is invisible next to the dispatch itself, and it is what
+	// lets the lane-affinity migration assert it hasn't silently regressed.
+	laneExec   uint64
+	globalExec uint64
+	windows    uint64
+
+	// Causal-key state for sharded runs (see Event.cell). curCell is the key
+	// of the global event currently executing and inGlobal is true while one
+	// runs: an escaped lane event's reaction executes on the global
+	// timeline, but causally it belongs to the lane chain that posted it —
+	// in a serial run the reaction code runs inline inside (or is scheduled
+	// by) the emitting event — so work it schedules must be parented under
+	// the escaping chain, not start a fresh root. callCtr numbers the
+	// executing event's insertions; rootCtr numbers setup-context roots.
+	// Only coordinator context touches these — single-threaded and
+	// deterministic — so key assignment is identical at any shard count.
+	curCell  *keyCell
+	callCtr  uint64
+	rootCtr  uint64
+	inGlobal bool
+}
+
+// childCellGlobal is the causal key for work scheduled from coordinator
+// context (see Event.cell): a child of the currently executing global event
+// when there is one, otherwise — setup code between runs — a fresh root
+// ordered by the deterministic root counter.
+func (e *Engine) childCellGlobal() *keyCell {
+	if e.inGlobal {
+		e.callCtr++
+		return &keyCell{parent: e.curCell, at: e.now, idx: e.callCtr}
+	}
+	e.rootCtr++
+	return &keyCell{at: e.now, idx: e.rootCtr}
 }
 
 // DefaultAbortInterval is how many events Run executes between abort-check
@@ -278,7 +374,14 @@ func (e *Engine) At(t Time, fn func()) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	return e.q.schedule(t, fn)
+	ref := e.q.schedule(t, fn)
+	if e.shards != nil {
+		// Global events carry causal keys too: their callbacks may schedule
+		// lane work, and that work's merge order must reflect this event's
+		// own position in the serial insertion order.
+		ref.ev.cell = e.childCellGlobal()
+	}
+	return ref
 }
 
 // After schedules fn to run d seconds from now.
@@ -326,6 +429,7 @@ func (e *Engine) Step() bool {
 	// Recycle before running the callback: the callback frequently schedules
 	// the device's next completion, which can then reuse this struct.
 	e.q.recycle(ev)
+	e.globalExec++
 	fn()
 	return true
 }

@@ -1,0 +1,49 @@
+package sim
+
+// Scheduler is the timeline a device model schedules against: the serial
+// engine's global timeline, or — in a sharded run — the machine's own lane.
+// Per-machine subsystems (resource servers, worker monotask dispatch,
+// intra-machine pipelining) hold a Scheduler instead of a concrete *Engine,
+// so the cluster can hand them a lane when sharding is configured and the
+// serial engine otherwise, without the device code knowing the difference.
+//
+// The contract mirrors Engine's: At panics on scheduling into the timeline's
+// past, After panics on negative delays, Cancel ignores zero and stale refs.
+// A Lane additionally restricts Cancel to events it owns — device models
+// only ever cancel their own provisional completions, so the restriction is
+// invisible to well-formed callers.
+type Scheduler interface {
+	// Now reports the timeline's current virtual time.
+	Now() Time
+	// At schedules fn at absolute virtual time t.
+	At(t Time, fn func()) EventRef
+	// After schedules fn d seconds from Now.
+	After(d Duration, fn func()) EventRef
+	// Cancel removes a pending event; zero and stale refs are ignored.
+	Cancel(r EventRef)
+}
+
+var (
+	_ Scheduler = (*Engine)(nil)
+	_ Scheduler = (*Lane)(nil)
+)
+
+// OccupancyStats reports how many executed events were drained on shard
+// lanes versus the global timeline, plus the number of parallel windows the
+// sharded scheduler opened. On an unsharded engine lane and windows stay
+// zero. Counters are cumulative over the engine's lifetime.
+func (e *Engine) OccupancyStats() (laneEvents, globalEvents, windows uint64) {
+	return e.laneExec, e.globalExec, e.windows
+}
+
+// LaneOccupancy reports the fraction of executed events that were drained on
+// shard lanes: lane / (lane + global), or 0 before any event has executed.
+// It is the migration meter ISSUE 9 asks for — a product run whose
+// per-machine subsystems sit on lanes should report a majority here.
+func (e *Engine) LaneOccupancy() float64 {
+	total := e.laneExec + e.globalExec
+	if total == 0 {
+		return 0
+	}
+	return float64(e.laneExec) / float64(total)
+}

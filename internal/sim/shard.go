@@ -32,8 +32,9 @@ package sim
 //     contents — not of the shard count. A shard with one lane and a shard
 //     with eight lanes execute any given lane's events identically.
 //  3. At each barrier, that window's outbox posts are merged in
-//     (deliver-time, sender lane, sender send-sequence) order — all three
-//     components are decided by lane-local execution. Posts from earlier
+//     (deliver-time, causal key, sender lane, sender send-sequence) order —
+//     every component is decided by lane-local execution (the causal key is
+//     derived from the emitting event; see Event.cell). Posts from earlier
 //     windows were injected at earlier barriers, and window boundaries are
 //     themselves shard-count-independent (see below), so the sequence
 //     numbers deliveries receive in their target lanes — hence the order of
@@ -53,6 +54,18 @@ package sim
 // time ≥ G runs before it. Device models whose effects are instantaneous
 // across machines (the netsim fabric's max-min rerate) therefore stay on
 // the global timeline and serialize, which is what keeps them exact.
+//
+// Lane-resident subsystems occasionally need the reverse direction: a
+// per-machine event whose consequence is cluster-wide and instantaneous — a
+// multitask completion the driver reacts to, a served disk read that starts
+// a network transfer. Lane.Global posts such an escape onto the global
+// timeline and caps the emitting lane at the escape instant, so the lane
+// cannot run ahead of the reaction to its own event; the global side then
+// hands follow-up work back to lanes through the relaxed Lane.At floor (no
+// earlier than a lane's last executed event — anything in the un-executed
+// gap between that and the lane's window clock reorders nothing). When a
+// reaction would genuinely land in a lane's executed past, Lane.At panics:
+// the protocol refuses to diverge silently from the serial order.
 
 import (
 	"fmt"
@@ -60,10 +73,16 @@ import (
 )
 
 // post is one cross-lane delivery captured in a sender's outbox during a
-// window. (at, from, seq) is the deterministic merge key; to and fn say
-// where and what to deliver.
+// window. (at, cell, from, seq) is the deterministic merge key for global
+// escapes — cell is the delivered event's causal key (see Event.cell),
+// which reconstructs the serial tie-break among same-instant escapes; sends
+// (send=true) sort after same-instant escapes and merge in (from, seq)
+// order as always. to and fn say where and what to deliver; the delivered
+// event inherits cell in both cases.
 type post struct {
 	at   Time
+	cell *keyCell
+	send bool
 	from int
 	seq  uint64
 	to   int
@@ -84,14 +103,50 @@ type Lane struct {
 	horizon Time // current window's exclusive upper bound
 	outbox  []post
 	sendSeq uint64
+
+	// lastEvent is the time of the last event this lane executed. It, not
+	// now, is the lane's scheduling floor: after a window the lane clock sits
+	// at the window bound w1, but no event ran in (lastEvent, w1], so a
+	// global-timeline callback (a driver reacting to an escape, see Global)
+	// may legally insert work anywhere in [lastEvent, w1) without reordering
+	// anything that already happened. Inserting before lastEvent would
+	// rewrite executed history, and panics.
+	lastEvent Time
+
+	// limit caps this lane's drain within the current window. Global(0, fn)
+	// sets it to the emitting event's time: the global timeline will react at
+	// that instant, so the lane must not run ahead of it — events past the
+	// limit wait for the next window, after the global side has caught up.
+	limit Time
+
+	// curCell is the causal key of the event the lane is currently executing
+	// (see Event.cell); callCtr numbers that event's insertions. Work the
+	// event schedules is parented under curCell, and escapes it posts are
+	// merged by it.
+	curCell *keyCell
+	callCtr uint64
 }
 
 // ID reports the lane's index within its engine.
 func (ln *Lane) ID() int { return ln.id }
 
-// Now reports the lane's clock: the time of the event being executed, or the
-// end of the last drained window.
-func (ln *Lane) Now() Time { return ln.now }
+// clock is the lane's context-sensitive time base: inside a window (the
+// lane's own callbacks) it is the lane clock; from coordinator context —
+// setup code, global event callbacks — it is the engine clock, because that
+// is the instant the caller is actually acting at. The distinction matters
+// once global callbacks schedule device work onto lanes: a driver reacting
+// at global time G must schedule relative to G, not to wherever the lane's
+// window bound happens to sit.
+func (ln *Lane) clock() Time {
+	if s := ln.eng.shards; s == nil || !s.draining {
+		return ln.eng.now
+	}
+	return ln.now
+}
+
+// Now reports the lane's clock: the time of the event being executed, the
+// engine's clock when called from coordinator context.
+func (ln *Lane) Now() Time { return ln.clock() }
 
 // Horizon reports the exclusive upper bound of the window the lane is
 // currently allowed to advance through. Events never execute at or past it;
@@ -101,21 +156,41 @@ func (ln *Lane) Horizon() Time { return ln.horizon }
 // Pending reports the lane's pending event count.
 func (ln *Lane) Pending() int { return ln.q.len() }
 
-// At schedules fn on this lane at absolute virtual time t. Like Engine.At,
-// scheduling in the lane's past panics.
+// At schedules fn on this lane at absolute virtual time t. Scheduling before
+// the lane's last executed event panics: that would rewrite history the lane
+// already committed. Scheduling in (lastEvent, now) — a span no event ran in
+// — is legal, and is how global callbacks (drivers reacting to a lane's
+// Global escape) hand follow-up work back to a lane whose window clock has
+// moved past the escape instant.
 func (ln *Lane) At(t Time, fn func()) EventRef {
-	if t < ln.now {
-		panic(fmt.Sprintf("sim: lane %d: scheduling event at %v before lane now %v", ln.id, t, ln.now))
+	if t < ln.lastEvent {
+		panic(fmt.Sprintf("sim: lane %d: scheduling event at %v before last executed event at %v", ln.id, t, ln.lastEvent))
 	}
-	return ln.q.schedule(t, fn)
+	ref := ln.q.schedule(t, fn)
+	ref.ev.cell = ln.childCell()
+	return ref
 }
 
-// After schedules fn on this lane d seconds from the lane's now.
+// childCell is the causal key for work being scheduled right now (see
+// Event.cell): from coordinator context, the engine's key (a child of the
+// executing global event, or a fresh root from setup code); from the lane's
+// own callbacks, a child of the executing lane event — inserted at the lane
+// clock, numbered by the event's insertion counter.
+func (ln *Lane) childCell() *keyCell {
+	if s := ln.eng.shards; s == nil || !s.draining {
+		return ln.eng.childCellGlobal()
+	}
+	ln.callCtr++
+	return &keyCell{parent: ln.curCell, at: ln.now, idx: ln.callCtr}
+}
+
+// After schedules fn on this lane d seconds from the lane's context-sensitive
+// clock (see Now).
 func (ln *Lane) After(d Duration, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: lane %d: negative delay %v", ln.id, d))
 	}
-	return ln.At(ln.now+d, fn)
+	return ln.At(ln.clock()+d, fn)
 }
 
 // Cancel removes a pending event scheduled on this lane. Zero and stale refs
@@ -144,12 +219,85 @@ func (ln *Lane) Send(to int, d Duration, fn func()) {
 		panic(fmt.Sprintf("sim: lane %d: send delay %v under lookahead %v breaks the conservative horizon", ln.id, d, s.lookahead))
 	}
 	ln.sendSeq++
-	ln.outbox = append(ln.outbox, post{at: ln.now + d, from: ln.id, seq: ln.sendSeq, to: to, fn: fn})
+	ln.outbox = append(ln.outbox, post{at: ln.clock() + d, cell: ln.childCell(), send: true,
+		from: ln.id, seq: ln.sendSeq, to: to, fn: fn})
+}
+
+// Global schedules fn on the engine's global timeline d seconds from the
+// lane's clock — the lane-affinity escape hatch for the few per-machine
+// events whose consequences are cluster-wide: a multitask completion the
+// driver must see, a served read that starts a cross-machine transfer. The
+// post is delivered at the next window barrier in (time, sender lane, sender
+// sequence) order, so it is as deterministic as Send.
+//
+// A zero-delay Global emitted mid-window also caps the lane's drain at the
+// emitting instant: the global timeline will react at that time, and letting
+// the lane run ahead of its own escape would let device events execute
+// before the reaction they should have observed. Events past the cap simply
+// wait for the next window. Cross-lane consequences remain guarded: if the
+// global reaction tries to schedule into a lane that already executed past
+// the reaction instant, Lane.At panics rather than silently diverging from
+// the serial order.
+// Global's same-instant merge order deserves spelling out, because it is
+// what byte-identity with the serial engine rests on. A serial run breaks
+// exact-time ties by global insertion order; under uniform chunk sizes whole
+// shuffle cascades run in lockstep, so exact ties are common and their order
+// is observable (it decides which requester's reaction consumes shared
+// cursors first). Lanes cannot observe each other's insertion order, but
+// they can reconstruct it: an escape is merged by its causal key (see
+// Event.cell and cellCompare), which orders two same-instant escapes from
+// different lanes exactly as the corresponding serial events' insertion
+// sequence numbers would.
+//
+// An escape posted from coordinator context (between windows — a global
+// callback scheduling follow-up work) bypasses the outbox and lands directly
+// on the engine queue: the coordinator is serial, so its insertion order is
+// already the serial order, and routing it through the merge would replace
+// that exact order with the rank reconstruction.
+func (ln *Lane) Global(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: lane %d: negative delay %v", ln.id, d))
+	}
+	s := ln.eng.shards
+	if !s.draining {
+		ln.eng.After(d, fn)
+		return
+	}
+	at := ln.now + d
+	ln.sendSeq++
+	ln.outbox = append(ln.outbox, post{at: at, cell: ln.childCell(),
+		from: ln.id, seq: ln.sendSeq, to: -1, fn: fn})
+	if at < ln.horizon && at < ln.limit {
+		ln.limit = at
+	}
+}
+
+// GlobalInline is Global(0, fn) for call sites whose serial counterpart runs
+// fn inline inside the emitting event's callback rather than deferring it
+// through After(0). The reaction is then causally the emitting event itself,
+// not a child of it: it merges under the emitter's own key, and work it
+// schedules is parented by the emitter — exactly how the serial engine sees
+// the inline insertions. From coordinator context the serial counterpart is
+// a direct call, so fn runs immediately.
+func (ln *Lane) GlobalInline(fn func()) {
+	s := ln.eng.shards
+	if !s.draining {
+		fn()
+		return
+	}
+	at := ln.now
+	ln.sendSeq++
+	ln.outbox = append(ln.outbox, post{at: at, cell: ln.curCell,
+		from: ln.id, seq: ln.sendSeq, to: -1, fn: fn})
+	if at < ln.horizon && at < ln.limit {
+		ln.limit = at
+	}
 }
 
 // shardSet is the windowed scheduler's state: the lanes, their grouping into
 // shards, and the scratch the coordinator reuses between windows.
 type shardSet struct {
+	eng       *Engine
 	lanes     []*Lane
 	groups    [][]*Lane // groups[s] = the lanes shard s advances
 	lookahead Duration
@@ -158,6 +306,12 @@ type shardSet struct {
 	counts []int  // per-group events executed in the current window
 	panics []any  // per-group recovered panic values
 	wg     sync.WaitGroup
+
+	// draining is true while shard goroutines execute a window. It is written
+	// only by the coordinator, before the goroutines start and after they
+	// join, so lane callbacks read it race-free; it is what lets Lane methods
+	// tell lane context from coordinator context (see Lane.clock).
+	draining bool
 }
 
 // ConfigureShards equips the engine with `lanes` shard lanes advanced by
@@ -198,6 +352,7 @@ func (e *Engine) ConfigureShards(lanes, shards int, lookahead Duration) {
 		}
 	}
 	s := &shardSet{
+		eng:       e,
 		lookahead: lookahead,
 		lanes:     make([]*Lane, lanes),
 		groups:    make([][]*Lane, shards),
@@ -205,7 +360,7 @@ func (e *Engine) ConfigureShards(lanes, shards int, lookahead Duration) {
 		panics:    make([]any, shards),
 	}
 	for i := range s.lanes {
-		s.lanes[i] = &Lane{eng: e, id: i, now: e.now}
+		s.lanes[i] = &Lane{eng: e, id: i, now: e.now, lastEvent: e.now, limit: Forever}
 		g := i * shards / lanes
 		s.groups[g] = append(s.groups[g], s.lanes[i])
 	}
@@ -291,8 +446,11 @@ func (s *shardSet) drainGroup(g int, w1 Time) {
 		bt := w1
 		for _, ln := range lanes {
 			// Strict < keeps the tie rule: events exactly at w1 belong to the
-			// next window (after any global event at w1).
-			if t := ln.q.peek(); t < bt {
+			// next window (after any global event at w1). The limit check
+			// honors Global's escape cap: a lane that posted a zero-delay
+			// global escape stops at the escape instant, so device events
+			// after it wait for the global side's reaction.
+			if t := ln.q.peek(); t < bt && t <= ln.limit {
 				bt, best = t, ln
 			}
 		}
@@ -301,6 +459,9 @@ func (s *shardSet) drainGroup(g int, w1 Time) {
 		}
 		ev := best.q.pop()
 		best.now = ev.at
+		best.lastEvent = ev.at
+		best.curCell = ev.cell
+		best.callCtr = 0
 		fn := ev.fn
 		best.q.recycle(ev)
 		fn()
@@ -313,9 +474,10 @@ func (s *shardSet) drainGroup(g int, w1 Time) {
 }
 
 // mergeOutboxes gathers every lane's outbox into s.inbox sorted by
-// (deliver-time, sender lane, sender send-sequence) — a total order decided
-// entirely by lane-local execution, hence identical at any shard count —
-// and schedules the deliveries into their target lanes in that order.
+// (deliver-time, canonical key, sender lane, sender send-sequence) — a total
+// order decided entirely by lane-local execution, hence identical at any
+// shard count — and schedules the deliveries into their target lanes in that
+// order.
 func (s *shardSet) mergeOutboxes() {
 	s.inbox = s.inbox[:0]
 	for _, ln := range s.lanes {
@@ -334,16 +496,40 @@ func (s *shardSet) mergeOutboxes() {
 	}
 	for i := range s.inbox {
 		p := &s.inbox[i]
-		s.lanes[p.to].q.schedule(p.at, p.fn)
+		if p.to < 0 {
+			// A Global escape: injected into the engine's global queue. The
+			// schedule call sidesteps Engine.At's past-check on purpose;
+			// runSharded advances the engine clock only up to the earliest
+			// pending global event, so the escape is never in its past. The
+			// escape carries its causal key (the emitter's own key for
+			// GlobalInline, a child key for Global) so its callback's
+			// insertions inherit the right ancestry.
+			ref := s.eng.q.schedule(p.at, p.fn)
+			ref.ev.cell = p.cell
+		} else {
+			ref := s.lanes[p.to].q.schedule(p.at, p.fn)
+			ref.ev.cell = p.cell
+		}
 		p.fn = nil
+		p.cell = nil
 	}
 	s.inbox = s.inbox[:0]
 }
 
-// postLess orders posts by (deliver-time, sender lane, sender sequence).
+// postLess orders posts by (deliver-time, causal key, sender lane, sender
+// sequence); sends sort after same-instant escapes and keep their classic
+// (sender lane, sender sequence) order among themselves.
 func postLess(a, b post) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.send != b.send {
+		return !a.send
+	}
+	if !a.send {
+		if c := cellCompare(a.cell, b.cell); c != 0 {
+			return c < 0
+		}
 	}
 	if a.from != b.from {
 		return a.from < b.from
@@ -385,12 +571,19 @@ func (e *Engine) runSharded() {
 		}
 		if gt <= lt {
 			// The global event precedes (ties included: lane events at the
-			// same instant wait behind it) — serial step.
+			// same instant wait behind it) — serial step. The event's causal
+			// key becomes the engine's current key so work the callback
+			// schedules is parented under this event's serial-order position.
 			ev := e.q.pop()
 			e.now = ev.at
+			e.curCell = ev.cell
+			e.callCtr = 0
 			fn := ev.fn
 			e.q.recycle(ev)
+			e.globalExec++
+			e.inGlobal = true
 			fn()
+			e.inGlobal = false
 			if checked {
 				budget--
 				if budget <= 0 {
@@ -414,9 +607,11 @@ func (e *Engine) runSharded() {
 		}
 		for _, ln := range s.lanes {
 			ln.horizon = w1
+			ln.limit = Forever // escape caps apply to one window only
 		}
 		// Fan groups with work onto goroutines; the first busy group runs
 		// inline on the coordinator.
+		s.draining = true
 		inline := -1
 		for g := range s.groups {
 			s.counts[g] = 0
@@ -450,14 +645,26 @@ func (e *Engine) runSharded() {
 			s.drainGroup(inline, w1)
 		}
 		s.wg.Wait()
+		s.draining = false
 		for g, p := range s.panics {
 			if p != nil {
 				panic(fmt.Sprintf("sim: shard %d: lane callback panicked: %v", g, p))
 			}
 		}
 		s.mergeOutboxes()
-		if e.now < w1 && w1 < Forever {
-			e.now = w1
+		e.windows++
+		for _, n := range s.counts {
+			e.laneExec += uint64(n)
+		}
+		// Advance the global clock to the window bound — but never past a
+		// pending global event. Escapes posted inside the window land before
+		// w1; the clock must sit at or before them when they dispatch.
+		target := w1
+		if pg := e.q.peek(); pg < target {
+			target = pg
+		}
+		if e.now < target && target < Forever {
+			e.now = target
 		}
 		if checked {
 			for _, n := range s.counts {

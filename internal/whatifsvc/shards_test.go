@@ -1,0 +1,76 @@
+package whatifsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestServiceReportsEffectiveShards pins the operator-visibility contract
+// for engine modes: Shards is excluded from the memo fingerprint (requests
+// differing only there share a memo entry and a byte-identical body), so
+// the engine mode that served a request must travel out of band — the
+// X-Whatif-Shards header on fresh runs, and per-mode counters on /stats.
+func TestServiceReportsEffectiveShards(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	// Fresh serial run.
+	resp, serialBody := post(t, ts, sortRequest(``))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serial run: %d %s", resp.StatusCode, serialBody)
+	}
+	if got := resp.Header.Get("X-Whatif-Shards"); got != "serial" {
+		t.Fatalf("serial run X-Whatif-Shards = %q, want \"serial\"", got)
+	}
+
+	// Same question at shards 2: a memo hit (shards is not fingerprinted),
+	// so the body must be byte-identical and no engine mode is claimed.
+	resp, shardBody := post(t, ts, sortRequest(`, "shards": 2`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded ask: %d %s", resp.StatusCode, shardBody)
+	}
+	if resp.Header.Get("X-Whatif-Memo") != "hit" {
+		t.Fatal("shards-only variation missed the memo; fingerprint regressed")
+	}
+	if string(serialBody) != string(shardBody) {
+		t.Fatal("memoized body differs between serial and sharded asks")
+	}
+
+	// A genuinely different question at shards 2 runs the sharded engine.
+	resp, b := post(t, ts, `{
+		"workload": {"kind": "sort", "total_mb": 48, "values_per_key": 10},
+		"cluster": {"machines": 2},
+		"shards": 2
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded run: %d %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Whatif-Shards"); got != "2" {
+		t.Fatalf("sharded run X-Whatif-Shards = %q, want \"2\"", got)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, leaked := out["EffectiveShards"]; leaked {
+		t.Fatal("EffectiveShards leaked into the memoizable body")
+	}
+
+	// /stats buckets the two completed sessions by engine mode.
+	sresp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		ShardRuns map[string]int64 `json:"shard_runs"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardRuns["serial"] != 1 || stats.ShardRuns["2"] != 1 {
+		t.Fatalf("shard_runs = %v, want serial:1 and 2:1", stats.ShardRuns)
+	}
+}

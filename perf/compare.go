@@ -78,6 +78,9 @@ type Report struct {
 	// Sharded is the intra-run sharded-engine comparison table (BENCH_6+):
 	// serial vs sharded wall-clock per workload shape and shard count.
 	Sharded []ShardCompare `json:"sharded,omitempty"`
+	// Product is the real-run sharding table (BENCH_7+): the golden sort
+	// end to end on the serial vs sharded engine, with lane occupancy.
+	Product []ProductCompare `json:"product,omitempty"`
 }
 
 // NewReport stamps the environment fields.

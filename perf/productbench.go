@@ -1,0 +1,85 @@
+package perf
+
+// Product-run sharding measurements: unlike shardbench.go's synthetic lane
+// workloads, these time a real simulation (the golden sort) end to end on
+// the serial engine and on the sharded engine, and carry the engine's
+// lane-occupancy counters so the BENCH report shows how much of the run
+// actually executed on lanes. The run function is injected by the caller
+// (cmd/monoperf wires internal/figures) because this package sits below
+// figures in the import graph, same as CompareSweep.
+
+import (
+	"bytes"
+	"runtime"
+	"time"
+)
+
+// ProductRun is one product-simulation execution as observed by
+// CompareShardedProduct: the rendered full-precision output (the byte-
+// identity probe) plus the engine's occupancy counters after the run.
+type ProductRun struct {
+	// Output is a deterministic render of the run's results; serial and
+	// sharded legs must produce identical bytes.
+	Output []byte
+	// LaneEvents and GlobalEvents are the engine's occupancy counters
+	// (sim.Engine.OccupancyStats); both zero on the serial leg.
+	LaneEvents   uint64
+	GlobalEvents uint64
+	// Occupancy is LaneEvents / (LaneEvents + GlobalEvents).
+	Occupancy float64
+}
+
+// ProductCompare is one serial-vs-sharded comparison of a real product run:
+// wall-clock times, output identity, and the sharded leg's lane occupancy.
+type ProductCompare struct {
+	Workload  string  `json:"workload"`
+	Shards    int     `json:"shards"`
+	SerialMs  float64 `json:"serial_ms"`
+	ShardedMs float64 `json:"sharded_ms"`
+	Speedup   float64 `json:"speedup"`
+	// LaneOccupancy is the fraction of the sharded leg's events drained on
+	// lanes — the ISSUE 9 migration meter. The ≥0.5 product floor is gated
+	// by TestGoldenSortLaneOccupancy; the report just records the number.
+	LaneOccupancy float64 `json:"lane_occupancy"`
+	LaneEvents    uint64  `json:"lane_events"`
+	GlobalEvents  uint64  `json:"global_events"`
+	Identical     bool    `json:"identical"`
+	// NumCPU and Flagged follow the SweepCompare convention: on a one-core
+	// host shards time-slice a single CPU, so speedup ≤ 1 is physics and is
+	// never flagged.
+	NumCPU  int  `json:"num_cpu,omitempty"`
+	Flagged bool `json:"flagged,omitempty"`
+}
+
+// CompareShardedProduct times runAt(0) (serial engine) against
+// runAt(shards) and reports wall clock, byte identity, and the sharded
+// leg's lane occupancy. runAt must execute the same deterministic product
+// simulation at the given shard count.
+func CompareShardedProduct(workload string, shards int, runAt func(shards int) (ProductRun, error)) (ProductCompare, error) {
+	start := time.Now()
+	serial, err := runAt(0)
+	if err != nil {
+		return ProductCompare{}, err
+	}
+	serialDur := time.Since(start)
+	start = time.Now()
+	sharded, err := runAt(shards)
+	if err != nil {
+		return ProductCompare{}, err
+	}
+	shardedDur := time.Since(start)
+	speedup := float64(serialDur) / float64(shardedDur)
+	return ProductCompare{
+		Workload:      workload,
+		Shards:        shards,
+		SerialMs:      float64(serialDur.Microseconds()) / 1e3,
+		ShardedMs:     float64(shardedDur.Microseconds()) / 1e3,
+		Speedup:       speedup,
+		LaneOccupancy: sharded.Occupancy,
+		LaneEvents:    sharded.LaneEvents,
+		GlobalEvents:  sharded.GlobalEvents,
+		Identical:     bytes.Equal(serial.Output, sharded.Output),
+		NumCPU:        runtime.NumCPU(),
+		Flagged:       flagSpeedup(speedup, runtime.NumCPU()),
+	}, nil
+}

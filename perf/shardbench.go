@@ -153,9 +153,11 @@ func CompareShardedEngine(workload string, lanes, shards, events int) (ShardComp
 }
 
 // BenchEngineSharded returns a benchmark running the sort-shaped lane
-// workload at the given shard count — the BENCH_6.json trajectory entry whose
-// allocs/op the CI gate watches (steady-state sharded execution allocates
-// nothing: events and posts are pooled).
+// workload at the given shard count — the BENCH_*.json trajectory entry that
+// tracks the sharded scheduler's per-event overhead. Steady-state sharded
+// execution allocates exactly one causal-key cell per event (the exact
+// serial-order merge key; see sim.Lane.Global) — events and posts themselves
+// are pooled.
 func BenchEngineSharded(shards int) func(*testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
