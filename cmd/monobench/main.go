@@ -87,6 +87,12 @@ var timeout = flag.Duration("timeout", 0, "per-experiment wall-clock budget (0 =
 // Results are bit-identical at any setting.
 var shards = flag.Int("shards", 0, "engine shards per simulation (0/1 = serial engine)")
 
+// workerDispatch delegates stage execution to worker-side dispatchers
+// (jobsched.Config.WorkerDispatch): workers self-assign tasks from the job
+// template when a slot opens and exchange stage-completion metadata peer to
+// peer, with bit-identical results to the centralized driver.
+var workerDispatch = flag.Bool("worker-dispatch", false, "delegated control plane: workers self-dispatch tasks (bit-identical results)")
+
 // telemetryOut, when set, attaches a live sampler to every experiment run and
 // writes all captured snapshots to this file as JSON Lines (cmd/monotop reads
 // the format). Output bytes are identical at any --parallel setting.
@@ -184,6 +190,10 @@ func main() {
 			setShardsArg(args[i])
 			continue
 		}
+		if a == "--worker-dispatch" || a == "-worker-dispatch" {
+			*workerDispatch = true
+			continue
+		}
 		if v, ok := strings.CutPrefix(a, "--telemetry="); ok {
 			*telemetryOut = v
 			continue
@@ -223,6 +233,7 @@ func main() {
 	args = kept
 	sweep.SetParallelism(*parallel)
 	figures.SetShards(*shards)
+	figures.SetWorkerDispatch(*workerDispatch)
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)

@@ -304,6 +304,14 @@ func (c *Cluster) LookaheadHorizon() sim.Duration {
 	return c.Fabric.MinTransferLatency(1)
 }
 
+// ControlPlaneStats returns the fabric's control-plane ledger totals: the
+// zero-virtual-time coordination messages recorded between machines (the
+// delegated driver's peer-to-peer stage-completion broadcasts). Zero for a
+// centralized control plane, which exchanges no worker-to-worker metadata.
+func (c *Cluster) ControlPlaneStats() netsim.ControlStats {
+	return c.Fabric.ControlStats()
+}
+
 // ConfigureSharding partitions the engine into one lane per machine, grouped
 // into the given number of shards, with the topology-derived lookahead from
 // LookaheadHorizon, and rebinds each machine's devices (CPU, disks, memory)

@@ -106,8 +106,9 @@ func chaosRun(seed int64, mode monospark.Mode) (chaosOutcome, error) {
 			Random:            chaosPlanConfig(),
 			FetchRetryTimeout: 60,
 		},
-		Telemetry: telemetryCfg,
-		Shards:    shardCount,
+		Telemetry:      telemetryCfg,
+		Shards:         shardCount,
+		WorkerDispatch: workerDispatch,
 	})
 	if err != nil {
 		return chaosOutcome{}, err

@@ -51,6 +51,20 @@ func SetShards(n int) {
 	shardCount = n
 }
 
+// workerDispatch, when true, runs every executed figure (and chaos cell)
+// with the delegated control plane (jobsched.Config.WorkerDispatch). Like
+// the shard hook, it is shared read-only across sweep workers.
+var workerDispatch bool
+
+// SetWorkerDispatch installs (or clears) the worker-dispatch hook — the
+// monobench --worker-dispatch plumbing. Worker-side dispatch is an execution
+// strategy with bit-identical results, so flipping it never changes figure
+// output (pinned by TestGoldenWorkerDispatch). Not safe to call while
+// experiments run.
+func SetWorkerDispatch(on bool) {
+	workerDispatch = on
+}
+
 // Builder produces a job for an environment (matches the workloads types).
 type Builder func(*workloads.Env) (*task.JobSpec, error)
 
@@ -96,6 +110,9 @@ func executeHetero(specs []cluster.MachineSpec, o run.Options, builders ...Build
 	}
 	if shardCount > 1 && o.Shards == 0 {
 		o.Shards = shardCount
+	}
+	if workerDispatch {
+		o.Sched.WorkerDispatch = true
 	}
 	// A sweep deadline (monobench --timeout) bounds in-flight cells too: the
 	// run layer polls it between event batches and aborts cleanly, so a

@@ -1,0 +1,230 @@
+package jobsched
+
+// This file is the worker-side dispatch path (Config.WorkerDispatch) — the
+// Canary-style sharded control plane. The centralized driver reruns its full
+// scheduling pass (schedule(): every pool × every worker) on every task
+// completion, which puts the driver on the critical path of every monotask.
+// Delegated mode splits that responsibility:
+//
+//   - The driver keeps what genuinely needs the global view: admission and
+//     pool fair-share, stage-DAG transitions (finishStage/reopenStage),
+//     retry/exclusion policy, and attribution (all metrics bookkeeping).
+//   - Each worker gets a dispatcher. When one of the worker's slots opens
+//     and no driver-level transition happened, the dispatcher self-assigns
+//     the worker's next task directly from the shared pending views that the
+//     job's template instantiated (template.go) — no global pass.
+//   - When a stage finishes, the machines that produced its output broadcast
+//     the completion metadata (their share of the map-output locations) to
+//     every peer as netsim control flows, and the driver is sent one
+//     aggregate stage result instead of per-task completions. The flows are
+//     accounting-only (zero virtual time), matching the fidelity of the
+//     centralized path, whose per-task RPCs were never simulated either.
+//
+// Determinism argument (why delegated runs are byte-identical): between
+// engine events the driver is quiescent — the last scheduling pass (global
+// or local) ran until no task could launch. A completion on worker w that
+// causes no global transition changes exactly two inputs of the pick
+// policy: w's free-slot count rises, and the stage's running count falls.
+// Neither creates pending work, and a larger free[w] can only flip
+// hasFreeHome from false to true — which makes delay scheduling refuse
+// *more* remote placements elsewhere, never fewer — so no other worker can
+// newly pick a task. Filling w with repeated pickTask(w) therefore computes
+// exactly the launches the full pass would have made, in the same order.
+// Anything else — a requeue, a stage finishing, an exclusion flipping, a job
+// admitted or aborted — marks the driver dirty (markGlobal) and the next
+// event runs the ordinary schedule() verbatim. Speculation compares running
+// attempts across machines on every completion, so a driver configured with
+// Speculation keeps the centralized pass entirely.
+
+// dispatcher is one worker's self-dispatch agent.
+type dispatcher struct {
+	d *Driver
+	w int
+	// pull marks an executor that invokes fill itself (core.Worker's task
+	// source) right after delivering each completion callback — the
+	// worker-local queue feeding path. Executors without the hook (the
+	// pipelined emulation) are filled by the driver's afterCompletion.
+	pull bool
+}
+
+// taskSource is the optional executor capability behind worker-local queue
+// feeding: core.Worker implements it, the pipelined executor does not.
+type taskSource interface {
+	SetTaskSource(func())
+}
+
+// Control-message sizing for the delegated control plane's accounting: a
+// fixed per-message header plus one map-output entry (machine + sizes,
+// roughly a Spark MapStatus entry) per task covered by the message.
+const (
+	controlMsgHeaderBytes = 24
+	controlMsgEntryBytes  = 16
+)
+
+// DispatchStats exposes the control plane's message accounting, for the
+// centralized-vs-delegated comparison monoperf tables and tests read.
+type DispatchStats struct {
+	// Delegated reports whether this driver runs worker-side dispatch.
+	Delegated bool
+	// DriverMessages counts messages through the driver: in centralized
+	// mode one dispatch RPC per launch and one status RPC per completion;
+	// in delegated mode one template/range grant per worker per admission,
+	// one launch directive per driver-directed placement (global passes),
+	// and one aggregate result per finished stage.
+	DriverMessages int64
+	// DriverBytes is the modeled payload total of DriverMessages.
+	DriverBytes int64
+	// PeerMessages counts peer-to-peer stage-completion broadcasts
+	// (delegated mode only); they are also recorded on the fabric's
+	// control ledger (netsim.Fabric.ControlStats).
+	PeerMessages int64
+	// PeerBytes is the modeled payload total of PeerMessages.
+	PeerBytes int64
+	// SelfDispatched counts launches a worker's dispatcher made without a
+	// driver pass.
+	SelfDispatched int64
+	// GlobalPasses counts full schedule() passes.
+	GlobalPasses int64
+}
+
+// DispatchStats returns the driver's control-plane accounting so far.
+func (d *Driver) DispatchStats() DispatchStats {
+	s := d.ctrl
+	s.Delegated = d.delegated()
+	return s
+}
+
+// delegated reports whether the worker-side dispatch path is active.
+func (d *Driver) delegated() bool { return d.disp != nil }
+
+// initDispatch builds the per-worker dispatchers and wires the executors'
+// pull hooks. Speculation needs the driver's global view of running
+// attempts on every completion, so it keeps the centralized pass.
+func (d *Driver) initDispatch() {
+	if !d.cfg.WorkerDispatch || d.cfg.Speculation {
+		return
+	}
+	d.disp = make([]*dispatcher, len(d.execs))
+	for w, e := range d.execs {
+		dp := &dispatcher{d: d, w: w}
+		if src, ok := e.(taskSource); ok {
+			dp.pull = true
+			src.SetTaskSource(dp.fill)
+		}
+		d.disp[w] = dp
+	}
+}
+
+// markGlobal records a driver-level transition (pending work appeared, a
+// stage or job changed state, exclusion flipped): the next scheduling
+// decision must be a full pass, not a worker-local fill.
+func (d *Driver) markGlobal() { d.globalDirty = true }
+
+// afterCompletion routes the end of onAttemptDone: the centralized driver
+// reruns its global pass; a delegated driver does so only after a global
+// transition, and otherwise lets worker w refill its own slots (via the
+// executor's pull hook when it has one, inline here when it does not).
+func (d *Driver) afterCompletion(w int) {
+	if d.disp == nil {
+		d.schedule()
+		return
+	}
+	if d.globalDirty {
+		d.schedule()
+		return
+	}
+	if !d.disp[w].pull {
+		d.disp[w].fill()
+	}
+}
+
+// afterTimeout is afterCompletion for fetch-timeout events, which have no
+// trailing executor pull: the slot is still held by the zombie attempt, so
+// a clean timeout leaves nothing for w to fill, but the fill is kept for
+// symmetry (it is a no-op scan at quiescence).
+func (d *Driver) afterTimeout(w int) {
+	if d.disp == nil {
+		d.schedule()
+		return
+	}
+	if d.globalDirty {
+		d.schedule()
+		return
+	}
+	d.disp[w].fill()
+}
+
+// fill launches tasks on this dispatcher's worker until it is full or
+// refuses everything — the worker-local replacement for a global pass. The
+// pick policy is the driver's own (pickTask), which is what makes the
+// delegated schedule bit-identical to the centralized one.
+func (p *dispatcher) fill() {
+	d := p.d
+	if d.globalDirty {
+		// A transition raced ahead of this pull (e.g. the completion that
+		// triggered it also finished a stage): run the full pass instead.
+		d.schedule()
+		return
+	}
+	w := p.w
+	for d.available(w) && d.free[w] > 0 {
+		st, idx := d.pickTask(w)
+		if st == nil {
+			return
+		}
+		// A failed launch aborted the job and already ran a global pass;
+		// keep looping — the next pick sees the post-abort state.
+		d.launch(st, idx, w)
+	}
+}
+
+// announceStageComplete models the delegated control plane's peer-to-peer
+// metadata exchange for one finished stage: every machine that hosted
+// winning attempts broadcasts its share of the stage's output map to each
+// peer (recorded on the fabric's control ledger), and the driver receives
+// one aggregate stage result. Pure accounting: control messages carry no
+// virtual latency, exactly like the centralized path's implicit RPCs.
+func (d *Driver) announceStageComplete(st *stageState) {
+	n := len(d.execs)
+	counts := d.machineScratch
+	if counts == nil {
+		counts = make([]int, n)
+		d.machineScratch = counts
+	}
+	for i := range counts {
+		counts[i] = 0
+	}
+	tasks := 0
+	for _, tm := range st.metrics.Tasks {
+		if tm != nil && !tm.Failed {
+			counts[tm.Machine]++
+			tasks++
+		}
+	}
+	for src, c := range counts {
+		if c == 0 {
+			continue
+		}
+		bytes := int64(controlMsgHeaderBytes + controlMsgEntryBytes*c)
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			d.cluster.Fabric.RecordControl(src, dst, bytes)
+			d.ctrl.PeerMessages++
+			d.ctrl.PeerBytes += bytes
+		}
+	}
+	d.ctrl.DriverMessages++ // the aggregate stage result, upward
+	d.ctrl.DriverBytes += int64(controlMsgHeaderBytes + controlMsgEntryBytes*tasks)
+}
+
+// grantRanges models the admission-time handout in delegated mode: the
+// driver sends each worker the job's template reference and its stage
+// partition ranges once per admitted job, instead of a dispatch RPC per
+// task later.
+func (d *Driver) grantRanges(h *JobHandle) {
+	n := int64(len(d.execs))
+	d.ctrl.DriverMessages += n
+	d.ctrl.DriverBytes += n * int64(controlMsgHeaderBytes+controlMsgEntryBytes*len(h.Spec.Stages))
+}

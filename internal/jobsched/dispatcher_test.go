@@ -1,0 +1,287 @@
+package jobsched
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/task"
+)
+
+// metricsFingerprint folds every observable outcome of a set of jobs — per
+// job and per stage start/end, per task machine/timing/failure, abort
+// errors — into one hash, so two runs can be compared bit-for-bit.
+func metricsFingerprint(hs []*JobHandle) uint64 {
+	h := fnv.New64a()
+	for _, jh := range hs {
+		fmt.Fprintf(h, "job %q done=%v start=%v end=%v err=%v\n",
+			jh.Spec.Name, jh.Done(), jh.Metrics.Start, jh.Metrics.End, jh.Err())
+		for si, sm := range jh.Metrics.Stages {
+			fmt.Fprintf(h, " stage %d start=%v end=%v\n", si, sm.Start, sm.End)
+			for ti, tm := range sm.Tasks {
+				if tm == nil {
+					fmt.Fprintf(h, "  task %d nil\n", ti)
+					continue
+				}
+				fmt.Fprintf(h, "  task %d m=%d start=%v end=%v failed=%v\n",
+					ti, tm.Machine, tm.Start, tm.End, tm.Failed)
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// dispatchScenario submits jobs and installs fault hooks on a fresh
+// cluster+driver, returning the handles to fingerprint after the run.
+type dispatchScenario func(c *cluster.Cluster, d *Driver) []*JobHandle
+
+// runDispatch executes one scenario on monotasks workers with the given
+// config and returns the outcome fingerprint plus the driver's control-plane
+// accounting.
+func runDispatch(t *testing.T, n int, cfg Config, scenario dispatchScenario) (uint64, DispatchStats, *cluster.Cluster) {
+	t.Helper()
+	c, d := monoDriver(t, n, cfg)
+	hs := scenario(c, d)
+	d.Run()
+	return metricsFingerprint(hs), d.DispatchStats(), c
+}
+
+// submitOrFatal keeps scenarios terse.
+func submitOrFatal(t *testing.T, d *Driver, spec *task.JobSpec) *JobHandle {
+	t.Helper()
+	h, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestWorkerDispatchEquivalence(t *testing.T) {
+	// Two concurrent jobs over 4 monotasks workers: the delegated control
+	// plane must produce bit-identical metrics to the centralized pass,
+	// while actually self-dispatching (the worker-pull path) and exchanging
+	// peer metadata.
+	scenario := func(c *cluster.Cluster, d *Driver) []*JobHandle {
+		return []*JobHandle{
+			submitOrFatal(t, d, mapReduceJob(16, 8)),
+			submitOrFatal(t, d, &task.JobSpec{Name: "cpu", Stages: []*task.StageSpec{
+				{ID: 0, Name: "only", NumTasks: 24, OpCPU: 2},
+			}}),
+		}
+	}
+	central, cs, _ := runDispatch(t, 4, Config{}, scenario)
+	delegated, ds, c := runDispatch(t, 4, Config{WorkerDispatch: true}, scenario)
+	if central != delegated {
+		t.Fatalf("delegated outcome fingerprint %x differs from centralized %x", delegated, central)
+	}
+	if cs.Delegated || !ds.Delegated {
+		t.Fatalf("Delegated flags wrong: centralized %v, delegated %v", cs.Delegated, ds.Delegated)
+	}
+	if ds.SelfDispatched == 0 {
+		t.Fatal("delegated run self-dispatched nothing — the worker-pull path never ran")
+	}
+	if ds.PeerMessages == 0 {
+		t.Fatal("delegated run exchanged no peer stage-completion metadata")
+	}
+	if ds.DriverMessages >= cs.DriverMessages {
+		t.Fatalf("delegated driver handled %d messages, centralized %d — delegation should shrink driver traffic",
+			ds.DriverMessages, cs.DriverMessages)
+	}
+	// The peer broadcasts land on the fabric's control ledger, with zero
+	// virtual time (the runs were bit-identical, which proves that part).
+	got := c.ControlPlaneStats()
+	if got.Messages != ds.PeerMessages || got.Bytes != ds.PeerBytes {
+		t.Fatalf("fabric control ledger %+v does not match driver accounting (%d msgs, %d bytes)",
+			got, ds.PeerMessages, ds.PeerBytes)
+	}
+}
+
+func TestWorkerDispatchEquivalenceUnderFailures(t *testing.T) {
+	// The full resilience gauntlet — injected task kills, a machine crash
+	// and recovery, a collapsed link driving fetch timeouts, exclusion
+	// backoff — must leave the delegated outcome bit-identical to the
+	// centralized one, and each leg must replay identically.
+	cfg := Config{FetchRetryTimeout: 3, MaxTaskFailures: 50, ExcludeAfterFailures: 3, ExcludeBackoff: 5}
+	scenario := func(c *cluster.Cluster, d *Driver) []*JobHandle {
+		h := submitOrFatal(t, d, mapReduceJob(12, 6))
+		c.Engine.At(1, func() { d.FailRunningTasks(1, 2, "injected kill") })
+		c.Engine.At(0.5, func() { c.Fabric.SetLinkSpeed(0, 0.001) })
+		c.Engine.At(2, func() { _ = d.FailMachine(2) })
+		c.Engine.At(25, func() { _ = d.RecoverMachine(2) })
+		c.Engine.At(40, func() { c.Fabric.SetLinkSpeed(0, 1) })
+		return []*JobHandle{h}
+	}
+	for _, tc := range []struct {
+		name     string
+		delegate bool
+	}{{"centralized", false}, {"delegated", true}} {
+		cfg := cfg
+		cfg.WorkerDispatch = tc.delegate
+		first, _, _ := runDispatch(t, 4, cfg, scenario)
+		second, _, _ := runDispatch(t, 4, cfg, scenario)
+		if first != second {
+			t.Fatalf("%s replay diverged: %x vs %x", tc.name, first, second)
+		}
+		if tc.name == "centralized" {
+			continue
+		}
+		base, _, _ := runDispatch(t, 4, Config{
+			FetchRetryTimeout: 3, MaxTaskFailures: 50,
+			ExcludeAfterFailures: 3, ExcludeBackoff: 5,
+		}, scenario)
+		if first != base {
+			t.Fatalf("delegated outcome %x differs from centralized %x under failures", first, base)
+		}
+	}
+}
+
+func TestWorkerDispatchPushFallback(t *testing.T) {
+	// Executors without the pull hook (fakeExec, like the pipelined
+	// emulation) are fed by the driver's push fallback: same fill policy,
+	// same results.
+	run := func(dispatch bool) uint64 {
+		c := testCluster(t, 3)
+		fs, _ := dfs.New(dfs.Config{Machines: c.Size(), DisksPerMachine: 1})
+		fakes := make([]*fakeExec, c.Size())
+		execs := make([]task.Executor, c.Size())
+		for i := range fakes {
+			fakes[i] = &fakeExec{id: i, slots: 2, duration: 1, eng: c.Engine}
+			execs[i] = fakes[i]
+		}
+		d, err := NewWithConfig(c, fs, execs, Config{WorkerDispatch: dispatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := submitOrFatal(t, d, mapReduceJob(9, 4))
+		d.Run()
+		if dispatch {
+			if ds := d.DispatchStats(); ds.SelfDispatched == 0 {
+				t.Fatal("push fallback never self-dispatched")
+			}
+		}
+		if !h.Done() {
+			t.Fatalf("job incomplete: %v", h.Err())
+		}
+		return metricsFingerprint([]*JobHandle{h})
+	}
+	if central, delegated := run(false), run(true); central != delegated {
+		t.Fatalf("push-fallback delegated outcome %x differs from centralized %x", delegated, central)
+	}
+}
+
+func TestWorkerDispatchSpeculationFallsBack(t *testing.T) {
+	// Speculation needs the driver's global view of running attempts, so
+	// WorkerDispatch+Speculation keeps the centralized pass.
+	c := testCluster(t, 2)
+	d, _ := fakeDriver(t, c, 2, 1)
+	if d.DispatchStats().Delegated {
+		t.Fatal("plain driver reports delegated")
+	}
+	_, d2 := monoDriver(t, 2, Config{WorkerDispatch: true, Speculation: true})
+	if d2.DispatchStats().Delegated {
+		t.Fatal("Speculation+WorkerDispatch must fall back to the centralized pass")
+	}
+	_, d3 := monoDriver(t, 2, Config{WorkerDispatch: true})
+	if !d3.DispatchStats().Delegated {
+		t.Fatal("WorkerDispatch alone should delegate")
+	}
+}
+
+func TestRecoverMachineResetsExclusionBackoff(t *testing.T) {
+	// Regression: RecoverMachine used to keep excludeCount/excludeUntil, so
+	// a crashed-and-repaired machine inherited pre-crash exponential backoff
+	// escalation. A recovered machine's first re-exclusion must use the base
+	// ExcludeBackoff again.
+	c := testCluster(t, 2)
+	d, _ := fakeDriver(t, c, 1, 1)
+	base := d.cfg.ExcludeBackoff
+	exclude := func() {
+		for i := 0; i < d.cfg.ExcludeAfterFailures; i++ {
+			d.noteMachineFailure(1)
+		}
+	}
+	exclude()
+	if !d.excluded[1] || d.excludeUntil[1] != c.Engine.Now()+base {
+		t.Fatalf("first exclusion until %v, want %v", d.excludeUntil[1], c.Engine.Now()+base)
+	}
+	d.excluded[1] = false // as readmitMachine would
+	exclude()
+	if d.excludeUntil[1] != c.Engine.Now()+2*base {
+		t.Fatalf("second exclusion until %v, want doubled backoff %v", d.excludeUntil[1], c.Engine.Now()+2*base)
+	}
+	if err := d.FailMachine(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RecoverMachine(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.excludeCount[1] != 0 || d.excludeUntil[1] != 0 {
+		t.Fatalf("recovery kept exclusion history: count=%d until=%v", d.excludeCount[1], d.excludeUntil[1])
+	}
+	exclude()
+	if d.excludeUntil[1] != c.Engine.Now()+base {
+		t.Fatalf("post-recovery exclusion until %v, want base backoff %v", d.excludeUntil[1], c.Engine.Now()+base)
+	}
+	if d.excludeCount[1] != 1 {
+		t.Fatalf("post-recovery excludeCount = %d, want 1", d.excludeCount[1])
+	}
+}
+
+func TestMaxExcludeBackoffCapsDoubling(t *testing.T) {
+	// The doubling cap is Config.MaxExcludeBackoff (it was a hidden i < 6
+	// constant): growth stops at the largest doubled value not exceeding
+	// the cap, and a cap below the base leaves the base untouched.
+	c := testCluster(t, 2)
+	d, _ := fakeDriver(t, c, 1, 1)
+	d.cfg.ExcludeBackoff = 30
+	d.cfg.MaxExcludeBackoff = 100
+	d.excludeCount[1] = 5 // deep escalation history
+	d.machineFailures[1] = d.cfg.ExcludeAfterFailures
+	d.noteMachineFailure(1)
+	if got := d.excludeUntil[1] - c.Engine.Now(); got != 60 {
+		t.Fatalf("capped backoff = %v, want 60 (30 doubled once; 120 would exceed the 100 cap)", got)
+	}
+	d.excluded[1] = false
+	d.cfg.MaxExcludeBackoff = 10 // below base: base wins
+	d.machineFailures[1] = d.cfg.ExcludeAfterFailures
+	d.noteMachineFailure(1)
+	if got := d.excludeUntil[1] - c.Engine.Now(); got != 30 {
+		t.Fatalf("sub-base cap gave backoff %v, want the 30 base", got)
+	}
+	// The default cap (64× base) reproduces the legacy six-doublings limit.
+	cfg := Config{ExcludeBackoff: 30}.withDefaults()
+	if cfg.MaxExcludeBackoff != 1920 {
+		t.Fatalf("default MaxExcludeBackoff = %v, want 64×30 = 1920", cfg.MaxExcludeBackoff)
+	}
+}
+
+func TestFetchTimeoutAbortMessageSingleUnit(t *testing.T) {
+	// Regression for the double-unit abort reason: "within the %v s fetch
+	// timeout" rendered two unit suffixes. Drive a reduce into repeated
+	// fetch timeouts until the retry budget aborts the job and check the
+	// rendered reason.
+	c, d := monoDriver(t, 3, Config{FetchRetryTimeout: 2, MaxTaskFailures: 2, ExcludeAfterFailures: -1})
+	h, err := d.Submit(mapReduceJob(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.At(0.5, func() {
+		for i := 0; i < c.Size(); i++ {
+			c.Fabric.SetLinkSpeed(i, 0.0001)
+		}
+	})
+	d.Run()
+	if h.Err() == nil {
+		t.Fatal("job survived a permanently collapsed network")
+	}
+	msg := h.Err().Error()
+	if !strings.Contains(msg, "within the 2s fetch timeout") {
+		t.Fatalf("abort reason %q lacks the single-unit timeout phrasing", msg)
+	}
+	if strings.Contains(msg, "s s") {
+		t.Fatalf("abort reason %q still renders a double unit", msg)
+	}
+}

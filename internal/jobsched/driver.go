@@ -158,6 +158,17 @@ type Driver struct {
 	poolByName map[string]*poolState
 	nextBase   int
 
+	// Worker-side dispatch (dispatcher.go): per-worker dispatchers (nil for
+	// a centralized driver), the needs-a-global-pass flag, control-plane
+	// message accounting, and scratch for stage-completion broadcasts.
+	// scheduleDepth distinguishes driver-directed launches (inside a global
+	// pass) from worker self-dispatch in the accounting.
+	disp           []*dispatcher
+	globalDirty    bool
+	ctrl           DispatchStats
+	machineScratch []int
+	scheduleDepth  int
+
 	// Execution-template cache and the hot-path slabs/pools/scratch it feeds
 	// (see template.go). All single-threaded, like the engine they serve.
 	templates      map[string]*jobTemplate
@@ -200,6 +211,7 @@ func NewWithConfig(c *cluster.Cluster, fs *dfs.FS, execs []task.Executor, cfg Co
 	if err := d.initPools(); err != nil {
 		return nil, err
 	}
+	d.initDispatch()
 	return d, nil
 }
 
@@ -311,6 +323,12 @@ func (d *Driver) Wait() error {
 // speculation policy may launch backup attempts. Dead and excluded machines
 // receive nothing.
 func (d *Driver) schedule() {
+	// Entering the full pass satisfies any pending global transition; clear
+	// the flag first so transitions caused *inside* this pass (an abort, an
+	// exclusion) re-mark it and nested passes handle them.
+	d.globalDirty = false
+	d.ctrl.GlobalPasses++
+	d.scheduleDepth++
 	for {
 		progress := false
 		for w := range d.execs {
@@ -337,6 +355,7 @@ func (d *Driver) schedule() {
 			}
 		}
 		if !progress {
+			d.scheduleDepth--
 			return
 		}
 	}
@@ -428,6 +447,12 @@ func (d *Driver) launchAttempt(st *stageState, ti, w int) bool {
 	}
 	d.free[w]--
 	d.inflight[w]++
+	if d.disp != nil && d.scheduleDepth == 0 {
+		d.ctrl.SelfDispatched++ // worker-local fill, no driver round trip
+	} else {
+		d.ctrl.DriverMessages++ // driver-directed placement (dispatch RPC)
+		d.ctrl.DriverBytes += controlMsgHeaderBytes + controlMsgEntryBytes
+	}
 	d.execs[w].Launch(t, d.takeCompletion(st, ti, w, att).fn)
 	if d.cfg.FetchRetryTimeout > 0 && (len(t.Fetches) > 0 || t.RemoteRead != nil) {
 		d.armFetchTimeout(st, ti, att, w)
@@ -439,6 +464,10 @@ func (d *Driver) launchAttempt(st *stageState, ti, w int) bool {
 // pooled completionOp; see template.go).
 func (d *Driver) onAttemptDone(st *stageState, ti, w int, att *attempt, m *task.TaskMetrics) {
 	d.inflight[w]--
+	if d.disp == nil {
+		d.ctrl.DriverMessages++ // per-completion status RPC, centralized
+		d.ctrl.DriverBytes += controlMsgHeaderBytes
+	}
 	if att.retired {
 		// The machine failed, the fetch timed out, or the attempt's input
 		// was invalidated; accounting was already unwound. The executor
@@ -447,7 +476,7 @@ func (d *Driver) onAttemptDone(st *stageState, ti, w int, att *attempt, m *task.
 		if !d.dead[w] {
 			d.free[w]++
 		}
-		d.schedule()
+		d.afterCompletion(w)
 		return
 	}
 	att.retired = true
@@ -455,12 +484,12 @@ func (d *Driver) onAttemptDone(st *stageState, ti, w int, att *attempt, m *task.
 	st.running--
 	if m.Failed {
 		d.handleAttemptFailure(st, ti, w, m.FailReason)
-		d.schedule()
+		d.afterCompletion(w)
 		return
 	}
 	if st.doneTasks[ti] {
 		// A competing speculative attempt already won.
-		d.schedule()
+		d.afterCompletion(w)
 		return
 	}
 	st.doneTasks[ti] = true
@@ -473,7 +502,7 @@ func (d *Driver) onAttemptDone(st *stageState, ti, w int, att *attempt, m *task.
 	if st.completed == st.spec.NumTasks && !st.finished {
 		d.finishStage(st)
 	}
-	d.schedule()
+	d.afterCompletion(w)
 }
 
 // stageBase namespaces stage IDs per job in the shared shuffle tracker.
@@ -484,6 +513,12 @@ func (h *JobHandle) stageBase() int { return h.base }
 func (d *Driver) finishStage(st *stageState) {
 	st.finished = true
 	st.metrics.End = d.cluster.Engine.Now()
+	// Children may have become runnable: a global transition. In delegated
+	// mode this is also the peer-metadata broadcast moment.
+	d.markGlobal()
+	if d.disp != nil {
+		d.announceStageComplete(st)
+	}
 	h := st.job
 	for _, cid := range h.tpl.children[st.spec.ID] {
 		h.stages[cid].waitingOn--
@@ -520,6 +555,7 @@ func (d *Driver) abortJob(h *JobHandle, err error) {
 	h.failed = true
 	h.err = err
 	h.Metrics.End = d.cluster.Engine.Now()
+	d.markGlobal()
 	for _, st := range h.stages {
 		st.pending = st.pending[:0]
 		for ti := range st.attempts {
@@ -585,4 +621,5 @@ func (d *Driver) requeue(st *stageState, ti int) {
 	}
 	st.pending = append(st.pending, ti)
 	sort.Ints(st.pending)
+	d.markGlobal() // pending work appeared; any worker may claim it
 }

@@ -35,10 +35,16 @@ func (d *Driver) RecoverMachine(m int) error {
 	d.dead[m] = false
 	d.excluded[m] = false
 	d.machineFailures[m] = 0
+	// A repaired machine starts with a clean exclusion history too: without
+	// this, its next exclusion would inherit the pre-crash exponential
+	// escalation (and a stale excludeUntil could shadow a fresh deadline).
+	d.excludeCount[m] = 0
+	d.excludeUntil[m] = 0
 	d.free[m] = d.execs[m].MaxConcurrentTasks() - d.inflight[m]
 	if d.free[m] < 0 {
 		d.free[m] = 0
 	}
+	d.markGlobal()
 	d.schedule()
 	return nil
 }
@@ -132,12 +138,15 @@ func (d *Driver) noteMachineFailure(w int) {
 		return
 	}
 	backoff := d.cfg.ExcludeBackoff
-	for i := 0; i < d.excludeCount[w] && i < 6; i++ {
+	for i := 0; i < d.excludeCount[w] && backoff*2 <= d.cfg.MaxExcludeBackoff; i++ {
 		backoff *= 2
 	}
 	d.excludeCount[w]++
 	d.machineFailures[w] = 0
 	d.excluded[w] = true
+	// Excluding w can strip the last free home off a pending task, newly
+	// allowing a remote pick elsewhere — a global transition.
+	d.markGlobal()
 	until := d.cluster.Engine.Now() + backoff
 	d.excludeUntil[w] = until
 	d.cluster.Engine.At(until, func() { d.readmitMachine(w, until) })
@@ -150,6 +159,7 @@ func (d *Driver) readmitMachine(w int, until sim.Time) {
 		return
 	}
 	d.excluded[w] = false
+	d.markGlobal()
 	d.schedule()
 }
 
@@ -170,6 +180,6 @@ func (d *Driver) onFetchTimeout(st *stageState, ti, w int, att *attempt) {
 	att.retired = true
 	st.running--
 	d.handleAttemptFailure(st, ti, w,
-		fmt.Sprintf("shuffle fetch did not complete within the %v s fetch timeout", d.cfg.FetchRetryTimeout))
-	d.schedule()
+		fmt.Sprintf("shuffle fetch did not complete within the %vs fetch timeout", d.cfg.FetchRetryTimeout))
+	d.afterTimeout(w)
 }

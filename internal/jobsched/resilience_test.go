@@ -27,10 +27,20 @@ func TestConfigWithDefaults(t *testing.T) {
 	if c.FetchRetryTimeout != 0 {
 		t.Fatalf("FetchRetryTimeout default = %v, want 0 (disabled)", c.FetchRetryTimeout)
 	}
+	if c.MaxExcludeBackoff != 64*c.ExcludeBackoff {
+		t.Fatalf("MaxExcludeBackoff default = %v, want 64× the %v base", c.MaxExcludeBackoff, c.ExcludeBackoff)
+	}
 	// Explicit values survive; -1 disables exclusion.
-	c = Config{MaxTaskFailures: 2, ExcludeAfterFailures: -1, ExcludeBackoff: 5, FetchRetryTimeout: 7}.withDefaults()
+	c = Config{MaxTaskFailures: 2, ExcludeAfterFailures: -1, ExcludeBackoff: 5, FetchRetryTimeout: 7, MaxExcludeBackoff: 11}.withDefaults()
 	if c.MaxTaskFailures != 2 || c.ExcludeAfterFailures != -1 || c.ExcludeBackoff != 5 || c.FetchRetryTimeout != 7 {
 		t.Fatalf("explicit values not preserved: %+v", c)
+	}
+	if c.MaxExcludeBackoff != 11 {
+		t.Fatalf("explicit MaxExcludeBackoff not preserved: %v", c.MaxExcludeBackoff)
+	}
+	// The default cap derives from an explicit base, not the default base.
+	if c := (Config{ExcludeBackoff: 5}).withDefaults(); c.MaxExcludeBackoff != 320 {
+		t.Fatalf("MaxExcludeBackoff from 5s base = %v, want 320", c.MaxExcludeBackoff)
 	}
 }
 

@@ -1,0 +1,51 @@
+package netsim
+
+// The fabric's control-plane ledger: a byte/message accounting surface for
+// small coordination messages (worker-to-worker stage-completion metadata,
+// the delegated driver's peer broadcasts) that real clusters exchange over
+// the same links as the data plane but whose latency is negligible next to
+// multi-megabyte shuffle flows. Recording a control message therefore costs
+// zero virtual time and schedules no engine event — the ledger is pure
+// counters, which is what keeps runs with and without control traffic
+// byte-identical — while still exposing how chatty a control-plane design
+// is, per machine and in total.
+
+// ControlStats totals one direction of control-plane traffic: message count
+// and modeled payload bytes.
+type ControlStats struct {
+	// Messages is the number of control messages recorded.
+	Messages int64
+	// Bytes is the total modeled payload of those messages.
+	Bytes int64
+}
+
+// add accumulates one message of the given size.
+func (s *ControlStats) add(bytes int64) {
+	s.Messages++
+	s.Bytes += bytes
+}
+
+// RecordControl records one control message of `bytes` payload from machine
+// src to machine dst on the ledger. Control messages consume no virtual
+// time and no link bandwidth (they are accounting, not flows); src and dst
+// must be distinct fabric machines.
+func (f *Fabric) RecordControl(src, dst int, bytes int64) {
+	if src < 0 || src >= len(f.nics) || dst < 0 || dst >= len(f.nics) {
+		panic("netsim: control endpoint out of range")
+	}
+	if src == dst {
+		panic("netsim: control message to self")
+	}
+	f.ctrlTotal.add(bytes)
+	f.ctrlOut[src].add(bytes)
+	f.ctrlIn[dst].add(bytes)
+}
+
+// ControlStats returns the fabric-wide control-plane ledger totals.
+func (f *Fabric) ControlStats() ControlStats { return f.ctrlTotal }
+
+// ControlTraffic returns machine i's control-plane ledger entries: messages
+// it sent (out) and received (in).
+func (f *Fabric) ControlTraffic(i int) (out, in ControlStats) {
+	return f.ctrlOut[i], f.ctrlIn[i]
+}

@@ -92,6 +92,12 @@ type Fabric struct {
 	compLinks []int   // links in the current component, in discovery order
 	compFlows []*Flow // flows in the current component, in f.order order
 	finished  []*Flow // reusable scratch for complete()
+
+	// Control-plane ledger (control.go): zero-virtual-time message and byte
+	// counters, fabric-wide and per machine per direction.
+	ctrlTotal ControlStats
+	ctrlOut   []ControlStats
+	ctrlIn    []ControlStats
 }
 
 // NewFabric creates a fabric of n NICs, each with the given full-duplex
@@ -123,6 +129,8 @@ func NewFabricBW(eng *sim.Engine, linkBWs []float64) *Fabric {
 	f.linkCap = make([]float64, 2*n)
 	f.linkCnt = make([]int, 2*n)
 	f.linkMark = make([]uint64, 2*n)
+	f.ctrlOut = make([]ControlStats, n)
+	f.ctrlIn = make([]ControlStats, n)
 	return f
 }
 

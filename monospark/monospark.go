@@ -147,6 +147,13 @@ type Config struct {
 	// lookahead horizon. Execution strategy only — job results and metrics
 	// are bit-identical to the serial engine at any shard count.
 	Shards int
+	// WorkerDispatch delegates stage execution to worker-side dispatchers
+	// (jobsched.Config.WorkerDispatch): workers self-assign tasks from the
+	// job's execution template the moment a slot opens, and finished stages
+	// broadcast completion metadata peer-to-peer, leaving the driver only
+	// admission, fair-share, and attribution. Execution strategy only —
+	// results are bit-identical to the centralized control plane.
+	WorkerDispatch bool
 }
 
 func (c Config) withDefaults() Config {

@@ -81,6 +81,10 @@ type Report struct {
 	// Product is the real-run sharding table (BENCH_7+): the golden sort
 	// end to end on the serial vs sharded engine, with lane occupancy.
 	Product []ProductCompare `json:"product,omitempty"`
+	// Control is the dispatch-mode table (BENCH_8+): centralized driver
+	// dispatch vs worker-side delegation, with checksums and driver-message
+	// counts.
+	Control []ControlCompare `json:"control,omitempty"`
 }
 
 // NewReport stamps the environment fields.

@@ -1,0 +1,132 @@
+package perf
+
+// Control-plane comparison: the same workload executed with centralized
+// driver dispatch and with worker-side (delegated) dispatch, timed and
+// checksummed. Identical hashes are the delegation equivalence proof at the
+// benchmark layer — worker-side dispatch is an execution strategy, so the
+// rendered job timings must not change — and the message counters quantify
+// what delegation buys: driver RPCs collapse to range grants plus one
+// aggregate result per stage, with per-task traffic moving to worker
+// self-dispatch and peer-to-peer metadata exchange.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/jobsched"
+	"repro/internal/run"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// ControlRun is one dispatch mode's leg: the workload's rendered output plus
+// the driver's control-plane accounting. Stats may be zero when the workload
+// runs through a layer that does not expose its driver (the figures corpus);
+// the checksum comparison still applies.
+type ControlRun struct {
+	Output []byte
+	Stats  jobsched.DispatchStats
+}
+
+// ControlCompare is one centralized-vs-delegated row of the BENCH report.
+type ControlCompare struct {
+	Workload        string  `json:"workload"`
+	CentralizedMs   float64 `json:"centralized_ms"`
+	DelegatedMs     float64 `json:"delegated_ms"`
+	Speedup         float64 `json:"speedup"`
+	CentralizedHash string  `json:"centralized_hash"`
+	DelegatedHash   string  `json:"delegated_hash"`
+	Identical       bool    `json:"identical"`
+	// Driver-message economics, when the workload exposes them: RPCs the
+	// driver handled in each mode, peer-to-peer stage-metadata messages, and
+	// launches the workers issued without driver involvement.
+	CentralizedDriverMsgs int64 `json:"centralized_driver_msgs,omitempty"`
+	DelegatedDriverMsgs   int64 `json:"delegated_driver_msgs,omitempty"`
+	PeerMsgs              int64 `json:"peer_msgs,omitempty"`
+	SelfDispatched        int64 `json:"self_dispatched,omitempty"`
+}
+
+// CompareControl runs one workload in both dispatch modes and assembles the
+// comparison row. leg executes the workload with the requested mode and
+// returns its rendered output (plus driver accounting when available).
+func CompareControl(workload string, leg func(delegated bool) (ControlRun, error)) (ControlCompare, error) {
+	start := time.Now()
+	cen, err := leg(false)
+	cenDur := time.Since(start)
+	if err != nil {
+		return ControlCompare{}, fmt.Errorf("perf: %s centralized leg: %w", workload, err)
+	}
+	start = time.Now()
+	del, err := leg(true)
+	delDur := time.Since(start)
+	if err != nil {
+		return ControlCompare{}, fmt.Errorf("perf: %s delegated leg: %w", workload, err)
+	}
+	ch, dh := sha256.Sum256(cen.Output), sha256.Sum256(del.Output)
+	return ControlCompare{
+		Workload:              workload,
+		CentralizedMs:         float64(cenDur.Microseconds()) / 1e3,
+		DelegatedMs:           float64(delDur.Microseconds()) / 1e3,
+		Speedup:               float64(cenDur) / float64(delDur),
+		CentralizedHash:       hex.EncodeToString(ch[:]),
+		DelegatedHash:         hex.EncodeToString(dh[:]),
+		Identical:             bytes.Equal(cen.Output, del.Output),
+		CentralizedDriverMsgs: cen.Stats.DriverMessages,
+		DelegatedDriverMsgs:   del.Stats.DriverMessages,
+		PeerMsgs:              del.Stats.PeerMessages,
+		SelfDispatched:        del.Stats.SelfDispatched,
+	}, nil
+}
+
+// ControlSortLeg is the built-in control workload: `jobs` concurrent 1 GB
+// sorts through one monotasks driver on `machines` machines, rendered at
+// full precision so the centralized/delegated comparison is bitwise. Unlike
+// the figures corpus, this leg holds the driver, so the row carries real
+// message counts.
+func ControlSortLeg(machines, jobs int, delegated bool) (ControlRun, error) {
+	c, err := cluster.New(machines, cluster.M2_4XLarge())
+	if err != nil {
+		return ControlRun{}, err
+	}
+	env, err := workloads.NewEnv(c)
+	if err != nil {
+		return ControlRun{}, err
+	}
+	spec, err := workloads.Sort{Name: "control", TotalBytes: 1 * units.GB, MapTasks: 16, ReduceTasks: 8}.Build(env)
+	if err != nil {
+		return ControlRun{}, err
+	}
+	d, err := run.Driver(c, env.FS, run.Options{
+		Mode:  run.Monotasks,
+		Sched: jobsched.Config{WorkerDispatch: delegated},
+	})
+	if err != nil {
+		return ControlRun{}, err
+	}
+	for i := 0; i < jobs; i++ {
+		if _, err := d.Submit(spec); err != nil {
+			return ControlRun{}, err
+		}
+	}
+	ms := d.Run()
+	var buf bytes.Buffer
+	for ji, j := range ms {
+		fmt.Fprintf(&buf, "job %d start=%.9f end=%.9f\n", ji, float64(j.Start), float64(j.End))
+		for si, st := range j.Stages {
+			fmt.Fprintf(&buf, " stage %d start=%.9f end=%.9f\n", si, float64(st.Start), float64(st.End))
+			for ti, tm := range st.Tasks {
+				if tm == nil {
+					fmt.Fprintf(&buf, "  task %d nil\n", ti)
+					continue
+				}
+				fmt.Fprintf(&buf, "  task %d m=%d start=%.9f end=%.9f\n",
+					ti, tm.Machine, float64(tm.Start), float64(tm.End))
+			}
+		}
+	}
+	return ControlRun{Output: buf.Bytes(), Stats: d.DispatchStats()}, nil
+}

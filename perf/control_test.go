@@ -1,0 +1,62 @@
+package perf
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/jobsched"
+)
+
+// TestCompareControlSortIdentical runs the built-in control workload both
+// ways and checks the row: bitwise-identical output, real message counts,
+// and a delegated driver that handled strictly less traffic.
+func TestCompareControlSortIdentical(t *testing.T) {
+	cc, err := CompareControl("steady-sort", func(delegated bool) (ControlRun, error) {
+		return ControlSortLeg(4, 4, delegated)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cc.Identical {
+		t.Fatalf("delegated output diverged: %s vs %s", cc.DelegatedHash, cc.CentralizedHash)
+	}
+	if cc.SelfDispatched == 0 || cc.PeerMsgs == 0 {
+		t.Fatalf("delegated leg shows no delegation: %+v", cc)
+	}
+	if cc.DelegatedDriverMsgs >= cc.CentralizedDriverMsgs {
+		t.Fatalf("delegation did not shrink driver traffic: %d vs %d",
+			cc.DelegatedDriverMsgs, cc.CentralizedDriverMsgs)
+	}
+}
+
+// TestDelegatedSubmitSustains100kJobs is the submission-scale gate: one
+// delegated driver absorbs 100k concurrent job submissions (none complete —
+// zero-capacity executors — so all 100k are live at once) and the per-submit
+// allocation cost stays at the centralized baseline (BENCH_7's DriverSubmit:
+// 13 allocs/op; the bound leaves slack for mallocs the benchmark's amortized
+// accounting rounds away).
+func TestDelegatedSubmitSustains100kJobs(t *testing.T) {
+	d, spec := submitDriver(t, jobsched.Config{WorkerDispatch: true})
+	// Warm the template cache and the admission structures off the books.
+	if _, err := d.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const jobs = 100_000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < jobs; i++ {
+		if _, err := d.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	per := float64(after.Mallocs-before.Mallocs) / jobs
+	if per > 16 {
+		t.Fatalf("delegated submit cost %.1f allocs/op with 100k concurrent jobs, want ≤16 (centralized baseline 13)", per)
+	}
+	if got := d.DispatchStats(); !got.Delegated {
+		t.Fatal("driver is not delegating")
+	}
+}

@@ -18,15 +18,15 @@ import (
 )
 
 // steadySpec builds the small sort every iteration replays.
-func steadySpec(b *testing.B, c *cluster.Cluster) (*workloads.Env, *task.JobSpec) {
+func steadySpec(tb testing.TB, c *cluster.Cluster) (*workloads.Env, *task.JobSpec) {
 	env, err := workloads.NewEnv(c)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	s := workloads.Sort{Name: "steady", TotalBytes: 1 * units.GB, MapTasks: 8, ReduceTasks: 4}
 	spec, err := s.Build(env)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return env, spec
 }
@@ -72,23 +72,45 @@ func (e idleExec) Launch(t *task.Task, done func(*task.TaskMetrics)) {
 	panic("perf: idleExec launched a task")
 }
 
-// BenchDriverSubmit measures the allocation cost of SubmitWith alone:
-// identical jobs into a zero-capacity cluster, so each op is exactly one
-// control-plane instantiation (template-cache hit after the first).
-func BenchDriverSubmit(b *testing.B) {
+// submitDriver builds the zero-capacity driver BenchDriverSubmit and its
+// delegated twin share: submissions exercise only the control plane.
+func submitDriver(tb testing.TB, cfg jobsched.Config) (*jobsched.Driver, *task.JobSpec) {
 	c, err := cluster.New(2, cluster.M2_4XLarge())
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	env, spec := steadySpec(b, c)
+	env, spec := steadySpec(tb, c)
 	execs := make([]task.Executor, c.Size())
 	for i := range execs {
 		execs[i] = idleExec{id: i}
 	}
-	d, err := jobsched.New(c, env.FS, execs)
+	d, err := jobsched.NewWithConfig(c, env.FS, execs, cfg)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
+	return d, spec
+}
+
+// BenchDriverSubmit measures the allocation cost of SubmitWith alone:
+// identical jobs into a zero-capacity cluster, so each op is exactly one
+// control-plane instantiation (template-cache hit after the first).
+func BenchDriverSubmit(b *testing.B) {
+	d, spec := submitDriver(b, jobsched.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Submit(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchDriverSubmitDelegated is BenchDriverSubmit with worker-side dispatch
+// on: each admission also issues the workers' partition-range grants, so this
+// pins that delegation keeps the submission hot path allocation-free beyond
+// the centralized cost.
+func BenchDriverSubmitDelegated(b *testing.B) {
+	d, spec := submitDriver(b, jobsched.Config{WorkerDispatch: true})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
